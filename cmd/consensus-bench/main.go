@@ -1,0 +1,106 @@
+// Command consensus-bench regenerates the paper's results: it runs the
+// registered experiments (E1..E12, one per theorem/lemma/figure/numeric
+// claim — see DESIGN.md §4) and prints their tables.
+//
+// Usage:
+//
+//	consensus-bench [-run E1,E5,E7 | -run all] [-scale quick|full]
+//	                [-seed N] [-workers N] [-csv DIR] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/ignorecomply/consensus/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("consensus-bench", flag.ContinueOnError)
+	var (
+		runIDs  = fs.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale   = fs.String("scale", "quick", "experiment scale: quick or full")
+		seed    = fs.Uint64("seed", 1, "random seed (runs reproduce exactly per seed)")
+		workers = fs.Int("workers", 0, "replica parallelism (0 = GOMAXPROCS)")
+		csvDir  = fs.String("csv", "", "also write each table as CSV into this directory")
+		list    = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range expt.Registry() {
+			fmt.Printf("%-4s %-55s %s\n", e.ID, e.Name, e.Claim)
+		}
+		return nil
+	}
+
+	params := expt.Params{Seed: *seed, Workers: *workers}
+	switch *scale {
+	case "quick":
+		params.Scale = expt.Quick
+	case "full":
+		params.Scale = expt.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+	}
+
+	var selected []expt.Experiment
+	if *runIDs == "all" {
+		selected = expt.Registry()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := expt.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("  (%s, scale=%s, seed=%d, %.1fs)\n\n", e.ID, params.Scale, *seed, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.ID, tbl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir, id string, tbl *expt.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, strings.ToLower(id)+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tbl.RenderCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

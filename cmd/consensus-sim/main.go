@@ -1,0 +1,118 @@
+// Command consensus-sim runs a single consensus process on a single
+// configuration and prints a round trace — the quickest way to watch the
+// paper's dynamics happen.
+//
+// Usage:
+//
+//	consensus-sim [-rule voter|2-choices|3-majority|4-majority|...|2-median|undecided]
+//	              [-n N] [-k K] [-dist singleton|balanced|zipf|biased]
+//	              [-bias B] [-seed S] [-trace-every T] [-max-rounds M]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+	"github.com/ignorecomply/consensus/internal/rules"
+	"github.com/ignorecomply/consensus/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("consensus-sim", flag.ContinueOnError)
+	var (
+		ruleName   = fs.String("rule", "3-majority", "update rule (voter, 2-choices, 3-majority, H-majority, 2-median, undecided)")
+		n          = fs.Int("n", 10000, "number of nodes")
+		k          = fs.Int("k", 0, "number of initial colors (0 = n, i.e. the singleton configuration)")
+		dist       = fs.String("dist", "singleton", "initial distribution: singleton, balanced, zipf, biased")
+		bias       = fs.Int("bias", 0, "initial bias for -dist biased")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		traceEvery = fs.Int("trace-every", 10, "print a trace line every T rounds (0 = off)")
+		maxRounds  = fs.Int("max-rounds", 10_000_000, "round budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rule, err := ruleByName(*ruleName)
+	if err != nil {
+		return err
+	}
+	start, err := makeConfig(*dist, *n, *k, *bias, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rule=%s n=%d k=%d dist=%s seed=%d\n",
+		rule.Name(), start.N(), start.Remaining(), *dist, *seed)
+
+	opts := []sim.Option{sim.WithMaxRounds(*maxRounds)}
+	if *traceEvery > 0 {
+		opts = append(opts, sim.WithTrace(*traceEvery))
+	}
+	res, err := sim.Run(rule, start, rng.New(*seed), opts...)
+	if err != nil {
+		return err
+	}
+	for _, tp := range res.Trace {
+		fmt.Printf("round %8d  colors %8d  max-support %8d  bias %8d\n",
+			tp.Round, tp.Colors, tp.MaxSupport, tp.Bias)
+	}
+	status := "consensus"
+	if !res.Converged {
+		status = "budget exhausted"
+	}
+	fmt.Printf("%s after %d rounds; winner color label %d\n", status, res.Rounds, res.WinnerLabel)
+	return nil
+}
+
+func ruleByName(name string) (core.Rule, error) {
+	switch name {
+	case "voter":
+		return rules.NewVoter(), nil
+	case "2-choices":
+		return rules.NewTwoChoices(), nil
+	case "3-majority":
+		return rules.NewThreeMajority(), nil
+	case "2-median":
+		return rules.NewTwoMedian(), nil
+	case "undecided":
+		return rules.NewUndecided(), nil
+	}
+	if h, ok := strings.CutSuffix(name, "-majority"); ok {
+		hv, err := strconv.Atoi(h)
+		if err == nil && hv >= 1 {
+			return rules.NewHMajority(hv), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown rule %q", name)
+}
+
+func makeConfig(dist string, n, k, bias int, seed uint64) (*config.Config, error) {
+	if k <= 0 {
+		k = n
+	}
+	switch dist {
+	case "singleton":
+		return config.Singleton(n), nil
+	case "balanced":
+		return config.Balanced(n, k), nil
+	case "zipf":
+		return config.Zipf(n, k, 1.0), nil
+	case "biased":
+		return config.Biased(n, k, bias), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", dist)
+	}
+}

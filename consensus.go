@@ -1,0 +1,274 @@
+// Package consensus is a library for simulating and analyzing randomized
+// consensus processes on the complete graph, reproducing "Ignore or
+// Comply? On Breaking Symmetry in Consensus" (Berenbrink, Clementi,
+// Elsässer, Kling, Mallmann-Trenn, Natale; PODC 2017, arXiv:1702.04921).
+//
+// The package re-exports the library's stable API surface:
+//
+//   - configurations and workload generators (the paper's c ∈ N₀^k vectors);
+//   - the update rules: Voter, 2-Choices, 3-Majority, general h-Majority,
+//     2-Median and the Undecided-State Dynamics;
+//   - exact-law simulation engines (batch, per-node agents, goroutine
+//     message-passing cluster) with replica fan-out;
+//   - the paper's anonymous-consensus-process comparison framework:
+//     protocol dominance (Definition 2) and the stochastic-majorization
+//     footprint of the 1-step coupling (Lemma 1);
+//   - coalescing random walks and the Voter duality coupling (Lemma 4);
+//   - the Byzantine round adversary of the fault-tolerance regime (§5).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction results; cmd/consensus-bench regenerates every table.
+package consensus
+
+import (
+	"github.com/ignorecomply/consensus/internal/adversary"
+	"github.com/ignorecomply/consensus/internal/cluster"
+	"github.com/ignorecomply/consensus/internal/coalesce"
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/expt"
+	"github.com/ignorecomply/consensus/internal/graph"
+	"github.com/ignorecomply/consensus/internal/rng"
+	"github.com/ignorecomply/consensus/internal/rules"
+	"github.com/ignorecomply/consensus/internal/sim"
+)
+
+// Core model types.
+type (
+	// Config is a consensus configuration: support counts per color.
+	Config = config.Config
+	// RNG is a seedable random source with the exact discrete samplers the
+	// engines use.
+	RNG = rng.RNG
+	// Rule is an update rule with an exact synchronous one-round law.
+	Rule = core.Rule
+	// NodeRule is the per-node (Uniform Pull) view of an update rule.
+	NodeRule = core.NodeRule
+	// ACProcess is an anonymous consensus process (Definition 1).
+	ACProcess = core.ACProcess
+	// Factory creates fresh rule instances for replica runners.
+	Factory = core.Factory
+)
+
+// Update rules.
+type (
+	// Voter adopts one uniformly sampled color (Eq. 1).
+	Voter = rules.Voter
+	// LazyVoter idles with probability beta per round (the [BGKMT16]
+	// variant; §3.2 ablation).
+	LazyVoter = rules.LazyVoter
+	// TwoChoices adopts two agreeing samples, else keeps its color.
+	TwoChoices = rules.TwoChoices
+	// ThreeMajority adopts a 2-of-3 sample majority, else a random sample
+	// (Eq. 2).
+	ThreeMajority = rules.ThreeMajority
+	// HMajority is the general plurality-of-h-samples rule (Conjecture 1).
+	HMajority = rules.HMajority
+	// TwoMedian is the order-based 2-Median rule [DGM+11].
+	TwoMedian = rules.TwoMedian
+	// Undecided is the Undecided-State Dynamics [BCN+15].
+	Undecided = rules.Undecided
+)
+
+// Simulation types.
+type (
+	// Result describes a completed run.
+	Result = sim.Result
+	// TracePoint is one sampled observation of a run.
+	TracePoint = sim.TracePoint
+	// Option configures a run.
+	Option = sim.Option
+	// ClusterResult describes a goroutine message-passing run.
+	ClusterResult = cluster.Result
+)
+
+// Framework types (paper §2).
+type (
+	// Pair is a majorization-ordered pair of configurations.
+	Pair = core.Pair
+	// Violation is a failed dominance check.
+	Violation = core.Violation
+	// MajorizationCheck is one Schur-convex battery outcome.
+	MajorizationCheck = core.MajorizationCheck
+)
+
+// Substrate types.
+type (
+	// Graph is an interaction topology (Lemma 4 holds on any of them).
+	Graph = graph.Graph
+	// Coalescence is a coalescing-random-walk simulation.
+	Coalescence = coalesce.Process
+	// DualityTable is the shared-randomness coupling of Lemma 4.
+	DualityTable = coalesce.Table
+	// DualityPoint compares walks and opinions at one horizon.
+	DualityPoint = coalesce.DualityPoint
+	// Adversary corrupts a bounded set of nodes per round (§5).
+	Adversary = adversary.Adversary
+	// AdversaryResult describes a run under corruption.
+	AdversaryResult = adversary.Result
+	// Experiment binds a paper artifact to the code regenerating it.
+	Experiment = expt.Experiment
+	// ExperimentParams configures an experiment run.
+	ExperimentParams = expt.Params
+	// ExperimentTable is an experiment's tabular output.
+	ExperimentTable = expt.Table
+)
+
+// NewRNG returns a deterministic random source seeded with seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewConfig returns a configuration with the given support counts.
+func NewConfig(counts []int) (*Config, error) { return config.New(counts) }
+
+// ConfigFromNodes builds a configuration from per-node colors.
+func ConfigFromNodes(nodes []int) (*Config, error) { return config.FromNodes(nodes) }
+
+// Workload generators (panic on invalid arguments).
+var (
+	// SingletonConfig is the n-color (leader election) configuration.
+	SingletonConfig = config.Singleton
+	// BalancedConfig is the near-uniform k-color configuration.
+	BalancedConfig = config.Balanced
+	// BiasedConfig gives color 0 a head start of at least bias nodes.
+	BiasedConfig = config.Biased
+	// ZipfConfig has supports proportional to 1/rank^s.
+	ZipfConfig = config.Zipf
+	// MaxBoundedConfig caps every color's support (Theorem 5's setting).
+	MaxBoundedConfig = config.MaxBounded
+	// TwoBlockConfig is the two-color configuration (a, n-a).
+	TwoBlockConfig = config.TwoBlock
+	// ConsensusConfig is the single-color configuration.
+	ConsensusConfig = config.Consensus
+	// RandomCompositionConfig samples a uniform composition of n into k
+	// non-empty colors.
+	RandomCompositionConfig = config.RandomComposition
+)
+
+// Rule constructors.
+var (
+	// NewVoter returns the Voter rule.
+	NewVoter = rules.NewVoter
+	// NewLazyVoter returns the lazy Voter variant.
+	NewLazyVoter = rules.NewLazyVoter
+	// NewTwoChoices returns the 2-Choices rule.
+	NewTwoChoices = rules.NewTwoChoices
+	// NewThreeMajority returns the 3-Majority rule.
+	NewThreeMajority = rules.NewThreeMajority
+	// NewHMajority returns the h-Majority rule.
+	NewHMajority = rules.NewHMajority
+	// NewTwoMedian returns the 2-Median rule.
+	NewTwoMedian = rules.NewTwoMedian
+	// NewUndecided returns the Undecided-State Dynamics rule.
+	NewUndecided = rules.NewUndecided
+)
+
+// Run executes a rule on a copy of start until consensus (or another
+// configured target); see the With* options.
+func Run(rule Rule, start *Config, r *RNG, opts ...Option) (*Result, error) {
+	return sim.Run(rule, start, r, opts...)
+}
+
+// RunAgents executes a per-node rule on an explicit population.
+func RunAgents(rule NodeRule, start *Config, r *RNG, opts ...Option) (*Result, error) {
+	return sim.RunAgents(rule, start, r, opts...)
+}
+
+// RunReplicas executes independent replicas in parallel with derived
+// deterministic random streams.
+func RunReplicas(factory Factory, start *Config, base *RNG, replicas, workers int, opts ...Option) ([]*Result, error) {
+	return sim.RunReplicas(factory, start, base, replicas, workers, opts...)
+}
+
+// RunOnGraph executes a per-node rule on an arbitrary interaction graph:
+// samples are uniform neighbors instead of uniform nodes. colors assigns
+// each vertex its initial color.
+func RunOnGraph(rule NodeRule, g Graph, colors []int, r *RNG, opts ...Option) (*Result, error) {
+	return sim.RunOnGraph(rule, g, colors, r, opts...)
+}
+
+// RunCluster executes a per-node rule as a real message-passing system
+// (one goroutine per node).
+func RunCluster(factory func() NodeRule, start *Config, seed uint64, maxRounds int) (*ClusterResult, error) {
+	return cluster.Run(factory, start, seed, maxRounds)
+}
+
+// RunWithAdversary executes a rule under per-round Byzantine corruption.
+func RunWithAdversary(rule Rule, adv Adversary, start *Config, r *RNG, epsilon float64, window, maxRounds int) (*AdversaryResult, error) {
+	return adversary.Run(rule, adv, start, r, epsilon, window, maxRounds)
+}
+
+// Run options.
+var (
+	// WithMaxRounds bounds the number of rounds.
+	WithMaxRounds = sim.WithMaxRounds
+	// WithTargetColors stops once at most k colors remain.
+	WithTargetColors = sim.WithTargetColors
+	// WithColorTimes records the paper's T^κ reduction times.
+	WithColorTimes = sim.WithColorTimes
+	// WithTrace samples a TracePoint every given number of rounds.
+	WithTrace = sim.WithTrace
+	// WithObserver invokes a callback after every round.
+	WithObserver = sim.WithObserver
+	// WithStopWhen stops on an arbitrary predicate.
+	WithStopWhen = sim.WithStopWhen
+	// WithCompactEvery tunes extinct-slot compaction.
+	WithCompactEvery = sim.WithCompactEvery
+)
+
+// Framework functions (paper §2).
+var (
+	// VerifyDominance checks Definition 2 on configuration pairs.
+	VerifyDominance = core.VerifyDominance
+	// ComparablePairs generates majorization-ordered test pairs.
+	ComparablePairs = core.ComparablePairs
+	// CheckStochasticMajorization tests the Lemma 1 coupling consequence.
+	CheckStochasticMajorization = core.CheckStochasticMajorization
+)
+
+// Graph constructors.
+var (
+	// NewCompleteGraph is the complete graph with self-loops (Uniform
+	// Pull).
+	NewCompleteGraph = graph.NewComplete
+	// NewRingGraph is the cycle graph.
+	NewRingGraph = graph.NewRing
+	// NewTorusGraph is the 2D torus.
+	NewTorusGraph = graph.NewTorus
+	// NewRandomRegularGraph samples a simple d-regular graph.
+	NewRandomRegularGraph = graph.NewRandomRegular
+)
+
+// Coalescence and duality (Lemma 4).
+var (
+	// NewCoalescence starts one walk per node of a graph.
+	NewCoalescence = coalesce.New
+	// NewDualityTable draws the shared randomness of the Lemma 4 coupling.
+	NewDualityTable = coalesce.NewTable
+)
+
+// Adversaries (§5).
+type (
+	// BoostRunnerUp feeds the second-place color from the leader.
+	BoostRunnerUp = adversary.BoostRunnerUp
+	// ReviveWeakest resurrects the weakest (possibly extinct) color.
+	ReviveWeakest = adversary.ReviveWeakest
+	// InjectInvalid corrupts nodes to a color no correct node ever held.
+	InjectInvalid = adversary.InjectInvalid
+	// RandomNoise corrupts random nodes to random live colors.
+	RandomNoise = adversary.RandomNoise
+)
+
+// Experiments returns the registered paper-reproduction experiments
+// (E1..E12), one per theorem/lemma/figure/numeric claim.
+func Experiments() []Experiment { return expt.Registry() }
+
+// ExperimentByID looks up a registered experiment.
+func ExperimentByID(id string) (Experiment, bool) { return expt.ByID(id) }
+
+// Experiment scales.
+const (
+	// QuickScale keeps the full suite in CI-sized time.
+	QuickScale = expt.Quick
+	// FullScale is the scale EXPERIMENTS.md reports.
+	FullScale = expt.Full
+)

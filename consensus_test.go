@@ -1,0 +1,137 @@
+package consensus_test
+
+import (
+	"testing"
+
+	consensus "github.com/ignorecomply/consensus"
+)
+
+// The facade tests exercise the whole public API end-to-end the way a
+// downstream user would.
+
+func TestQuickstartFlow(t *testing.T) {
+	r := consensus.NewRNG(1)
+	start := consensus.SingletonConfig(1000)
+	res, err := consensus.Run(consensus.NewThreeMajority(), start, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !res.Final.IsConsensus() {
+		t.Fatalf("3-majority quickstart failed: %+v", res)
+	}
+}
+
+func TestReplicaFlow(t *testing.T) {
+	base := consensus.NewRNG(2)
+	results, err := consensus.RunReplicas(
+		func() consensus.Rule { return consensus.NewVoter() },
+		consensus.BalancedConfig(500, 5), base, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results", len(results))
+	}
+}
+
+func TestFrameworkFlow(t *testing.T) {
+	r := consensus.NewRNG(3)
+	pairs := consensus.ComparablePairs(500, 8, 50, r)
+	if v := consensus.VerifyDominance(consensus.NewThreeMajority(), consensus.NewVoter(), pairs, 1e-9); v != nil {
+		t.Fatalf("Lemma 2 dominance violated via public API: %v", v)
+	}
+	checks, ok := consensus.CheckStochasticMajorization(
+		[]float64{0.7, 0.3, 0}, []float64{0.4, 0.3, 0.3}, 200, 300, r)
+	if !ok {
+		t.Fatalf("stochastic majorization failed: %+v", checks)
+	}
+}
+
+func TestDualityFlow(t *testing.T) {
+	r := consensus.NewRNG(4)
+	tb, err := consensus.NewDualityTable(consensus.NewCompleteGraph(40), 60, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch, err := tb.Verify(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatch != nil {
+		t.Fatalf("Lemma 4 mismatch via public API: %+v", mismatch)
+	}
+}
+
+func TestAdversaryFlow(t *testing.T) {
+	r := consensus.NewRNG(5)
+	res, err := consensus.RunWithAdversary(
+		consensus.NewThreeMajority(),
+		&consensus.BoostRunnerUp{F: 2},
+		consensus.BalancedConfig(2000, 4), r, 0.05, 20, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable || !res.WinnerValid {
+		t.Fatalf("adversary flow: stable=%v valid=%v", res.Stable, res.WinnerValid)
+	}
+}
+
+func TestClusterFlow(t *testing.T) {
+	res, err := consensus.RunCluster(
+		func() consensus.NodeRule { return consensus.NewVoter() },
+		consensus.BalancedConfig(40, 2), 6, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("cluster flow did not converge")
+	}
+	if res.Messages == 0 {
+		t.Fatal("no messages accounted")
+	}
+}
+
+func TestAgentsFlow(t *testing.T) {
+	r := consensus.NewRNG(7)
+	res, err := consensus.RunAgents(consensus.NewTwoChoices(),
+		consensus.TwoBlockConfig(100, 30), r, consensus.WithMaxRounds(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("agents flow did not converge")
+	}
+}
+
+func TestExperimentRegistryFlow(t *testing.T) {
+	exps := consensus.Experiments()
+	if len(exps) != 12 {
+		t.Fatalf("got %d experiments", len(exps))
+	}
+	e, ok := consensus.ExperimentByID("E7")
+	if !ok {
+		t.Fatal("E7 missing")
+	}
+	tbl, err := e.Run(consensus.ExperimentParams{Seed: 1, Scale: consensus.QuickScale, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("E7 produced no rows")
+	}
+}
+
+func TestColorTimesFlow(t *testing.T) {
+	r := consensus.NewRNG(8)
+	res, err := consensus.Run(consensus.NewVoter(), consensus.SingletonConfig(300), r,
+		consensus.WithColorTimes(50, 1), consensus.WithTrace(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColorTimes[50] > res.ColorTimes[1] {
+		t.Fatal("T^50 > T^1")
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace")
+	}
+}

@@ -1,0 +1,46 @@
+// Byzantine agreement: 3-Majority self-stabilizes against a dynamic
+// adversary that corrupts a bounded set of nodes every round (§5). The
+// system must reach — and hold — an almost-consensus on a *valid* color:
+// one that some correct node supported initially. The example sweeps the
+// adversary's per-round budget until stability breaks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	consensus "github.com/ignorecomply/consensus"
+)
+
+func main() {
+	const (
+		n       = 8192
+		k       = 8
+		epsilon = 0.05 // almost-consensus threshold: (1-ε)·n
+		window  = 25   // rounds the majority must hold
+	)
+	start := consensus.BalancedConfig(n, k)
+
+	fmt.Printf("3-Majority, n=%d, k=%d, adversary injects an invalid color each round\n\n", n, k)
+	for _, budget := range []int{0, 8, 64, 512, 2048} {
+		r := consensus.NewRNG(uint64(100 + budget))
+		adv := &consensus.InjectInvalid{F: budget}
+		res, err := consensus.RunWithAdversary(
+			consensus.NewThreeMajority(), adv, start, r, epsilon, window, 50*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "UNSTABLE (adversary wins)"
+		if res.Stable {
+			verdict = fmt.Sprintf("stable after %d rounds", res.Rounds)
+		}
+		validity := "valid"
+		if !res.WinnerValid {
+			validity = "INVALID"
+		}
+		fmt.Printf("  F=%5d: %-32s winner color %3d (%s), %6d corruptions applied\n",
+			budget, verdict, res.WinnerLabel, validity, res.Corrupted)
+	}
+	fmt.Println("\nvalidity: the winning color must have been supported initially by a")
+	fmt.Println("correct node — the injected color (label -2) must never win.")
+}

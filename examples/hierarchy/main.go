@@ -1,0 +1,64 @@
+// Hierarchy: Conjecture 1 says (h+1)-Majority is stochastically faster
+// than h-Majority. The paper proves h ∈ {1,2,3} (Voter ≡ 1-Majority ≡
+// 2-Majority ≼ 3-Majority, Lemma 2) and shows in Appendix B why its
+// framework cannot settle the rest — this example measures the conjecture
+// empirically, and reproduces the exact Appendix B obstruction via the
+// dominance checker.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	consensus "github.com/ignorecomply/consensus"
+)
+
+func main() {
+	const (
+		n        = 1024
+		replicas = 8
+		workers  = 4
+	)
+	base := consensus.NewRNG(99)
+	start := consensus.SingletonConfig(n)
+
+	fmt.Printf("h-Majority consensus times from %d colors (%d replicas):\n", n, replicas)
+	for h := 1; h <= 6; h++ {
+		h := h
+		results, err := consensus.RunReplicas(
+			func() consensus.Rule { return consensus.NewHMajority(h) },
+			start, base, replicas, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0
+		for _, res := range results {
+			total += res.Rounds
+		}
+		fmt.Printf("  h=%d: mean %7.1f rounds\n", h, float64(total)/replicas)
+	}
+
+	// The Appendix B obstruction: 4-Majority does not *dominate*
+	// 3-Majority in the Definition 2 sense, so Lemma 1 cannot prove the
+	// hierarchy even though the times above decrease.
+	high, err := consensus.NewConfig([]int{6, 6, 0, 0}) // x̃·12
+	if err != nil {
+		log.Fatal(err)
+	}
+	low, err := consensus.NewConfig([]int{6, 2, 2, 2}) // x·12
+	if err != nil {
+		log.Fatal(err)
+	}
+	fourMajority := consensus.NewHMajority(4)
+	alphaHigh, err := fourMajority.AlphaExact(high)
+	if err != nil {
+		log.Fatal(err)
+	}
+	threeMajority := consensus.NewThreeMajority()
+	alphaLow := threeMajority.Alpha(low, nil)
+	fmt.Println("\nAppendix B obstruction (exact process functions):")
+	fmt.Printf("  α^(4M)(1/2,1/2,0,0)     = %.4f (top entry 1/2)\n", alphaHigh)
+	fmt.Printf("  α^(3M)(1/2,1/6,1/6,1/6) = %.4f (top entry 7/12 ≈ 0.5833)\n", alphaLow)
+	fmt.Println("  7/12 > 1/2: the expected outcome of the *dominating* process fails to")
+	fmt.Println("  majorize the dominated one — majorization alone cannot order h vs h+1.")
+}

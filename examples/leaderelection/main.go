@@ -1,0 +1,54 @@
+// Leader election: every node starts as its own candidate (n distinct
+// colors) and the system must elect a single winner. This is the regime
+// where the paper separates the processes (Theorem 1): 3-Majority
+// ("comply" on a mismatch) finishes in Õ(n^{3/4}) rounds while 2-Choices
+// ("ignore" on a mismatch) needs almost linear time, despite both having
+// identical expected one-round behavior.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	consensus "github.com/ignorecomply/consensus"
+)
+
+func main() {
+	const (
+		n        = 4096
+		replicas = 5
+		workers  = 4
+	)
+	base := consensus.NewRNG(7)
+	start := consensus.SingletonConfig(n)
+
+	contenders := []struct {
+		name    string
+		factory consensus.Factory
+	}{
+		{name: "Voter", factory: func() consensus.Rule { return consensus.NewVoter() }},
+		{name: "2-Choices (ignore)", factory: func() consensus.Rule { return consensus.NewTwoChoices() }},
+		{name: "3-Majority (comply)", factory: func() consensus.Rule { return consensus.NewThreeMajority() }},
+	}
+
+	fmt.Printf("leader election among %d candidates (%d replicas each)\n\n", n, replicas)
+	var baseline float64
+	for _, c := range contenders {
+		results, err := consensus.RunReplicas(c.factory, start, base, replicas, workers,
+			consensus.WithMaxRounds(1000*n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0
+		for _, res := range results {
+			total += res.Rounds
+		}
+		mean := float64(total) / replicas
+		if baseline == 0 {
+			baseline = mean
+		}
+		fmt.Printf("  %-22s mean %8.1f rounds  (%.2fx Voter)\n", c.name, mean, mean/baseline)
+	}
+	fmt.Println("\n2-Choices ignores disagreeing samples and stalls with many candidates;")
+	fmt.Println("3-Majority complies with a random sample and breaks the symmetry fast.")
+}

@@ -1,0 +1,210 @@
+// Package adversary implements the dynamic worst-case fault model of the
+// paper's fault-tolerance discussion (§5 and [BCN+14, BCN+16, CER14,
+// EFK+16]): in every round, after the protocol's update, an adversary may
+// corrupt the state of a bounded set of nodes (set their opinions
+// arbitrarily, possibly to colors no correct node ever held).
+//
+// The goal in this model is not exact consensus — the adversary can always
+// keep a few nodes deviant — but a stable regime in which almost all nodes
+// support the same *valid* color, where a color is valid when it was
+// supported initially by at least one non-corrupted node.
+package adversary
+
+import (
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// Adversary corrupts up to its budget of nodes per round, mutating the
+// configuration in place while preserving Σ counts = n. Corrupt returns the
+// number of nodes actually corrupted this round.
+type Adversary interface {
+	// Name returns a short identifier for reports.
+	Name() string
+	// Budget returns the per-round corruption budget F.
+	Budget() int
+	// Corrupt applies one round of corruption to c.
+	Corrupt(c *config.Config, r *rng.RNG) int
+}
+
+// takeFrom removes up to want nodes from the plurality color, returning how
+// many were taken. The plurality donor maximizes the damage the adversary
+// does to the leading color.
+func takeFrom(c *config.Config, want int) (slot, taken int) {
+	slot, support := c.Max()
+	if slot < 0 || support <= 1 {
+		return -1, 0
+	}
+	taken = want
+	// Never annihilate the donor completely: the adversary's power is
+	// bounded by its budget, not by the process state.
+	if taken > support-1 {
+		taken = support - 1
+	}
+	counts := c.CountsView()
+	counts[slot] -= taken
+	return slot, taken
+}
+
+// BoostRunnerUp moves up to F nodes per round from the plurality color to
+// the second-place color, the classic strategy for stalling consensus by
+// keeping the race tight.
+type BoostRunnerUp struct {
+	F int
+}
+
+var _ Adversary = (*BoostRunnerUp)(nil)
+
+// Name implements Adversary.
+func (a *BoostRunnerUp) Name() string { return "boost-runner-up" }
+
+// Budget implements Adversary.
+func (a *BoostRunnerUp) Budget() int { return a.F }
+
+// Corrupt implements Adversary.
+func (a *BoostRunnerUp) Corrupt(c *config.Config, r *rng.RNG) int {
+	counts := c.CountsView()
+	leader, support := c.Max()
+	if leader < 0 {
+		return 0
+	}
+	// Find the runner-up (largest slot other than leader with support > 0,
+	// or any other slot if all others are extinct).
+	second := -1
+	secondSupport := -1
+	for s, v := range counts {
+		if s == leader {
+			continue
+		}
+		if v > secondSupport {
+			second, secondSupport = s, v
+		}
+	}
+	if second < 0 || support <= 1 {
+		return 0
+	}
+	taken := a.F
+	if taken > support-1 {
+		taken = support - 1
+	}
+	counts[leader] -= taken
+	counts[second] += taken
+	return taken
+}
+
+// ReviveWeakest moves up to F nodes per round from the plurality color to
+// the lowest-support color slot (reviving extinct valid colors first),
+// attacking the process's color-elimination progress.
+type ReviveWeakest struct {
+	F int
+}
+
+var _ Adversary = (*ReviveWeakest)(nil)
+
+// Name implements Adversary.
+func (a *ReviveWeakest) Name() string { return "revive-weakest" }
+
+// Budget implements Adversary.
+func (a *ReviveWeakest) Budget() int { return a.F }
+
+// Corrupt implements Adversary.
+func (a *ReviveWeakest) Corrupt(c *config.Config, r *rng.RNG) int {
+	counts := c.CountsView()
+	leader, _ := c.Max()
+	weakest := -1
+	weakestSupport := -1
+	for s, v := range counts {
+		if s == leader {
+			continue
+		}
+		if weakest < 0 || v < weakestSupport {
+			weakest, weakestSupport = s, v
+		}
+	}
+	if weakest < 0 {
+		return 0
+	}
+	_, taken := takeFrom(c, a.F)
+	counts[weakest] += taken
+	return taken
+}
+
+// InjectInvalid corrupts up to F nodes per round to a fresh color that no
+// correct node ever supported (labels descending from -2), testing that the
+// protocol does not converge to an invalid color (Byzantine validity).
+type InjectInvalid struct {
+	F int
+
+	nextLabel int
+	slot      int // slot of the injected color in the current config
+	prepared  bool
+}
+
+var _ Adversary = (*InjectInvalid)(nil)
+
+// Name implements Adversary.
+func (a *InjectInvalid) Name() string { return "inject-invalid" }
+
+// Budget implements Adversary.
+func (a *InjectInvalid) Budget() int { return a.F }
+
+// Corrupt implements Adversary.
+func (a *InjectInvalid) Corrupt(c *config.Config, r *rng.RNG) int {
+	if !a.prepared {
+		if a.nextLabel == 0 {
+			a.nextLabel = -2 // -1 is reserved for the undecided state
+		}
+		counts := append(c.CountsCopy(), 0)
+		labels := append(c.LabelsCopy(), a.nextLabel)
+		rebuilt, err := config.NewLabeled(counts, labels)
+		if err != nil {
+			panic("adversary: InjectInvalid: " + err.Error())
+		}
+		*c = *rebuilt
+		a.slot = len(counts) - 1
+		a.prepared = true
+	}
+	counts := c.CountsView()
+	_, taken := takeFrom(c, a.F)
+	counts[a.slot] += taken
+	return taken
+}
+
+// RandomNoise corrupts up to F random nodes per round to uniformly random
+// live colors — an unbiased fault model rather than a worst case.
+type RandomNoise struct {
+	F int
+}
+
+var _ Adversary = (*RandomNoise)(nil)
+
+// Name implements Adversary.
+func (a *RandomNoise) Name() string { return "random-noise" }
+
+// Budget implements Adversary.
+func (a *RandomNoise) Budget() int { return a.F }
+
+// Corrupt implements Adversary.
+func (a *RandomNoise) Corrupt(c *config.Config, r *rng.RNG) int {
+	counts := c.CountsView()
+	n := c.N()
+	corrupted := 0
+	for i := 0; i < a.F; i++ {
+		// Pick a uniform node (by color group) and a uniform live target.
+		from := r.CategoricalCounts(counts, n)
+		live := make([]int, 0, len(counts))
+		for s, v := range counts {
+			if v > 0 || s == from {
+				live = append(live, s)
+			}
+		}
+		to := live[r.IntN(len(live))]
+		if to == from {
+			continue
+		}
+		counts[from]--
+		counts[to]++
+		corrupted++
+	}
+	return corrupted
+}

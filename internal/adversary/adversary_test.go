@@ -1,0 +1,218 @@
+package adversary
+
+import (
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/rng"
+	"github.com/ignorecomply/consensus/internal/rules"
+)
+
+func allAdversaries(f int) []Adversary {
+	return []Adversary{
+		&BoostRunnerUp{F: f},
+		&ReviveWeakest{F: f},
+		&InjectInvalid{F: f},
+		&RandomNoise{F: f},
+	}
+}
+
+func TestAdversariesPreserveInvariant(t *testing.T) {
+	r := rng.New(121)
+	for _, adv := range allAdversaries(5) {
+		t.Run(adv.Name(), func(t *testing.T) {
+			c := config.Balanced(200, 4)
+			for round := 0; round < 20; round++ {
+				adv.Corrupt(c, r)
+				if err := c.CheckInvariant(); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+		})
+	}
+}
+
+func TestAdversaryBudgets(t *testing.T) {
+	for _, adv := range allAdversaries(7) {
+		if adv.Budget() != 7 {
+			t.Errorf("%s Budget = %d, want 7", adv.Name(), adv.Budget())
+		}
+	}
+}
+
+func TestBoostRunnerUpShrinksBias(t *testing.T) {
+	r := rng.New(122)
+	c, err := config.New([]int{80, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &BoostRunnerUp{F: 10}
+	before := c.Bias()
+	adv.Corrupt(c, r)
+	after := c.Bias()
+	if after >= before {
+		t.Fatalf("bias did not shrink: %d -> %d", before, after)
+	}
+	if c.Count(0) != 70 || c.Count(1) != 30 {
+		t.Fatalf("counts = %v", c.CountsCopy())
+	}
+}
+
+func TestBoostRunnerUpRespectsBudgetLimit(t *testing.T) {
+	r := rng.New(123)
+	c, err := config.New([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &BoostRunnerUp{F: 100}
+	taken := adv.Corrupt(c, r)
+	if taken != 2 {
+		t.Fatalf("taken = %d, want 2 (leader must keep one node)", taken)
+	}
+}
+
+func TestReviveWeakestResurrectsExtinct(t *testing.T) {
+	r := rng.New(124)
+	c, err := config.New([]int{90, 0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &ReviveWeakest{F: 4}
+	adv.Corrupt(c, r)
+	if c.Count(1) != 4 {
+		t.Fatalf("extinct color not revived: %v", c.CountsCopy())
+	}
+}
+
+func TestInjectInvalidAddsNewLabel(t *testing.T) {
+	r := rng.New(125)
+	c := config.Balanced(100, 3)
+	adv := &InjectInvalid{F: 6}
+	adv.Corrupt(c, r)
+	if c.Slots() != 4 {
+		t.Fatalf("slots = %d, want 4", c.Slots())
+	}
+	last := c.Slots() - 1
+	if c.Label(last) != -2 {
+		t.Fatalf("injected label = %d, want -2", c.Label(last))
+	}
+	if c.Count(last) != 6 {
+		t.Fatalf("injected support = %d, want 6", c.Count(last))
+	}
+	// Second corruption reuses the slot.
+	adv.Corrupt(c, r)
+	if c.Slots() != 4 {
+		t.Fatalf("slots grew on second corruption: %d", c.Slots())
+	}
+	if err := c.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomNoiseBounded(t *testing.T) {
+	r := rng.New(126)
+	c := config.Balanced(1000, 5)
+	adv := &RandomNoise{F: 17}
+	got := adv.Corrupt(c, r)
+	if got > 17 {
+		t.Fatalf("corrupted %d > budget", got)
+	}
+	if err := c.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunThreeMajorityBeatsSmallAdversary: with k = o(n^{1/3}) colors and
+// a small budget, 3-Majority reaches a stable almost-consensus on a valid
+// color (the §5 regime).
+func TestRunThreeMajorityBeatsSmallAdversary(t *testing.T) {
+	r := rng.New(127)
+	start := config.Balanced(3000, 4)
+	for _, adv := range allAdversaries(3) {
+		t.Run(adv.Name(), func(t *testing.T) {
+			res, err := Run(rules.NewThreeMajority(), adv, start, r, 0.05, 30, 200000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Stable {
+				t.Fatalf("no stable almost-consensus against %s", adv.Name())
+			}
+			if !res.WinnerValid {
+				t.Fatalf("winner %d is not a valid color", res.WinnerLabel)
+			}
+		})
+	}
+}
+
+// TestRunOverwhelmingAdversaryPreventsStability: an adversary with budget
+// close to n can hold the system away from almost-consensus indefinitely.
+func TestRunOverwhelmingAdversaryPreventsStability(t *testing.T) {
+	r := rng.New(128)
+	start := config.TwoBlock(200, 100)
+	adv := &BoostRunnerUp{F: 80}
+	res, err := Run(rules.NewThreeMajority(), adv, start, r, 0.05, 20, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stable {
+		t.Fatal("a budget-80 adversary on n=200 should prevent stability")
+	}
+	if res.Rounds != 2000 {
+		t.Fatalf("Rounds = %d, want full budget", res.Rounds)
+	}
+}
+
+func TestRunValidityBookkeeping(t *testing.T) {
+	r := rng.New(129)
+	start := config.Balanced(500, 3)
+	res, err := Run(rules.NewThreeMajority(), &InjectInvalid{F: 2}, start, r, 0.05, 20, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatal("expected stability against a tiny invalid-injection adversary")
+	}
+	if res.WinnerLabel == -2 || !res.WinnerValid {
+		t.Fatalf("converged to the invalid color: label %d", res.WinnerLabel)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	r := rng.New(130)
+	start := config.Balanced(100, 2)
+	adv := &RandomNoise{F: 1}
+	rule := rules.NewVoter()
+	if _, err := Run(nil, adv, start, r, 0.1, 5, 100); err == nil {
+		t.Error("expected error: nil rule")
+	}
+	if _, err := Run(rule, nil, start, r, 0.1, 5, 100); err == nil {
+		t.Error("expected error: nil adversary")
+	}
+	if _, err := Run(rule, adv, start, r, 0, 5, 100); err == nil {
+		t.Error("expected error: epsilon = 0")
+	}
+	if _, err := Run(rule, adv, start, r, 1.5, 5, 100); err == nil {
+		t.Error("expected error: epsilon > 1")
+	}
+	if _, err := Run(rule, adv, start, r, 0.1, 0, 100); err == nil {
+		t.Error("expected error: zero window")
+	}
+	if _, err := Run(rule, adv, start, r, 0.1, 5, 0); err == nil {
+		t.Error("expected error: zero budget")
+	}
+}
+
+func TestRunDoesNotMutateStart(t *testing.T) {
+	r := rng.New(131)
+	start := config.Balanced(100, 2)
+	before := start.CountsCopy()
+	if _, err := Run(rules.NewVoter(), &RandomNoise{F: 1}, start, r, 0.1, 5, 1000); err != nil {
+		t.Fatal(err)
+	}
+	after := start.CountsCopy()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Run mutated start")
+		}
+	}
+}

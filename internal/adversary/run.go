@@ -1,0 +1,99 @@
+package adversary
+
+import (
+	"errors"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// Result reports a run under adversarial corruption.
+type Result struct {
+	// Rounds executed in total.
+	Rounds int
+	// AlmostConsensusRound is the first round at the end of which some
+	// color held at least (1-epsilon)·n nodes, or -1 if never.
+	AlmostConsensusRound int
+	// Stable reports whether, from AlmostConsensusRound on, the same color
+	// kept >= (1-epsilon)·n support for the required window.
+	Stable bool
+	// WinnerLabel is the label of the almost-consensus color (or of the
+	// final plurality when almost-consensus was never reached).
+	WinnerLabel int
+	// WinnerValid reports whether the winner was a valid color: one
+	// supported in the initial configuration (Byzantine validity).
+	WinnerValid bool
+	// Corrupted is the total number of node corruptions applied.
+	Corrupted int
+	// Final is the final configuration.
+	Final *config.Config
+}
+
+// Run executes rule under adv: every round is one protocol step followed by
+// one adversarial corruption. The run ends when some color has held at
+// least (1-epsilon)·n nodes for `window` consecutive rounds (Stable), or
+// when maxRounds is exhausted.
+//
+// Validity bookkeeping: the valid labels are those of start's
+// positive-support slots; an adversary may inject colors outside that set
+// (e.g. InjectInvalid) and the result records whether the winner is valid.
+func Run(rule core.Rule, adv Adversary, start *config.Config, r *rng.RNG, epsilon float64, window, maxRounds int) (*Result, error) {
+	if rule == nil || adv == nil || start == nil || r == nil {
+		return nil, errors.New("adversary: rule, adversary, start and rng must be non-nil")
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		return nil, errors.New("adversary: epsilon must be in (0, 1)")
+	}
+	if window < 1 || maxRounds < 1 {
+		return nil, errors.New("adversary: window and maxRounds must be >= 1")
+	}
+
+	valid := make(map[int]struct{})
+	for s := 0; s < start.Slots(); s++ {
+		if start.Count(s) > 0 {
+			valid[start.Label(s)] = struct{}{}
+		}
+	}
+
+	c := start.Clone()
+	threshold := int((1 - epsilon) * float64(c.N()))
+	res := &Result{AlmostConsensusRound: -1}
+	streakLabel := -1
+	streak := 0
+
+	for round := 1; round <= maxRounds; round++ {
+		rule.Step(c, r)
+		res.Corrupted += adv.Corrupt(c, r)
+		res.Rounds = round
+
+		slot, support := c.Max()
+		label := c.Label(slot)
+		if support >= threshold {
+			if label == streakLabel {
+				streak++
+			} else {
+				streakLabel = label
+				streak = 1
+			}
+			if res.AlmostConsensusRound < 0 {
+				res.AlmostConsensusRound = round
+			}
+			if streak >= window {
+				res.Stable = true
+				res.WinnerLabel = label
+				_, res.WinnerValid = valid[label]
+				res.Final = c
+				return res, nil
+			}
+		} else {
+			streakLabel = -1
+			streak = 0
+		}
+	}
+	slot, _ := c.Max()
+	res.WinnerLabel = c.Label(slot)
+	_, res.WinnerValid = valid[res.WinnerLabel]
+	res.Final = c
+	return res, nil
+}

@@ -1,0 +1,61 @@
+package analytic
+
+import (
+	"math/big"
+
+	"github.com/ignorecomply/consensus/internal/majorize"
+)
+
+// Counterexample holds the Appendix B computation showing that Lemma 1 is
+// not strong enough to prove Conjecture 1 (the h-Majority hierarchy).
+//
+// The configurations are x = (1/2, 1/6, 1/6, 1/6) and x̃ = (1/2, 1/2, 0, 0)
+// with x̃ ≻ x. If (h+1)-Majority dominated h-Majority (Definition 2), then
+// α^((h+1)M)(x̃) would have to majorize α^(3M)(x). But by symmetry
+// α^(4M)(x̃) = x̃ = (1/2, 1/2, 0, 0), while the exact 3-Majority expected
+// fraction for color 1 on x is 7/12 (Eq. 24) — and 7/12 > 1/2, so the
+// top-1 partial sum already fails.
+type Counterexample struct {
+	X      []*big.Rat // x = (1/2, 1/6, 1/6, 1/6)
+	XTilde []*big.Rat // x̃ = (1/2, 1/2, 0, 0)
+
+	Alpha3M []*big.Rat // exact α^(3M)(x); Alpha3M[0] = 7/12
+	Alpha4M []*big.Rat // exact α^(4M)(x̃) = x̃
+
+	// XTildeMajorizesX confirms the premise x̃ ≻ x.
+	XTildeMajorizesX bool
+	// DominanceHolds is the (false) conclusion α^(4M)(x̃) ≻ α^(3M)(x).
+	DominanceHolds bool
+}
+
+// AppendixB computes the counterexample in exact rational arithmetic.
+func AppendixB() (*Counterexample, error) {
+	ce := &Counterexample{
+		X: []*big.Rat{
+			big.NewRat(1, 2), big.NewRat(1, 6), big.NewRat(1, 6), big.NewRat(1, 6),
+		},
+		XTilde: []*big.Rat{
+			big.NewRat(1, 2), big.NewRat(1, 2), new(big.Rat), new(big.Rat),
+		},
+	}
+	var err error
+	ce.Alpha3M, err = HMajorityAlphaRat(ce.X, 3)
+	if err != nil {
+		return nil, err
+	}
+	ce.Alpha4M, err = HMajorityAlphaRat(ce.XTilde, 4)
+	if err != nil {
+		return nil, err
+	}
+	ce.XTildeMajorizesX = majorize.Floats(ratsToFloats(ce.XTilde), ratsToFloats(ce.X), 1e-12)
+	ce.DominanceHolds = majorize.Floats(ratsToFloats(ce.Alpha4M), ratsToFloats(ce.Alpha3M), 1e-12)
+	return ce, nil
+}
+
+func ratsToFloats(rs []*big.Rat) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i], _ = r.Float64()
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// The h-Majority process function has no closed form for general h, but for
+// moderate h and support size it can be computed exactly by enumerating all
+// sample-count outcomes: drawing h samples from the color distribution x
+// yields a count vector m ~ Mult(h, x); the rule adopts the unique plurality
+// color, breaking ties uniformly among the tied plurality colors (for h = 3
+// this is exactly the paper's 3-Majority, and h = 1, 2 reduce to Voter).
+//
+// The enumeration has C(h+s-1, s-1) terms for support size s; callers get an
+// explicit error when that exceeds maxEnumerationTerms.
+
+const maxEnumerationTerms = 2_000_000
+
+// HMajorityAlpha computes the exact h-Majority process function for the
+// fraction vector x by enumeration. Zero entries of x stay zero. It returns
+// an error for h < 1 or when the enumeration would be too large.
+func HMajorityAlpha(x []float64, h int) ([]float64, error) {
+	if h < 1 {
+		return nil, errors.New("analytic: h must be >= 1")
+	}
+	support := make([]int, 0, len(x))
+	for i, v := range x {
+		if v > 0 {
+			support = append(support, i)
+		}
+	}
+	s := len(support)
+	if s == 0 {
+		return nil, errors.New("analytic: empty support")
+	}
+	if terms := compositionsCount(h, s); terms < 0 || terms > maxEnumerationTerms {
+		return nil, fmt.Errorf("analytic: enumeration too large (h=%d, support=%d)", h, s)
+	}
+	out := make([]float64, len(x))
+	counts := make([]int, s)
+	// lgamma-free multinomial via factorials up to h.
+	fact := make([]float64, h+1)
+	fact[0] = 1
+	for i := 1; i <= h; i++ {
+		fact[i] = fact[i-1] * float64(i)
+	}
+	var rec func(idx, left int, prob float64)
+	rec = func(idx, left int, prob float64) {
+		if idx == s-1 {
+			counts[idx] = left
+			p := prob * math.Pow(x[support[idx]], float64(left)) / fact[left]
+			contribute(out, support, counts, p*fact[h])
+			return
+		}
+		for m := 0; m <= left; m++ {
+			counts[idx] = m
+			p := prob * math.Pow(x[support[idx]], float64(m)) / fact[m]
+			rec(idx+1, left-m, p)
+		}
+	}
+	rec(0, h, 1)
+	return out, nil
+}
+
+// contribute adds probability p of the outcome counts to the plurality
+// winner(s), splitting ties uniformly.
+func contribute(out []float64, support, counts []int, p float64) {
+	maxCount := 0
+	ties := 0
+	for _, m := range counts {
+		if m > maxCount {
+			maxCount = m
+			ties = 1
+		} else if m == maxCount {
+			ties++
+		}
+	}
+	if maxCount == 0 {
+		return
+	}
+	share := p / float64(ties)
+	for j, m := range counts {
+		if m == maxCount {
+			out[support[j]] += share
+		}
+	}
+}
+
+// HMajorityAlphaRat computes the exact h-Majority process function in
+// rational arithmetic, for the Appendix B counterexample and other exact
+// verifications. x entries must be non-negative and sum to 1 exactly.
+func HMajorityAlphaRat(x []*big.Rat, h int) ([]*big.Rat, error) {
+	if h < 1 {
+		return nil, errors.New("analytic: h must be >= 1")
+	}
+	sum := new(big.Rat)
+	support := make([]int, 0, len(x))
+	for i, v := range x {
+		if v.Sign() < 0 {
+			return nil, errors.New("analytic: negative probability")
+		}
+		if v.Sign() > 0 {
+			support = append(support, i)
+		}
+		sum.Add(sum, v)
+	}
+	if sum.Cmp(big.NewRat(1, 1)) != 0 {
+		return nil, errors.New("analytic: probabilities must sum to exactly 1")
+	}
+	s := len(support)
+	if s == 0 {
+		return nil, errors.New("analytic: empty support")
+	}
+	if terms := compositionsCount(h, s); terms < 0 || terms > maxEnumerationTerms {
+		return nil, fmt.Errorf("analytic: enumeration too large (h=%d, support=%d)", h, s)
+	}
+	out := make([]*big.Rat, len(x))
+	for i := range out {
+		out[i] = new(big.Rat)
+	}
+	counts := make([]int, s)
+	factH := new(big.Int).MulRange(1, int64(h))
+	var rec func(idx, left int, prob *big.Rat)
+	rec = func(idx, left int, prob *big.Rat) {
+		if idx == s-1 {
+			counts[idx] = left
+			p := new(big.Rat).Set(prob)
+			p.Mul(p, ratPow(x[support[idx]], left))
+			p.Quo(p, ratFromInt(factorialInt(left)))
+			p.Mul(p, ratFromInt(factH))
+			contributeRat(out, support, counts, p)
+			return
+		}
+		for m := 0; m <= left; m++ {
+			counts[idx] = m
+			p := new(big.Rat).Set(prob)
+			p.Mul(p, ratPow(x[support[idx]], m))
+			p.Quo(p, ratFromInt(factorialInt(m)))
+			rec(idx+1, left-m, p)
+		}
+	}
+	rec(0, h, big.NewRat(1, 1))
+	return out, nil
+}
+
+func contributeRat(out []*big.Rat, support, counts []int, p *big.Rat) {
+	maxCount := 0
+	ties := 0
+	for _, m := range counts {
+		if m > maxCount {
+			maxCount = m
+			ties = 1
+		} else if m == maxCount {
+			ties++
+		}
+	}
+	if maxCount == 0 {
+		return
+	}
+	share := new(big.Rat).Quo(p, big.NewRat(int64(ties), 1))
+	for j, m := range counts {
+		if m == maxCount {
+			out[support[j]].Add(out[support[j]], share)
+		}
+	}
+}
+
+// compositionsCount returns C(h+s-1, s-1), or -1 on overflow.
+func compositionsCount(h, s int) int {
+	v := big.NewInt(1)
+	v.Binomial(int64(h+s-1), int64(s-1))
+	if !v.IsInt64() || v.Int64() > math.MaxInt32 {
+		return -1
+	}
+	return int(v.Int64())
+}
+
+func ratPow(x *big.Rat, m int) *big.Rat {
+	out := big.NewRat(1, 1)
+	for i := 0; i < m; i++ {
+		out.Mul(out, x)
+	}
+	return out
+}
+
+func ratFromInt(i *big.Int) *big.Rat {
+	return new(big.Rat).SetInt(i)
+}
+
+func factorialInt(m int) *big.Int {
+	return new(big.Int).MulRange(1, int64(m))
+}

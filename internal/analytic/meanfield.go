@@ -1,0 +1,68 @@
+package analytic
+
+import "errors"
+
+// Mean-field (deterministic expectation) dynamics: iterating the process
+// function x_{t+1} = α(x_t) gives the n → ∞ trajectory of an AC-process.
+// The paper's drift intuitions live here: under Eq. 2 a configuration with
+// any spread strictly amplifies its leaders, consensus points are the only
+// stable fixed points, and the uniform k-color configuration is an
+// *unstable* fixed point — which is why finite-n noise (not expectation)
+// does all the symmetry-breaking work and why 2-Choices, sharing the same
+// expectation, can still be slow (§1.2).
+
+// MeanFieldTrajectory iterates x_{t+1} = alpha(x_t) for the given number
+// of rounds and returns the trajectory including x_0 (rounds+1 vectors).
+// alpha must map a probability vector to a probability vector of the same
+// length.
+func MeanFieldTrajectory(alpha func(x, out []float64) []float64, x0 []float64, rounds int) ([][]float64, error) {
+	if alpha == nil {
+		return nil, errors.New("analytic: nil process function")
+	}
+	if rounds < 0 {
+		return nil, errors.New("analytic: negative round count")
+	}
+	traj := make([][]float64, 0, rounds+1)
+	cur := append([]float64(nil), x0...)
+	traj = append(traj, append([]float64(nil), cur...))
+	for t := 0; t < rounds; t++ {
+		next := alpha(cur, nil)
+		if len(next) != len(cur) {
+			return nil, errors.New("analytic: process function changed dimension")
+		}
+		cur = next
+		traj = append(traj, append([]float64(nil), cur...))
+	}
+	return traj, nil
+}
+
+// ThreeMajorityMeanField iterates the Eq. 2 expectation dynamics.
+func ThreeMajorityMeanField(x0 []float64, rounds int) ([][]float64, error) {
+	return MeanFieldTrajectory(func(x, out []float64) []float64 {
+		return ThreeMajorityAlpha(x, out)
+	}, x0, rounds)
+}
+
+// MeanFieldRoundsToDominance returns the first round at which the leading
+// coordinate of the Eq. 2 mean-field trajectory exceeds the threshold, or
+// -1 if it does not within maxRounds. Useful as the deterministic skeleton
+// of biased-regime consensus times (E8).
+func MeanFieldRoundsToDominance(x0 []float64, threshold float64, maxRounds int) (int, error) {
+	if threshold <= 0 || threshold > 1 {
+		return 0, errors.New("analytic: threshold must be in (0, 1]")
+	}
+	cur := append([]float64(nil), x0...)
+	for t := 0; t <= maxRounds; t++ {
+		maxX := 0.0
+		for _, v := range cur {
+			if v > maxX {
+				maxX = v
+			}
+		}
+		if maxX >= threshold {
+			return t, nil
+		}
+		cur = ThreeMajorityAlpha(cur, nil)
+	}
+	return -1, nil
+}

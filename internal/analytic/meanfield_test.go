@@ -1,0 +1,112 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanFieldConsensusFixedPoint(t *testing.T) {
+	traj, err := ThreeMajorityMeanField([]float64{1, 0, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := traj[len(traj)-1]
+	if last[0] != 1 || last[1] != 0 {
+		t.Fatalf("consensus is not a fixed point: %v", last)
+	}
+}
+
+func TestMeanFieldUniformIsFixedPoint(t *testing.T) {
+	// The uniform k-color configuration is a fixed point of Eq. 2 (it is
+	// unstable, but the expectation alone never leaves it — the paper's
+	// point that noise does the symmetry breaking).
+	x0 := []float64{0.25, 0.25, 0.25, 0.25}
+	traj, err := ThreeMajorityMeanField(x0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := traj[len(traj)-1]
+	for i, v := range last {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("uniform drifted at %d: %v", i, last)
+		}
+	}
+}
+
+func TestMeanFieldBiasAmplifies(t *testing.T) {
+	// Any initial bias is amplified monotonically toward consensus.
+	traj, err := ThreeMajorityMeanField([]float64{0.6, 0.4}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := traj[0][0]
+	for _, x := range traj[1:] {
+		if x[0] < prev-1e-12 {
+			t.Fatalf("leader fraction decreased: %v -> %v", prev, x[0])
+		}
+		prev = x[0]
+	}
+	if traj[len(traj)-1][0] < 0.999 {
+		t.Fatalf("mean field did not converge: leader at %v", traj[len(traj)-1][0])
+	}
+}
+
+func TestMeanFieldStaysProbabilityVector(t *testing.T) {
+	traj, err := ThreeMajorityMeanField([]float64{0.5, 0.3, 0.15, 0.05}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, x := range traj {
+		sum := 0.0
+		for _, v := range x {
+			if v < -1e-12 {
+				t.Fatalf("round %d: negative mass %v", ti, x)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("round %d: mass %v != 1", ti, sum)
+		}
+	}
+}
+
+func TestMeanFieldErrors(t *testing.T) {
+	if _, err := MeanFieldTrajectory(nil, []float64{1}, 3); err == nil {
+		t.Error("expected error: nil alpha")
+	}
+	if _, err := ThreeMajorityMeanField([]float64{1}, -1); err == nil {
+		t.Error("expected error: negative rounds")
+	}
+	bad := func(x, out []float64) []float64 { return []float64{1, 0} }
+	if _, err := MeanFieldTrajectory(bad, []float64{1}, 1); err == nil {
+		t.Error("expected error: dimension change")
+	}
+}
+
+func TestMeanFieldRoundsToDominance(t *testing.T) {
+	// From 60/40, the Eq. 2 dynamics reach 99% quickly.
+	rounds, err := MeanFieldRoundsToDominance([]float64{0.6, 0.4}, 0.99, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds <= 0 || rounds > 60 {
+		t.Fatalf("rounds to 99%% = %d, want small positive", rounds)
+	}
+	// Uniform never leaves the fixed point.
+	stuck, err := MeanFieldRoundsToDominance([]float64{0.5, 0.5}, 0.99, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stuck != -1 {
+		t.Fatalf("uniform should never dominate, got %d", stuck)
+	}
+}
+
+func TestMeanFieldRoundsToDominanceErrors(t *testing.T) {
+	if _, err := MeanFieldRoundsToDominance([]float64{1}, 0, 10); err == nil {
+		t.Error("expected error: zero threshold")
+	}
+	if _, err := MeanFieldRoundsToDominance([]float64{1}, 1.5, 10); err == nil {
+		t.Error("expected error: threshold > 1")
+	}
+}

@@ -1,0 +1,225 @@
+// Package cluster runs a consensus process as an actual distributed system
+// in miniature: one goroutine per node, real pull-request/response message
+// passing over channels, and synchronous rounds enforced by barriers — the
+// Uniform Pull model of the paper (§2.1) realized with Go's concurrency
+// primitives rather than batch sampling.
+//
+// Every message carries exactly one color identifier, respecting the
+// model's O(log k) message-size constraint; the runtime counts messages so
+// experiments can report communication cost. The cluster engine is
+// statistically cross-validated against the exact batch laws in tests.
+//
+// Scheduling nondeterminism permutes the order in which a node's sampled
+// colors arrive, so — unlike the sequential engines — cluster runs are not
+// bit-reproducible from a seed. All implemented rules are exchangeable in
+// their samples, so the process distribution is unaffected.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// maxNodes bounds the goroutine count; beyond this the batch engines are
+// the right tool.
+const maxNodes = 100_000
+
+// Result describes a completed cluster run.
+type Result struct {
+	// Rounds executed.
+	Rounds int
+	// Converged reports whether consensus was reached within the budget.
+	Converged bool
+	// Final is the final configuration.
+	Final *config.Config
+	// WinnerLabel is the plurality color's label at the end.
+	WinnerLabel int
+	// Messages is the total number of protocol messages (requests and
+	// responses) exchanged.
+	Messages int64
+	// BitsPerMessage is the size of one message payload: a color
+	// identifier, ⌈log₂(slots)⌉ bits (the model's O(log k) constraint).
+	BitsPerMessage int
+}
+
+// pullReq is a pull request: the receiver answers with its current color on
+// the reply channel.
+type pullReq struct {
+	reply chan int
+}
+
+// Run executes the node rule produced by factory on start's population.
+// factory is called once per node so that each goroutine owns its rule's
+// scratch state. The run stops at consensus or after maxRounds.
+func Run(factory func() core.NodeRule, start *config.Config, seed uint64, maxRounds int) (*Result, error) {
+	if factory == nil || start == nil {
+		return nil, errors.New("cluster: factory and start must be non-nil")
+	}
+	if maxRounds < 1 {
+		return nil, errors.New("cluster: maxRounds must be >= 1")
+	}
+	n := start.N()
+	if n > maxNodes {
+		return nil, fmt.Errorf("cluster: n = %d exceeds the %d-node goroutine budget", n, maxNodes)
+	}
+	if start.IsConsensus() {
+		final := start.Clone()
+		slot, _ := final.Max()
+		return &Result{
+			Converged:      true,
+			Final:          final,
+			WinnerLabel:    final.Label(slot),
+			BitsPerMessage: bitsFor(start.Slots()),
+		}, nil
+	}
+
+	colors := start.Nodes() // colors[i] = slot of node i, stable within a round
+	next := make([]int, n)
+	base := rng.New(seed)
+
+	var (
+		messages  atomic.Int64
+		gatherWG  sync.WaitGroup
+		appliedWG sync.WaitGroup
+	)
+	inboxes := make([]chan pullReq, n)
+	ctrls := make([]chan struct{}, n)
+	applies := make([]chan struct{}, n)
+	stop := make(chan struct{})
+	var nodesWG sync.WaitGroup
+
+	for i := 0; i < n; i++ {
+		inboxes[i] = make(chan pullReq)
+		ctrls[i] = make(chan struct{}, 1)
+		applies[i] = make(chan struct{}, 1)
+	}
+
+	for i := 0; i < n; i++ {
+		i := i
+		rule := factory()
+		nodeRNG := base.Derive(uint64(i))
+		nodesWG.Add(1)
+		go func() {
+			defer nodesWG.Done()
+			h := rule.Samples()
+			samples := make([]int, h)
+			replyCh := make(chan int, h)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ctrls[i]:
+				}
+				own := colors[i]
+				// Fire the pull requests; each sender goroutine blocks
+				// until the target serves it.
+				for j := 0; j < h; j++ {
+					target := nodeRNG.IntN(n)
+					req := pullReq{reply: replyCh}
+					go func(t int) {
+						inboxes[t] <- req
+						messages.Add(2) // request + response
+					}(target)
+				}
+				// Serve incoming requests while collecting our replies.
+				received := 0
+				for received < h {
+					select {
+					case req := <-inboxes[i]:
+						req.reply <- own
+					case c := <-replyCh:
+						samples[received] = c
+						received++
+					}
+				}
+				gatherWG.Done()
+				// Keep serving until the coordinator ends the gather phase
+				// (other nodes may still be waiting on us).
+			serve:
+				for {
+					select {
+					case req := <-inboxes[i]:
+						req.reply <- own
+					case <-applies[i]:
+						break serve
+					}
+				}
+				next[i] = rule.Update(own, samples, nodeRNG)
+				appliedWG.Done()
+			}
+		}()
+	}
+
+	res := &Result{BitsPerMessage: bitsFor(start.Slots())}
+	counts := make([]int, start.Slots())
+	defer func() {
+		close(stop)
+		nodesWG.Wait()
+	}()
+
+	for round := 1; round <= maxRounds; round++ {
+		gatherWG.Add(n)
+		appliedWG.Add(n)
+		for i := 0; i < n; i++ {
+			ctrls[i] <- struct{}{}
+		}
+		gatherWG.Wait() // all nodes hold their samples; no requests in flight
+		for i := 0; i < n; i++ {
+			applies[i] <- struct{}{}
+		}
+		appliedWG.Wait()
+		copy(colors, next)
+		res.Rounds = round
+
+		for s := range counts {
+			counts[s] = 0
+		}
+		for _, c := range colors {
+			counts[c]++
+		}
+		if remaining(counts) == 1 {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Messages = messages.Load()
+	final, err := rebuild(counts, start)
+	if err != nil {
+		return nil, err
+	}
+	res.Final = final
+	slot, _ := final.Max()
+	res.WinnerLabel = final.Label(slot)
+	return res, nil
+}
+
+func remaining(counts []int) int {
+	k := 0
+	for _, v := range counts {
+		if v > 0 {
+			k++
+		}
+	}
+	return k
+}
+
+func rebuild(counts []int, start *config.Config) (*config.Config, error) {
+	return config.NewLabeled(counts, start.LabelsCopy())
+}
+
+// bitsFor returns ⌈log₂(k)⌉ (minimum 1): the bits needed to name one of k
+// colors in a message.
+func bitsFor(k int) int {
+	if k <= 2 {
+		return 1
+	}
+	return bits.Len(uint(k - 1))
+}

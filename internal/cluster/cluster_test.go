@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+	"github.com/ignorecomply/consensus/internal/rules"
+)
+
+func TestRunVoterConsensus(t *testing.T) {
+	res, err := Run(func() core.NodeRule { return rules.NewVoter() },
+		config.Balanced(60, 3), 201, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("cluster voter did not converge")
+	}
+	if !res.Final.IsConsensus() {
+		t.Fatalf("final not consensus: %v", res.Final)
+	}
+	if res.WinnerLabel < 0 || res.WinnerLabel > 2 {
+		t.Fatalf("winner label %d", res.WinnerLabel)
+	}
+}
+
+func TestRunThreeMajorityConsensus(t *testing.T) {
+	res, err := Run(func() core.NodeRule { return rules.NewThreeMajority() },
+		config.Singleton(80), 202, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("cluster 3-majority did not converge from n colors")
+	}
+}
+
+func TestRunMessageAccounting(t *testing.T) {
+	res, err := Run(func() core.NodeRule { return rules.NewThreeMajority() },
+		config.Balanced(40, 2), 203, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every round exchanges exactly n*h requests + n*h responses.
+	want := int64(res.Rounds) * 40 * 3 * 2
+	if res.Messages != want {
+		t.Fatalf("Messages = %d, want %d (rounds=%d)", res.Messages, want, res.Rounds)
+	}
+}
+
+func TestRunBitsPerMessage(t *testing.T) {
+	res, err := Run(func() core.NodeRule { return rules.NewVoter() },
+		config.Balanced(20, 5), 204, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsPerMessage != 3 { // ceil(log2 5) = 3
+		t.Fatalf("BitsPerMessage = %d, want 3", res.BitsPerMessage)
+	}
+}
+
+func TestRunAlreadyConsensus(t *testing.T) {
+	res, err := Run(func() core.NodeRule { return rules.NewVoter() },
+		config.Consensus(30), 205, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Rounds != 0 || res.Messages != 0 {
+		t.Fatalf("consensus start: %+v", res)
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	// 2-choices from many singleton colors cannot finish in 2 rounds.
+	res, err := Run(func() core.NodeRule { return rules.NewTwoChoices() },
+		config.Singleton(50), 206, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("should not converge in 2 rounds")
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("Rounds = %d, want 2", res.Rounds)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	c := config.Balanced(10, 2)
+	if _, err := Run(nil, c, 1, 10); err == nil {
+		t.Error("expected error: nil factory")
+	}
+	if _, err := Run(func() core.NodeRule { return rules.NewVoter() }, nil, 1, 10); err == nil {
+		t.Error("expected error: nil start")
+	}
+	if _, err := Run(func() core.NodeRule { return rules.NewVoter() }, c, 1, 0); err == nil {
+		t.Error("expected error: zero budget")
+	}
+	huge, err := config.New([]int{maxNodes + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(func() core.NodeRule { return rules.NewVoter() }, huge, 1, 10); err == nil {
+		t.Error("expected error: too many nodes")
+	}
+}
+
+func TestRunInvariantPreserved(t *testing.T) {
+	res, err := Run(func() core.NodeRule { return rules.NewTwoChoices() },
+		config.TwoBlock(60, 20), 207, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Final.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.N() != 60 {
+		t.Fatalf("node count changed: %d", res.Final.N())
+	}
+}
+
+// TestClusterMatchesBatchOneRound cross-validates the message-passing
+// runtime against the exact batch law: single-round mean fractions must
+// agree for an AC rule.
+func TestClusterMatchesBatchOneRound(t *testing.T) {
+	start := config.Zipf(60, 3, 1.0)
+	const reps = 400
+	clusterMeans := make([]float64, start.Slots())
+	batchMeans := make([]float64, start.Slots())
+	r := rng.New(208)
+	for rep := 0; rep < reps; rep++ {
+		res, err := Run(func() core.NodeRule { return rules.NewThreeMajority() },
+			start, uint64(1000+rep), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < res.Final.Slots(); s++ {
+			clusterMeans[s] += float64(res.Final.Count(s))
+		}
+		cb := start.Clone()
+		rules.NewThreeMajority().Step(cb, r)
+		for s := 0; s < cb.Slots(); s++ {
+			batchMeans[s] += float64(cb.Count(s))
+		}
+	}
+	n := float64(start.N())
+	for s := range clusterMeans {
+		cm := clusterMeans[s] / reps / n
+		bm := batchMeans[s] / reps / n
+		if math.Abs(cm-bm) > 0.03 {
+			t.Errorf("slot %d: cluster mean %.4f vs batch mean %.4f", s, cm, bm)
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	tests := []struct {
+		k    int
+		want int
+	}{
+		{k: 1, want: 1},
+		{k: 2, want: 1},
+		{k: 3, want: 2},
+		{k: 4, want: 2},
+		{k: 5, want: 3},
+		{k: 1024, want: 10},
+		{k: 1025, want: 11},
+	}
+	for _, tt := range tests {
+		if got := bitsFor(tt.k); got != tt.want {
+			t.Errorf("bitsFor(%d) = %d, want %d", tt.k, got, tt.want)
+		}
+	}
+}

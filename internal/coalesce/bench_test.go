@@ -1,0 +1,47 @@
+package coalesce
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/graph"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// BenchmarkRunUntilOne measures full coalescence on the complete graph
+// (the E4 workload's dual side).
+func BenchmarkRunUntilOne(b *testing.B) {
+	for _, n := range []int{100, 1000, 10_000} {
+		b.Run(fmt.Sprintf("complete/n=%d", n), func(b *testing.B) {
+			r := rng.New(1)
+			g := graph.NewComplete(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := New(g)
+				if _, err := p.RunUntil(1, r, 100*n*n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDualityVerify measures the Lemma 4 coupling check (E5's unit).
+func BenchmarkDualityVerify(b *testing.B) {
+	r := rng.New(2)
+	g := graph.NewComplete(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb, err := NewTable(g, 200, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mismatch, err := tb.Verify(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mismatch != nil {
+			b.Fatal("duality violated")
+		}
+	}
+}

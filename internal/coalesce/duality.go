@@ -1,0 +1,139 @@
+package coalesce
+
+import (
+	"errors"
+
+	"github.com/ignorecomply/consensus/internal/graph"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// Table is the shared randomness of the Lemma 4 coupling: Y[t][u] is the
+// node that u pulls from in step t (a uniformly random neighbor of u,
+// fixed once). The coalescing process reads the table forward in time; the
+// horizon-T Voter process reads it backward (Figure 1).
+type Table struct {
+	g graph.Graph
+	y [][]int
+}
+
+// NewTable draws a table of `horizon` rounds of per-node choices for g.
+func NewTable(g graph.Graph, horizon int, r *rng.RNG) (*Table, error) {
+	if horizon < 0 {
+		return nil, errors.New("coalesce: negative horizon")
+	}
+	n := g.N()
+	y := make([][]int, horizon)
+	for t := range y {
+		row := make([]int, n)
+		for u := 0; u < n; u++ {
+			row[u] = graph.RandomNeighbor(g, u, r)
+		}
+		y[t] = row
+	}
+	return &Table{g: g, y: y}, nil
+}
+
+// Horizon returns the number of recorded rounds.
+func (tb *Table) Horizon() int { return len(tb.y) }
+
+// Choice returns Y_t(u).
+func (tb *Table) Choice(t, u int) int { return tb.y[t][u] }
+
+// WalksAfter runs the coalescing process for T steps over the table
+// (forward: the walk at u in step t moves to Y_t(u); co-located walks have
+// coalesced and move together) and returns the number of remaining walks.
+func (tb *Table) WalksAfter(T int) (int, error) {
+	if T < 0 || T > len(tb.y) {
+		return 0, errors.New("coalesce: T outside table horizon")
+	}
+	n := tb.g.N()
+	positions := make([]int, 0, n)
+	for u := 0; u < n; u++ {
+		positions = append(positions, u)
+	}
+	for t := 0; t < T; t++ {
+		// Move every occupied node along Y_t and keep distinct images.
+		seen := make(map[int]struct{}, len(positions))
+		next := positions[:0]
+		for _, u := range positions {
+			v := tb.y[t][u]
+			if _, dup := seen[v]; !dup {
+				seen[v] = struct{}{}
+				next = append(next, v)
+			}
+		}
+		positions = next
+	}
+	return len(positions), nil
+}
+
+// OpinionsAfter runs the horizon-T Voter process backward over the table
+// (Eq. 11: in Voter round t' node u adopts the opinion of Y_{T-t'}(u),
+// starting from pairwise distinct opinions) and returns the number of
+// distinct opinions after T rounds.
+func (tb *Table) OpinionsAfter(T int) (int, error) {
+	if T < 0 || T > len(tb.y) {
+		return 0, errors.New("coalesce: T outside table horizon")
+	}
+	n := tb.g.N()
+	opinions := make([]int, n)
+	next := make([]int, n)
+	for u := range opinions {
+		opinions[u] = u
+	}
+	for tPrime := 1; tPrime <= T; tPrime++ {
+		row := tb.y[T-tPrime]
+		for u := 0; u < n; u++ {
+			next[u] = opinions[row[u]]
+		}
+		opinions, next = next, opinions
+	}
+	distinct := make(map[int]struct{}, n)
+	for _, o := range opinions {
+		distinct[o] = struct{}{}
+	}
+	return len(distinct), nil
+}
+
+// DualityPoint compares the two processes at one horizon.
+type DualityPoint struct {
+	T        int
+	Walks    int
+	Opinions int
+}
+
+// Curve evaluates the coupling at every horizon 0..maxT, returning one
+// point per horizon. Lemma 4 asserts Walks == Opinions at every point.
+func (tb *Table) Curve(maxT int) ([]DualityPoint, error) {
+	if maxT > tb.Horizon() {
+		return nil, errors.New("coalesce: maxT exceeds table horizon")
+	}
+	out := make([]DualityPoint, 0, maxT+1)
+	for T := 0; T <= maxT; T++ {
+		w, err := tb.WalksAfter(T)
+		if err != nil {
+			return nil, err
+		}
+		o, err := tb.OpinionsAfter(T)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DualityPoint{T: T, Walks: w, Opinions: o})
+	}
+	return out, nil
+}
+
+// Verify checks Walks == Opinions for every horizon up to maxT, returning
+// the first mismatching point if any.
+func (tb *Table) Verify(maxT int) (*DualityPoint, error) {
+	curve, err := tb.Curve(maxT)
+	if err != nil {
+		return nil, err
+	}
+	for i := range curve {
+		if curve[i].Walks != curve[i].Opinions {
+			return &curve[i], nil
+		}
+	}
+	return nil, nil
+}

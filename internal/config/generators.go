@@ -1,0 +1,242 @@
+package config
+
+import (
+	"math"
+	"sort"
+
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// Generators for the initial configurations used across the paper's
+// experiments. All of them panic on invalid arguments (n <= 0, k out of
+// range), which are programmer errors, and never fail at runtime otherwise.
+
+func validateNK(n, k int) {
+	if n <= 0 {
+		panic("config: n must be positive")
+	}
+	if k <= 0 || k > n {
+		panic("config: k must be in [1, n]")
+	}
+}
+
+// Singleton returns the n-color configuration: every node supports its own
+// distinct color. This is the leader-election start and the hardest case for
+// 2-Choices (Theorem 5).
+func Singleton(n int) *Config {
+	validateNK(n, n)
+	counts := make([]int, n)
+	for i := range counts {
+		counts[i] = 1
+	}
+	c, err := New(counts)
+	if err != nil {
+		panic("config: Singleton: " + err.Error())
+	}
+	return c
+}
+
+// Consensus returns the single-color configuration (all n nodes agree).
+func Consensus(n int) *Config {
+	validateNK(n, 1)
+	c, err := New([]int{n})
+	if err != nil {
+		panic("config: Consensus: " + err.Error())
+	}
+	return c
+}
+
+// Balanced returns a k-color configuration with supports as equal as
+// possible: the first n mod k colors get ⌈n/k⌉, the rest ⌊n/k⌋.
+func Balanced(n, k int) *Config {
+	validateNK(n, k)
+	counts := make([]int, k)
+	base, extra := n/k, n%k
+	for i := range counts {
+		counts[i] = base
+		if i < extra {
+			counts[i]++
+		}
+	}
+	c, err := New(counts)
+	if err != nil {
+		panic("config: Balanced: " + err.Error())
+	}
+	return c
+}
+
+// Biased returns a k-color configuration where color 0 leads the (otherwise
+// flat) rest by at least bias nodes (exactly bias when k divides n-bias;
+// otherwise the integer remainder also goes to the leader, so the achieved
+// bias is < bias + k). It panics if the bias is infeasible for n and k.
+func Biased(n, k, bias int) *Config {
+	validateNK(n, k)
+	if bias < 0 {
+		panic("config: bias must be non-negative")
+	}
+	if k == 1 {
+		return Consensus(n)
+	}
+	// Solve leader = m + bias with every other color at level m:
+	// m*(k-1) + m + bias <= n  =>  m <= (n-bias)/k.
+	m := (n - bias) / k
+	if m < 1 {
+		panic("config: bias too large for n and k")
+	}
+	counts := make([]int, k)
+	counts[0] = n - m*(k-1)
+	for i := 1; i < k; i++ {
+		counts[i] = m
+	}
+	c, err := New(counts)
+	if err != nil {
+		panic("config: Biased: " + err.Error())
+	}
+	return c
+}
+
+// TwoBlock returns a 2-color configuration with supports a and n-a.
+func TwoBlock(n, a int) *Config {
+	if n < 2 || a <= 0 || a >= n {
+		panic("config: TwoBlock requires 0 < a < n and n >= 2")
+	}
+	c, err := New([]int{a, n - a})
+	if err != nil {
+		panic("config: TwoBlock: " + err.Error())
+	}
+	return c
+}
+
+// Zipf returns a k-color configuration with supports proportional to
+// 1/(i+1)^s, largest first. Rounding remainders go to the largest color, and
+// every color keeps at least one node.
+func Zipf(n, k int, s float64) *Config {
+	validateNK(n, k)
+	if s < 0 {
+		panic("config: Zipf exponent must be non-negative")
+	}
+	weights := make([]float64, k)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		total += weights[i]
+	}
+	counts := make([]int, k)
+	assigned := 0
+	for i, w := range weights {
+		counts[i] = int(float64(n) * w / total)
+		if counts[i] < 1 {
+			counts[i] = 1
+		}
+		assigned += counts[i]
+	}
+	// Fix up the remainder on the largest color (index 0); if we
+	// over-assigned (tiny n with many minimum-1 colors), shave evenly from
+	// the largest colors.
+	for assigned < n {
+		counts[0]++
+		assigned++
+	}
+	for i := 0; assigned > n; i = (i + 1) % k {
+		if counts[i] > 1 {
+			counts[i]--
+			assigned--
+		}
+	}
+	c, err := New(counts)
+	if err != nil {
+		panic("config: Zipf: " + err.Error())
+	}
+	return c
+}
+
+// MaxBounded returns a configuration where every color has support exactly
+// maxSupport (except possibly the last), the setting of Theorem 5's
+// hypothesis ℓ = max_i c_i(0).
+func MaxBounded(n, maxSupport int) *Config {
+	if n <= 0 || maxSupport <= 0 {
+		panic("config: MaxBounded requires positive n and maxSupport")
+	}
+	k := (n + maxSupport - 1) / maxSupport
+	counts := make([]int, k)
+	left := n
+	for i := range counts {
+		c := maxSupport
+		if c > left {
+			c = left
+		}
+		counts[i] = c
+		left -= c
+	}
+	c, err := New(counts)
+	if err != nil {
+		panic("config: MaxBounded: " + err.Error())
+	}
+	return c
+}
+
+// RandomComposition returns a uniformly random composition of n nodes into k
+// colors with every color non-empty, sampled by choosing k-1 distinct cut
+// points among the n-1 gaps.
+func RandomComposition(n, k int, r *rng.RNG) *Config {
+	validateNK(n, k)
+	if k == 1 {
+		return Consensus(n)
+	}
+	// Sample k-1 distinct values from [1, n-1] via a partial Fisher-Yates
+	// on the gap indices.
+	cuts := sampleDistinct(n-1, k-1, r)
+	sort.Ints(cuts)
+	counts := make([]int, k)
+	prev := 0
+	for i, cut := range cuts {
+		counts[i] = cut + 1 - prev
+		prev = cut + 1
+	}
+	counts[k-1] = n - prev
+	c, err := New(counts)
+	if err != nil {
+		panic("config: RandomComposition: " + err.Error())
+	}
+	return c
+}
+
+// RandomAssignment returns the configuration obtained by assigning each of
+// the n nodes an independent uniform color from [0, k). Colors may end up
+// empty; slots are still created for all k colors.
+func RandomAssignment(n, k int, r *rng.RNG) *Config {
+	validateNK(n, k)
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		counts[r.IntN(k)]++
+	}
+	c, err := New(counts)
+	if err != nil {
+		panic("config: RandomAssignment: " + err.Error())
+	}
+	return c
+}
+
+// sampleDistinct draws m distinct values uniformly from [0, limit) using a
+// sparse Fisher-Yates (map-backed, O(m) memory).
+func sampleDistinct(limit, m int, r *rng.RNG) []int {
+	if m > limit {
+		panic("config: cannot sample more distinct values than the range holds")
+	}
+	swapped := make(map[int]int, m)
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		j := i + r.IntN(limit-i)
+		vi, ok := swapped[i]
+		if !ok {
+			vi = i
+		}
+		vj, ok := swapped[j]
+		if !ok {
+			vj = j
+		}
+		out[i] = vj
+		swapped[j] = vi
+	}
+	return out
+}

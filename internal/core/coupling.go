@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+
+	"github.com/ignorecomply/consensus/internal/majorize"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// Lemma 1 states that for AC-processes with α(c) ≻ α̃(c̃) there exists a
+// coupling of the one-round outcomes Y ~ Mult(n, α(c)) and X ~ Mult(n,
+// α̃(c̃)) with Y ≻ X almost surely. The proof is non-constructive (it goes
+// through Proposition 11.E.11 of [MOA11] and Strassen's theorem), so the
+// testable consequence is stochastic majorization (Definition 3):
+// E[φ(X)] <= E[φ(Y)] for every Schur-convex φ.
+//
+// CheckStochasticMajorization samples both multinomials and evaluates a
+// battery of Schur-convex test functions, reporting per-function means and
+// a pass/fail verdict with a standard-error cushion. A failure (beyond the
+// cushion) would falsify Lemma 1; passes across diverse θ pairs are the
+// empirical footprint of the coupling's existence.
+
+// MajorizationCheck is the outcome of one Schur-convex test function.
+type MajorizationCheck struct {
+	Func     string
+	MeanHigh float64 // E[φ(Y)], Y ~ Mult(n, thetaHigh)
+	MeanLow  float64 // E[φ(X)], X ~ Mult(n, thetaLow)
+	StdErr   float64 // pooled standard error of the difference
+	OK       bool    // MeanHigh >= MeanLow - cushion
+}
+
+// CheckStochasticMajorization draws `draws` samples from Mult(n, thetaHigh)
+// and Mult(n, thetaLow) and checks E[φ(high)] >= E[φ(low)] - cushion for
+// every battery function, where cushion = 4 standard errors. It reports the
+// per-function results and whether all passed. thetaHigh should majorize
+// thetaLow (the caller's premise; it is not re-checked here so callers can
+// also probe what happens when the premise fails).
+func CheckStochasticMajorization(thetaHigh, thetaLow []float64, n, draws int, r *rng.RNG) ([]MajorizationCheck, bool) {
+	battery := majorize.Battery()
+	type acc struct {
+		sumH, sumH2 float64
+		sumL, sumL2 float64
+	}
+	accs := make([]acc, len(battery))
+
+	sampleHigh := make([]int, len(thetaHigh))
+	sampleLow := make([]int, len(thetaLow))
+	fracsHigh := make([]float64, len(thetaHigh))
+	fracsLow := make([]float64, len(thetaLow))
+	fn := float64(n)
+
+	for d := 0; d < draws; d++ {
+		r.Multinomial(n, thetaHigh, sampleHigh)
+		r.Multinomial(n, thetaLow, sampleLow)
+		for i, v := range sampleHigh {
+			fracsHigh[i] = float64(v) / fn
+		}
+		for i, v := range sampleLow {
+			fracsLow[i] = float64(v) / fn
+		}
+		for bi, tf := range battery {
+			h := tf.F(fracsHigh)
+			l := tf.F(fracsLow)
+			accs[bi].sumH += h
+			accs[bi].sumH2 += h * h
+			accs[bi].sumL += l
+			accs[bi].sumL2 += l * l
+		}
+	}
+
+	out := make([]MajorizationCheck, len(battery))
+	all := true
+	fd := float64(draws)
+	for bi, tf := range battery {
+		a := accs[bi]
+		meanH := a.sumH / fd
+		meanL := a.sumL / fd
+		varH := a.sumH2/fd - meanH*meanH
+		varL := a.sumL2/fd - meanL*meanL
+		if varH < 0 {
+			varH = 0
+		}
+		if varL < 0 {
+			varL = 0
+		}
+		se := math.Sqrt((varH + varL) / fd)
+		ok := meanH >= meanL-4*se-1e-12
+		out[bi] = MajorizationCheck{
+			Func:     tf.Name,
+			MeanHigh: meanH,
+			MeanLow:  meanL,
+			StdErr:   se,
+			OK:       ok,
+		}
+		if !ok {
+			all = false
+		}
+	}
+	return out, all
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/majorize"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// Pair is an ordered pair of configurations with High ≻ Low (vector
+// majorization of the count vectors), the quantifier domain of
+// Definition 2.
+type Pair struct {
+	High *config.Config
+	Low  *config.Config
+}
+
+// Violation reports a failed dominance check: the pair and the offending
+// process-function vectors.
+type Violation struct {
+	Pair      Pair
+	AlphaHigh []float64
+	AlphaLow  []float64
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("core: dominance violated: alpha(high)=%v does not majorize alpha(low)=%v",
+		v.AlphaHigh, v.AlphaLow)
+}
+
+// VerifyDominance checks Definition 2 for AC-processes on the given pairs:
+// p dominates q iff c ≻ c̃ implies α_p(c) ≻ α_q(c̃). It returns the first
+// violation found, or nil if every pair passes. tol absorbs floating-point
+// noise in the prefix-sum comparisons.
+//
+// This is a falsification procedure, not a proof: passing on a large and
+// diverse pair set is evidence, a single violation is a disproof (as in the
+// Appendix B counterexample).
+func VerifyDominance(p, q ACProcess, pairs []Pair, tol float64) *Violation {
+	for _, pr := range pairs {
+		if !majorize.Ints(pr.High.CountsCopy(), pr.Low.CountsCopy()) {
+			// Skip malformed pairs rather than reporting spurious
+			// violations: the premise c ≻ c̃ does not hold.
+			continue
+		}
+		ah := p.Alpha(pr.High, nil)
+		al := q.Alpha(pr.Low, nil)
+		if !majorize.Floats(ah, al, tol) {
+			return &Violation{Pair: pr, AlphaHigh: ah, AlphaLow: al}
+		}
+	}
+	return nil
+}
+
+// ComparablePairs generates count pairs (high ≻ low) over n nodes for
+// dominance testing:
+//
+//   - the extremes: consensus ≻ anything, anything ≻ the n-color
+//     configuration (clipped to maxSlots);
+//   - random compositions paired with themselves (reflexivity);
+//   - random compositions coarsened by Robin-Hood *reverse* transfers
+//     (moving mass from a poorer to a richer slot ascends in ≻).
+//
+// maxSlots bounds the vector length so that process functions stay cheap.
+func ComparablePairs(n, maxSlots, count int, r *rng.RNG) []Pair {
+	if maxSlots < 2 {
+		panic("core: ComparablePairs requires maxSlots >= 2")
+	}
+	if maxSlots > n {
+		maxSlots = n
+	}
+	var pairs []Pair
+	mustCfg := func(counts []int) *config.Config {
+		c, err := config.New(counts)
+		if err != nil {
+			panic("core: ComparablePairs: " + err.Error())
+		}
+		return c
+	}
+	// Extremes.
+	low := config.RandomComposition(n, maxSlots, r)
+	consensus := make([]int, maxSlots)
+	consensus[0] = n
+	pairs = append(pairs, Pair{High: mustCfg(consensus), Low: low.Clone()})
+	balanced := config.Balanced(n, maxSlots)
+	pairs = append(pairs, Pair{High: low.Clone(), Low: balanced})
+
+	for len(pairs) < count {
+		k := 2 + r.IntN(maxSlots-1)
+		base := config.RandomComposition(n, k, r)
+		counts := base.CountsCopy()
+		// Pad to maxSlots with zeros so pair vectors share a length.
+		for len(counts) < maxSlots {
+			counts = append(counts, 0)
+		}
+		lowCounts := append([]int(nil), counts...)
+		highCounts := append([]int(nil), counts...)
+		// A few reverse Robin-Hood moves: pick a donor with fewer nodes
+		// than some recipient and move mass toward the richer slot.
+		for move := 0; move < 3; move++ {
+			i := r.IntN(maxSlots)
+			j := r.IntN(maxSlots)
+			if highCounts[i] == highCounts[j] {
+				continue
+			}
+			rich, poor := i, j
+			if highCounts[poor] > highCounts[rich] {
+				rich, poor = poor, rich
+			}
+			if highCounts[poor] == 0 {
+				continue
+			}
+			amount := 1 + r.IntN(highCounts[poor])
+			highCounts[rich] += amount
+			highCounts[poor] -= amount
+		}
+		pairs = append(pairs, Pair{High: mustCfg(highCounts), Low: mustCfg(lowCounts)})
+		// Reflexive pair.
+		if len(pairs) < count {
+			pairs = append(pairs, Pair{High: mustCfg(lowCounts), Low: mustCfg(lowCounts)})
+		}
+	}
+	return pairs[:count]
+}

@@ -1,0 +1,76 @@
+package drift
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoundConstantDrift(t *testing.T) {
+	// h(y) = c: bound = xmin/c + (x0 - xmin)/c = x0/c.
+	got, err := Bound(100, 1, func(float64) float64 { return 0.5 }, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-200) > 1e-9 {
+		t.Fatalf("constant-drift bound = %v, want 200", got)
+	}
+}
+
+func TestBoundMatchesCoalescenceClosedForm(t *testing.T) {
+	// h(x) = x²/(10n): Theorem 7 gives 20n/k - 10 exactly.
+	const n = 1000
+	for _, k := range []int{1, 5, 50, 500} {
+		h := func(x float64) float64 { return x * x / (10 * n) }
+		got, err := Bound(n, float64(k), h, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := CoalescenceBoundExact(n, k)
+		if math.Abs(got-want) > 0.01*want+0.5 {
+			t.Errorf("k=%d: integrator %v vs closed form %v", k, got, want)
+		}
+	}
+}
+
+func TestBoundDegenerate(t *testing.T) {
+	got, err := Bound(5, 5, func(float64) float64 { return 2 }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("x0 == xmin bound = %v, want 2.5", got)
+	}
+}
+
+func TestBoundErrors(t *testing.T) {
+	if _, err := Bound(10, 0, func(float64) float64 { return 1 }, 10); err == nil {
+		t.Error("expected error: xmin = 0")
+	}
+	if _, err := Bound(1, 10, func(float64) float64 { return 1 }, 10); err == nil {
+		t.Error("expected error: x0 < xmin")
+	}
+	if _, err := Bound(10, 1, func(float64) float64 { return 0 }, 10); err == nil {
+		t.Error("expected error: h = 0")
+	}
+	if _, err := Bound(10, 1, func(x float64) float64 { return x - 5 }, 10); err == nil {
+		t.Error("expected error: h negative inside range")
+	}
+}
+
+func TestCoalescenceBound(t *testing.T) {
+	if got := CoalescenceBound(1000, 10); got != 2000 {
+		t.Fatalf("CoalescenceBound(1000, 10) = %v, want 2000", got)
+	}
+	if got := CoalescenceBoundExact(1000, 10); got != 1990 {
+		t.Fatalf("CoalescenceBoundExact = %v, want 1990", got)
+	}
+}
+
+func TestCoalescenceBoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CoalescenceBound(10, 11)
+}

@@ -1,0 +1,90 @@
+// Package expt is the reproduction harness: one registered experiment per
+// paper artifact (theorem, lemma, figure, or numeric example), each
+// producing a table in the shape the paper's claim speaks about. See
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+// results.
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+)
+
+// Scale selects the experiment budget.
+type Scale int
+
+// Experiment budgets. Quick keeps the full suite in CI-sized time; Full is
+// the scale EXPERIMENTS.md reports.
+const (
+	Quick Scale = iota + 1
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// Params configures an experiment run.
+type Params struct {
+	// Seed drives all randomness; identical Params reproduce identical
+	// tables.
+	Seed uint64
+	// Scale selects Quick or Full budgets.
+	Scale Scale
+	// Workers bounds replica parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultParams returns quick-scale parameters with a fixed seed.
+func DefaultParams() Params {
+	return Params{Seed: 1, Scale: Quick, Workers: runtime.GOMAXPROCS(0)}
+}
+
+// Experiment binds a paper artifact to the code that regenerates it.
+type Experiment struct {
+	// ID is the experiment identifier (E1..E12).
+	ID string
+	// Name is a short human-readable title.
+	Name string
+	// Claim cites the paper artifact being reproduced.
+	Claim string
+	// Run executes the experiment.
+	Run func(p Params) (*Table, error)
+}
+
+// Registry returns all experiments in ID order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		e1(), e2(), e3(), e4(), e5(), e6(),
+		e7(), e8(), e9(), e10(), e11(), e12(),
+	}
+	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
+	return exps
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func idOrder(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "E%d", &n); err != nil {
+		return 1 << 30
+	}
+	return n
+}

@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// checkValid verifies basic structural sanity for any Graph.
+func checkValid(t *testing.T, g Graph) {
+	t.Helper()
+	n := g.N()
+	if n <= 0 {
+		t.Fatalf("N = %d", n)
+	}
+	for u := 0; u < n; u++ {
+		d := g.Degree(u)
+		if d <= 0 {
+			t.Fatalf("vertex %d has degree %d", u, d)
+		}
+		for i := 0; i < d; i++ {
+			v := g.Neighbor(u, i)
+			if v < 0 || v >= n {
+				t.Fatalf("vertex %d neighbor %d out of range: %d", u, i, v)
+			}
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := NewComplete(5)
+	checkValid(t, g)
+	if g.Degree(2) != 5 {
+		t.Fatalf("complete degree = %d", g.Degree(2))
+	}
+	// Neighbor i is vertex i: includes the self-loop.
+	if g.Neighbor(2, 2) != 2 {
+		t.Fatal("complete graph should include self")
+	}
+	if !IsConnected(g) {
+		t.Fatal("complete graph must be connected")
+	}
+}
+
+func TestCompleteUniformPull(t *testing.T) {
+	// RandomNeighbor on Complete is a uniform node sample.
+	g := NewComplete(4)
+	r := rng.New(51)
+	counts := make([]int, 4)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[RandomNeighbor(g, 1, r)]++
+	}
+	for v, c := range counts {
+		if c < draws/4-600 || c > draws/4+600 {
+			t.Fatalf("vertex %d drawn %d times, want ~%d", v, c, draws/4)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := NewRing(6)
+	checkValid(t, g)
+	if g.Neighbor(0, 1) != 5 {
+		t.Fatalf("ring wrap-around: neighbor(0,1) = %d", g.Neighbor(0, 1))
+	}
+	if g.Neighbor(5, 0) != 0 {
+		t.Fatalf("ring wrap-around: neighbor(5,0) = %d", g.Neighbor(5, 0))
+	}
+	if !IsConnected(g) {
+		t.Fatal("ring must be connected")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := NewTorus(3, 4)
+	checkValid(t, g)
+	if g.N() != 12 {
+		t.Fatalf("torus N = %d", g.N())
+	}
+	// Each vertex has 4 distinct neighbors on a >=3x>=3 torus.
+	for u := 0; u < g.N(); u++ {
+		seen := make(map[int]bool)
+		for i := 0; i < 4; i++ {
+			seen[g.Neighbor(u, i)] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("vertex %d has %d distinct neighbors", u, len(seen))
+		}
+	}
+	if !IsConnected(g) {
+		t.Fatal("torus must be connected")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := NewStar(5)
+	checkValid(t, g)
+	if g.Degree(0) != 4 || g.Degree(3) != 1 {
+		t.Fatalf("star degrees: hub %d leaf %d", g.Degree(0), g.Degree(3))
+	}
+	if g.Neighbor(3, 0) != 0 {
+		t.Fatal("leaf neighbor must be the hub")
+	}
+	if !IsConnected(g) {
+		t.Fatal("star must be connected")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g, err := NewAdjacency([][]int{{1}, {0, 2}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g)
+	if !IsConnected(g) {
+		t.Fatal("path must be connected")
+	}
+}
+
+func TestAdjacencyErrors(t *testing.T) {
+	if _, err := NewAdjacency(nil); err == nil {
+		t.Error("expected error: empty")
+	}
+	if _, err := NewAdjacency([][]int{{}}); err == nil {
+		t.Error("expected error: isolated vertex")
+	}
+	if _, err := NewAdjacency([][]int{{5}}); err == nil {
+		t.Error("expected error: out of range")
+	}
+}
+
+func TestAdjacencyCopies(t *testing.T) {
+	raw := [][]int{{1}, {0}}
+	g, err := NewAdjacency(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0][0] = 0
+	if g.Neighbor(0, 0) != 1 {
+		t.Fatal("NewAdjacency must copy its input")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	r := rng.New(52)
+	g, err := NewRandomRegular(30, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g)
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != 3 {
+			t.Fatalf("vertex %d degree %d, want 3", u, g.Degree(u))
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < 3; i++ {
+			v := g.Neighbor(u, i)
+			if v == u {
+				t.Fatalf("self-loop at %d", u)
+			}
+			if seen[v] {
+				t.Fatalf("multi-edge %d-%d", u, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	r := rng.New(53)
+	if _, err := NewRandomRegular(5, 3, r); err == nil {
+		t.Error("expected error: odd n*d")
+	}
+	if _, err := NewRandomRegular(4, 4, r); err == nil {
+		t.Error("expected error: d >= n")
+	}
+	if _, err := NewRandomRegular(4, 0, r); err == nil {
+		t.Error("expected error: d = 0")
+	}
+}
+
+func TestIsConnectedDisconnected(t *testing.T) {
+	g, err := NewAdjacency([][]int{{1}, {0}, {3}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsConnected(g) {
+		t.Fatal("two components flagged connected")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{name: "complete zero", fn: func() { NewComplete(0) }},
+		{name: "ring too small", fn: func() { NewRing(2) }},
+		{name: "torus too small", fn: func() { NewTorus(2, 5) }},
+		{name: "star too small", fn: func() { NewStar(1) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}

@@ -1,0 +1,76 @@
+package majorize
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+func randomCounts(k int, r *rng.RNG) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = r.IntN(1000)
+	}
+	return out
+}
+
+// BenchmarkInts measures the majorization comparison that the dominance
+// checker performs per configuration pair.
+func BenchmarkInts(b *testing.B) {
+	for _, k := range []int{10, 1000, 100_000} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			r := rng.New(1)
+			x := randomCounts(k, r)
+			y := append([]int(nil), x...)
+			// Make the pair comparable and ordered: one Robin-Hood
+			// reverse move.
+			if k >= 2 && x[0] > 0 {
+				x[0]--
+				x[1]++
+			}
+			_ = y
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Ints(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkTransferChain measures the constructive Hardy-Littlewood-Pólya
+// decomposition.
+func BenchmarkTransferChain(b *testing.B) {
+	for _, k := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			x := make([]int, k)
+			y := make([]int, k)
+			x[0] = k * 10 // consensus-like
+			for i := range y {
+				y[i] = 10 // balanced
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := TransferChain(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBattery measures a full Schur-convex battery evaluation (the
+// unit of work in the Lemma 1 coupling check).
+func BenchmarkBattery(b *testing.B) {
+	battery := Battery()
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = 1 / float64(len(x))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tf := range battery {
+			tf.F(x)
+		}
+	}
+}

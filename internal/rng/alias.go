@@ -1,0 +1,97 @@
+package rng
+
+// Alias is a Vose alias table for O(1) sampling from a fixed categorical
+// distribution. Build once with NewAlias (O(k)), then Draw repeatedly.
+//
+// The agent-based simulators use it to draw n node samples per round from
+// the color-frequency distribution.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table over weights (non-negative, not all zero).
+// Weights need not be normalized.
+func NewAlias(weights []float64) *Alias {
+	k := len(weights)
+	if k == 0 {
+		panic("rng: NewAlias requires at least one weight")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: NewAlias weights must be non-negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: NewAlias requires a positive weight")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, k),
+		alias: make([]int, k),
+	}
+	// Scaled probabilities: mean 1.
+	scaled := make([]float64, k)
+	for i, w := range weights {
+		scaled[i] = w * float64(k) / total
+	}
+	small := make([]int, 0, k)
+	large := make([]int, 0, k)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		a.prob[l] = scaled[l]
+		a.alias[l] = g
+		scaled[g] = (scaled[g] + scaled[l]) - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	// Numerical leftovers get probability 1 (self-alias).
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// NewAliasCounts builds an alias table over non-negative integer counts.
+func NewAliasCounts(counts []int) *Alias {
+	weights := make([]float64, len(counts))
+	for i, c := range counts {
+		if c > 0 {
+			weights[i] = float64(c)
+		}
+	}
+	return NewAlias(weights)
+}
+
+// Draw returns an index sampled from the table's distribution.
+func (a *Alias) Draw(r *RNG) int {
+	i := r.IntN(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// Len returns the number of categories in the table.
+func (a *Alias) Len() int { return len(a.prob) }

@@ -1,0 +1,121 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasDistribution(t *testing.T) {
+	r := New(20)
+	weights := []float64{1, 3, 0, 6}
+	a := NewAlias(weights)
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(r)]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight category drawn %d times", counts[2])
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d: frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	r := New(21)
+	a := NewAlias([]float64{5})
+	for i := 0; i < 10; i++ {
+		if got := a.Draw(r); got != 0 {
+			t.Fatalf("single-category alias drew %d", got)
+		}
+	}
+}
+
+func TestAliasCounts(t *testing.T) {
+	r := New(22)
+	a := NewAliasCounts([]int{0, 10, 10})
+	const draws = 50000
+	counts := make([]int, 3)
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(r)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-count category drawn %d times", counts[0])
+	}
+	if got := float64(counts[1]) / draws; math.Abs(got-0.5) > 0.015 {
+		t.Errorf("category 1 frequency %.4f, want 0.5", got)
+	}
+}
+
+func TestAliasLen(t *testing.T) {
+	if got := NewAlias([]float64{1, 2, 3}).Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+}
+
+func TestAliasEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty weights")
+		}
+	}()
+	NewAlias(nil)
+}
+
+func TestAliasNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative weight")
+		}
+	}()
+	NewAlias([]float64{1, -1})
+}
+
+func TestAliasAllZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on all-zero weights")
+		}
+	}()
+	NewAlias([]float64{0, 0})
+}
+
+// TestAliasQuickInRangeAndSupported checks that every draw is a valid index
+// with positive weight, for arbitrary weight vectors.
+func TestAliasQuickInRangeAndSupported(t *testing.T) {
+	r := New(23)
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		positive := false
+		for i, w := range raw {
+			weights[i] = float64(w)
+			if w > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			weights[0] = 1
+		}
+		a := NewAlias(weights)
+		for i := 0; i < 32; i++ {
+			idx := a.Draw(r)
+			if idx < 0 || idx >= len(weights) || weights[idx] <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package rng
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBinomial contrasts the two sampler regimes: CDF inversion for
+// small means and BTRS transformed rejection for large ones (the design
+// choice that makes batch rounds O(k) regardless of n).
+func BenchmarkBinomial(b *testing.B) {
+	cases := []struct {
+		name string
+		n    int
+		p    float64
+	}{
+		{name: "inversion/np=5", n: 1000, p: 0.005},
+		{name: "inversion/np=25", n: 1000, p: 0.025},
+		{name: "btrs/np=100", n: 1000, p: 0.1},
+		{name: "btrs/np=1e6", n: 10_000_000, p: 0.1},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			r := New(1)
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += r.Binomial(tc.n, tc.p)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkMultinomial sweeps the category count: the conditional-binomial
+// scheme is O(k) per draw.
+func BenchmarkMultinomial(b *testing.B) {
+	for _, k := range []int{10, 1000, 100_000} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			r := New(2)
+			probs := make([]float64, k)
+			for i := range probs {
+				probs[i] = 1 / float64(k)
+			}
+			out := make([]int, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Multinomial(1_000_000, probs, out)
+			}
+		})
+	}
+}
+
+// BenchmarkCategoricalVsAlias justifies the alias table in the agent
+// engine: linear-scan categorical is O(k) per draw, alias O(1).
+func BenchmarkCategoricalVsAlias(b *testing.B) {
+	const k = 4096
+	weights := make([]float64, k)
+	for i := range weights {
+		weights[i] = float64(i%17 + 1)
+	}
+	b.Run("categorical-linear", func(b *testing.B) {
+		r := New(3)
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += r.Categorical(weights)
+		}
+		_ = sink
+	})
+	b.Run("alias", func(b *testing.B) {
+		r := New(3)
+		a := NewAlias(weights)
+		b.ResetTimer()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += a.Draw(r)
+		}
+		_ = sink
+	})
+	b.Run("alias-including-build", func(b *testing.B) {
+		r := New(3)
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			a := NewAlias(weights)
+			sink += a.Draw(r)
+		}
+		_ = sink
+	})
+}

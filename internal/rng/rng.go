@@ -1,0 +1,281 @@
+// Package rng provides seedable random number generation and the exact
+// discrete samplers (Bernoulli, binomial, multinomial, categorical) that the
+// consensus simulators are built on.
+//
+// Everything is deterministic given a seed: experiments derive one stream per
+// replica via Derive, so runs reproduce bit-for-bit. No package-level RNG
+// state is used anywhere in the library.
+package rng
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a seedable source of randomness with exact discrete samplers.
+// It is not safe for concurrent use; derive one RNG per goroutine.
+type RNG struct {
+	src *rand.Rand
+}
+
+// New returns an RNG seeded with seed. Two RNGs created with the same seed
+// produce identical streams.
+func New(seed uint64) *RNG {
+	// Mix the seed through SplitMix64 so that adjacent seeds (0, 1, 2, ...)
+	// still yield uncorrelated PCG states.
+	s1 := splitMix64(seed)
+	s2 := splitMix64(s1)
+	return &RNG{src: rand.New(rand.NewPCG(s1, s2))}
+}
+
+// Derive returns a new RNG whose stream is a deterministic function of the
+// receiver's seed lineage and i. Use it to give each replica or goroutine an
+// independent stream.
+func (r *RNG) Derive(i uint64) *RNG {
+	// Draw two words from this stream and mix them with i. The parent
+	// advances, so successive Derive calls with the same i also differ.
+	a := r.src.Uint64()
+	b := r.src.Uint64()
+	return &RNG{src: rand.New(rand.NewPCG(splitMix64(a^i), splitMix64(b+i)))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// The mean below which Binomial uses exact CDF inversion rather than the
+// BTRS rejection sampler. BTRS requires np >= 10 for its constants to be
+// valid; 30 keeps inversion's expected loop count small.
+const _inversionMeanCutoff = 30.0
+
+// Binomial returns an exact sample from Binomial(n, p): the number of
+// successes in n independent trials with success probability p.
+//
+// Small means use CDF inversion; larger means use Hörmann's BTRS transformed
+// rejection sampler, so the cost is O(1) expected regardless of n.
+func (r *RNG) Binomial(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	// Exploit symmetry so the samplers always see p <= 1/2.
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	if float64(n)*p < _inversionMeanCutoff {
+		return r.binomialInversion(n, p)
+	}
+	return r.binomialBTRS(n, p)
+}
+
+// binomialInversion samples Binomial(n, p) by walking the CDF. Expected time
+// O(np), used only for np < _inversionMeanCutoff.
+func (r *RNG) binomialInversion(n int, p float64) int {
+	q := 1 - p
+	// f = P(X = 0) = q^n, computed in log space to avoid underflow for
+	// large n (np < 30 guarantees q^n >= ~e^-30-ish, comfortably positive).
+	f := math.Exp(float64(n) * math.Log(q))
+	u := r.src.Float64()
+	ratio := p / q
+	k := 0
+	for u > f && k < n {
+		u -= f
+		k++
+		f *= ratio * float64(n-k+1) / float64(k)
+	}
+	return k
+}
+
+// binomialBTRS samples Binomial(n, p) for p <= 1/2 and np >= 10 using the
+// BTRS transformed-rejection algorithm of Hörmann (1993), "The generation of
+// binomial random variates". Expected number of iterations is ~1.15.
+func (r *RNG) binomialBTRS(n int, p float64) int {
+	var (
+		fn    = float64(n)
+		q     = 1 - p
+		spq   = math.Sqrt(fn * p * q)
+		b     = 1.15 + 2.53*spq
+		a     = -0.0873 + 0.0248*b + 0.01*p
+		c     = fn*p + 0.5
+		vr    = 0.92 - 4.2/b
+		alpha = (2.83 + 5.1/b) * spq
+		lpq   = math.Log(p / q)
+		m     = math.Floor((fn + 1) * p)
+		h     = lgamma(m+1) + lgamma(fn-m+1)
+	)
+	for {
+		u := r.src.Float64() - 0.5
+		v := r.src.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + c)
+		if kf < 0 || kf > fn {
+			continue
+		}
+		// Squeeze: the box region is entirely under the target density.
+		if us >= 0.07 && v <= vr {
+			return int(kf)
+		}
+		// Full acceptance test against the exact log-pmf ratio.
+		lhs := math.Log(v * alpha / (a/(us*us) + b))
+		rhs := h - lgamma(kf+1) - lgamma(fn-kf+1) + (kf-m)*lpq
+		if lhs <= rhs {
+			return int(kf)
+		}
+	}
+}
+
+// Multinomial draws an exact sample from Mult(n, probs) into out, which must
+// have len(out) == len(probs). probs need not sum to exactly 1; it is
+// normalized by its actual sum. Entries with non-positive probability
+// receive 0. The sum of out always equals n.
+func (r *RNG) Multinomial(n int, probs []float64, out []int) {
+	if len(out) != len(probs) {
+		panic("rng: Multinomial out length mismatch")
+	}
+	rest := 0.0
+	last := -1 // index of the last positive-probability slot
+	for i, p := range probs {
+		if p > 0 {
+			rest += p
+			last = i
+		}
+		out[i] = 0
+	}
+	if last < 0 || n <= 0 {
+		return
+	}
+	remaining := n
+	for i, p := range probs {
+		if remaining == 0 {
+			break
+		}
+		if p <= 0 {
+			continue
+		}
+		if i == last {
+			out[i] = remaining
+			remaining = 0
+			break
+		}
+		frac := p / rest
+		if frac > 1 {
+			frac = 1
+		}
+		x := r.Binomial(remaining, frac)
+		out[i] = x
+		remaining -= x
+		rest -= p
+		if rest <= 0 {
+			// Numerical exhaustion: park the leftovers here.
+			out[i] += remaining
+			remaining = 0
+			break
+		}
+	}
+	if remaining > 0 {
+		out[last] += remaining
+	}
+}
+
+// Categorical returns an index sampled proportionally to probs (which need
+// not be normalized). It panics if no entry is positive. Linear time; use
+// NewAlias for repeated draws from a fixed distribution.
+func (r *RNG) Categorical(probs []float64) int {
+	total := 0.0
+	for _, p := range probs {
+		if p > 0 {
+			total += p
+		}
+	}
+	if total <= 0 {
+		panic("rng: Categorical requires a positive entry")
+	}
+	u := r.src.Float64() * total
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		u -= p
+		if u < 0 {
+			return i
+		}
+	}
+	// Floating-point slack: return the last positive entry.
+	for i := len(probs) - 1; i >= 0; i-- {
+		if probs[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// CategoricalCounts returns an index sampled proportionally to integer
+// counts whose sum is total. It panics if total <= 0 or the counts sum to
+// less than the drawn threshold.
+func (r *RNG) CategoricalCounts(counts []int, total int) int {
+	if total <= 0 {
+		panic("rng: CategoricalCounts requires total > 0")
+	}
+	u := r.src.IntN(total)
+	for i, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		u -= c
+		if u < 0 {
+			return i
+		}
+	}
+	panic("rng: CategoricalCounts counts sum below total")
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials. p must be in (0, 1].
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("rng: Geometric requires p in (0, 1]")
+	}
+	u := r.src.Float64()
+	return int(math.Floor(math.Log1p(-u) / math.Log1p(-p)))
+}
+
+// lgamma is math.Lgamma without the sign result (all our arguments are >= 1).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// splitMix64 is the SplitMix64 finalizer, used for seed derivation.
+func splitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,130 @@
+package rules
+
+import (
+	"fmt"
+
+	"github.com/ignorecomply/consensus/internal/analytic"
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// HMajority is the general h-Majority process used by Conjecture 1: sample
+// h nodes and adopt the plurality color of the samples, breaking ties
+// uniformly among the tied plurality colors.
+//
+// For h = 3 this is exactly the paper's 3-Majority (a 2-out-of-3 color is
+// the unique plurality; three distinct samples tie and the uniform
+// tie-break equals "adopt a random sample"). For h = 1 and h = 2 it
+// collapses to Voter, as the paper notes below Conjecture 1.
+//
+// h-Majority is an AC-process, but its process function has no closed form
+// for h >= 4; the batch step therefore samples each node's h pulls directly
+// from the color distribution via an alias table — still the exact law,
+// at O(n·h) per round. AlphaExact exposes the enumerated process function
+// where the support is small enough (see analytic.HMajorityAlpha).
+type HMajority struct {
+	h      int
+	next   []int
+	fracs  []float64
+	sample []int
+	tied   []int
+}
+
+var _ core.Rule = (*HMajority)(nil)
+var _ core.NodeRule = (*HMajority)(nil)
+
+// NewHMajority returns an h-Majority rule. It panics for h < 1
+// (programmer error).
+func NewHMajority(h int) *HMajority {
+	if h < 1 {
+		panic("rules: NewHMajority requires h >= 1")
+	}
+	return &HMajority{
+		h:      h,
+		sample: make([]int, h),
+		tied:   make([]int, 0, h),
+	}
+}
+
+// H returns the sample size h.
+func (m *HMajority) H() int { return m.h }
+
+// Name implements core.Rule.
+func (m *HMajority) Name() string { return fmt.Sprintf("%d-majority", m.h) }
+
+// Step implements core.Rule by drawing every node's h samples from the
+// current color distribution (exact under Uniform Pull: a uniform node
+// sample is a categorical color sample with probabilities c_i/n).
+func (m *HMajority) Step(c *config.Config, r *rng.RNG) {
+	counts := c.CountsView()
+	n := c.N()
+	alias := rng.NewAliasCounts(counts)
+	m.next = resizeInts(m.next, len(counts))
+	for i := range m.next {
+		m.next[i] = 0
+	}
+	for node := 0; node < n; node++ {
+		for j := 0; j < m.h; j++ {
+			m.sample[j] = alias.Draw(r)
+		}
+		m.next[m.plurality(m.sample, r)]++
+	}
+	copy(counts, m.next)
+}
+
+// Samples implements core.NodeRule.
+func (m *HMajority) Samples() int { return m.h }
+
+// Update implements core.NodeRule: plurality with uniform tie-breaking.
+func (m *HMajority) Update(_ int, samples []int, r *rng.RNG) int {
+	return m.plurality(samples, r)
+}
+
+// plurality returns the plurality value among samples[:h], breaking ties
+// uniformly among the tied colors. It scans deterministically (O(h²), h is
+// a small constant) so that runs reproduce exactly from a seed.
+func (m *HMajority) plurality(samples []int, r *rng.RNG) int {
+	maxCount := 0
+	m.tied = m.tied[:0]
+	for i := 0; i < m.h; i++ {
+		v := samples[i]
+		// Count each distinct value once, at its first occurrence.
+		first := true
+		for j := 0; j < i; j++ {
+			if samples[j] == v {
+				first = false
+				break
+			}
+		}
+		if !first {
+			continue
+		}
+		count := 1
+		for j := i + 1; j < m.h; j++ {
+			if samples[j] == v {
+				count++
+			}
+		}
+		switch {
+		case count > maxCount:
+			maxCount = count
+			m.tied = append(m.tied[:0], v)
+		case count == maxCount:
+			m.tied = append(m.tied, v)
+		}
+	}
+	if len(m.tied) == 1 {
+		return m.tied[0]
+	}
+	return m.tied[r.IntN(len(m.tied))]
+}
+
+// AlphaExact returns the exact process function α(c) by enumeration, or an
+// error when the live support is too large (analytic.HMajorityAlpha's
+// enumeration bound).
+func (m *HMajority) AlphaExact(c *config.Config) ([]float64, error) {
+	m.fracs = resizeFloats(m.fracs, c.Slots())
+	c.Fractions(m.fracs)
+	return analytic.HMajorityAlpha(m.fracs, m.h)
+}

@@ -1,0 +1,67 @@
+package rules
+
+import (
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// ThreeMajority is the 3-Majority process: sample three nodes; if a color
+// appears at least twice among the samples adopt it, otherwise adopt the
+// color of a uniformly random sample. Equivalently (paper §1): run
+// 2-Choices and, on a mismatch, *comply* with a fresh Voter sample.
+//
+// It is an AC-process with α_i(c) = x_i·(1 + x_i − ‖x‖₂²) (Eq. 2), the
+// process the paper's unconditional sublinear upper bound (Theorem 4) is
+// about.
+type ThreeMajority struct {
+	alpha []float64
+}
+
+var (
+	_ core.ACProcess = (*ThreeMajority)(nil)
+	_ core.NodeRule  = (*ThreeMajority)(nil)
+)
+
+// NewThreeMajority returns a 3-Majority rule.
+func NewThreeMajority() *ThreeMajority { return &ThreeMajority{} }
+
+// Name implements core.Rule.
+func (m *ThreeMajority) Name() string { return "3-majority" }
+
+// Alpha implements core.ACProcess (Eq. 2).
+func (m *ThreeMajority) Alpha(c *config.Config, out []float64) []float64 {
+	out = c.Fractions(out)
+	l2 := 0.0
+	for _, x := range out {
+		l2 += x * x
+	}
+	for i, x := range out {
+		out[i] = x * (1 + x - l2)
+	}
+	return out
+}
+
+// Step implements core.Rule: one round is Mult(n, α(c)).
+func (m *ThreeMajority) Step(c *config.Config, r *rng.RNG) {
+	m.alpha = resizeFloats(m.alpha, c.Slots())
+	m.Alpha(c, m.alpha)
+	core.ACStep(c, r, m.alpha)
+}
+
+// Samples implements core.NodeRule.
+func (m *ThreeMajority) Samples() int { return 3 }
+
+// Update implements core.NodeRule: majority of three if it exists, else a
+// uniformly random sample.
+func (m *ThreeMajority) Update(_ int, samples []int, r *rng.RNG) int {
+	s0, s1, s2 := samples[0], samples[1], samples[2]
+	switch {
+	case s0 == s1 || s0 == s2:
+		return s0
+	case s1 == s2:
+		return s1
+	default:
+		return samples[r.IntN(3)]
+	}
+}

@@ -1,0 +1,83 @@
+package rules
+
+import (
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// TwoChoices is the 2-Choices process: sample two nodes; if they agree
+// adopt their color, otherwise *ignore* them and keep your own.
+//
+// 2-Choices is deliberately NOT a core.ACProcess: the next color of a node
+// depends on the node's own current color, so its one-round law is not a
+// plain multinomial. This is exactly the paper's point in §2.2 — Theorem 2
+// does not apply, and indeed 2-Choices dominates Voter in expectation yet
+// is far slower from many-color configurations (Theorem 5).
+//
+// The batch step samples the exact law by the keeper/switcher
+// decomposition: each node independently adopts color i with probability
+// x_i² (total S = ‖x‖₂²) and keeps its own color with probability 1 − S.
+// Per color j, keepers_j ~ Bin(c_j, 1−S); the pooled switchers distribute
+// as Mult(Σ switchers, x²/S). One binomial per live color plus one
+// multinomial: O(k) per round.
+type TwoChoices struct {
+	fracs     []float64
+	squares   []float64
+	keepers   []int
+	switchers []int
+}
+
+var _ core.Rule = (*TwoChoices)(nil)
+var _ core.NodeRule = (*TwoChoices)(nil)
+
+// NewTwoChoices returns a 2-Choices rule.
+func NewTwoChoices() *TwoChoices { return &TwoChoices{} }
+
+// Name implements core.Rule.
+func (t *TwoChoices) Name() string { return "2-choices" }
+
+// Step implements core.Rule via the keeper/switcher decomposition.
+func (t *TwoChoices) Step(c *config.Config, r *rng.RNG) {
+	k := c.Slots()
+	t.fracs = resizeFloats(t.fracs, k)
+	t.squares = resizeFloats(t.squares, k)
+	t.keepers = resizeInts(t.keepers, k)
+	t.switchers = resizeInts(t.switchers, k)
+
+	c.Fractions(t.fracs)
+	s := 0.0
+	for i, x := range t.fracs {
+		t.squares[i] = x * x
+		s += t.squares[i]
+	}
+	counts := c.CountsView()
+	totalSwitchers := 0
+	for i, ci := range counts {
+		if ci == 0 {
+			t.keepers[i] = 0
+			continue
+		}
+		// Each node keeps its own color unless both samples agree on some
+		// color (probability S).
+		keep := r.Binomial(ci, 1-s)
+		t.keepers[i] = keep
+		totalSwitchers += ci - keep
+	}
+	// Switchers adopt color i with probability x_i²/S, independently.
+	r.Multinomial(totalSwitchers, t.squares, t.switchers)
+	for i := range counts {
+		counts[i] = t.keepers[i] + t.switchers[i]
+	}
+}
+
+// Samples implements core.NodeRule.
+func (t *TwoChoices) Samples() int { return 2 }
+
+// Update implements core.NodeRule: adopt on agreement, otherwise ignore.
+func (t *TwoChoices) Update(own int, samples []int, _ *rng.RNG) int {
+	if samples[0] == samples[1] {
+		return samples[0]
+	}
+	return own
+}

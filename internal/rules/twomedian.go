@@ -1,0 +1,111 @@
+package rules
+
+import (
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// TwoMedian is the 2-Median process of [DGM+11] discussed in §1.1: colors
+// are *ordered* values, and each node updates to the median of its own
+// color and two sampled colors. It converges in O(log k · log log n + log n)
+// rounds without bias, but — as the paper stresses — it requires a total
+// order on colors and is not self-stabilizing for Byzantine agreement.
+//
+// The order used is the slot order of the configuration (slot i < slot j
+// iff i < j), which config.Compact preserves.
+//
+// Like 2-Choices it is not an AC-process (the update depends on the node's
+// own color). The batch step is exact: for a node of color j, the median is
+// <= t iff (j <= t and at least one sample is <= t) or (j > t and both
+// samples are <= t), giving a per-color outcome row computable from the
+// CDF; each color group then splits by one multinomial. O(k²) per round.
+type TwoMedian struct {
+	fracs []float64
+	cdf   []float64
+	row   []float64
+	group []int
+	next  []int
+}
+
+var _ core.Rule = (*TwoMedian)(nil)
+var _ core.NodeRule = (*TwoMedian)(nil)
+
+// NewTwoMedian returns a 2-Median rule.
+func NewTwoMedian() *TwoMedian { return &TwoMedian{} }
+
+// Name implements core.Rule.
+func (t *TwoMedian) Name() string { return "2-median" }
+
+// Step implements core.Rule via per-group outcome rows.
+func (t *TwoMedian) Step(c *config.Config, r *rng.RNG) {
+	k := c.Slots()
+	t.fracs = resizeFloats(t.fracs, k)
+	t.cdf = resizeFloats(t.cdf, k)
+	t.row = resizeFloats(t.row, k)
+	t.group = resizeInts(t.group, k)
+	t.next = resizeInts(t.next, k)
+
+	c.Fractions(t.fracs)
+	run := 0.0
+	for i, x := range t.fracs {
+		run += x
+		t.cdf[i] = run
+	}
+	counts := c.CountsView()
+	for i := range t.next {
+		t.next[i] = 0
+	}
+	for j, cj := range counts {
+		if cj == 0 {
+			continue
+		}
+		// Outcome distribution of median(j, S1, S2): G_j(m) = P(med <= m).
+		prev := 0.0
+		for m := 0; m < k; m++ {
+			g := t.medianCDF(j, m)
+			t.row[m] = g - prev
+			if t.row[m] < 0 {
+				t.row[m] = 0 // guard FP noise
+			}
+			prev = g
+		}
+		r.Multinomial(cj, t.row, t.group)
+		for m := 0; m < k; m++ {
+			t.next[m] += t.group[m]
+		}
+	}
+	copy(counts, t.next)
+}
+
+// medianCDF returns P(median(j, S1, S2) <= slot m) with S1, S2 iid from the
+// current color distribution.
+func (t *TwoMedian) medianCDF(j, m int) float64 {
+	f := t.cdf[m]
+	if j <= m {
+		// Own value already <= m: need at least one sample <= m.
+		return 1 - (1-f)*(1-f)
+	}
+	// Own value > m: need both samples <= m.
+	return f * f
+}
+
+// Samples implements core.NodeRule.
+func (t *TwoMedian) Samples() int { return 2 }
+
+// Update implements core.NodeRule: median of own and two samples in slot
+// order.
+func (t *TwoMedian) Update(own int, samples []int, _ *rng.RNG) int {
+	a, b, c := own, samples[0], samples[1]
+	// Median of three by explicit comparison.
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

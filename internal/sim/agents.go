@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"errors"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// RunAgents executes a per-node rule (core.NodeRule) on an explicit
+// population of n node states, the direct simulation of the paper's model:
+// every node pulls Samples() uniformly random nodes (with replacement,
+// self included) and applies its update synchronously.
+//
+// This engine is O(n · samples) per round; it exists to validate the O(k)
+// batch laws (core.Rule) against the literal per-node semantics, and to run
+// rules whose batch law the caller does not trust. Slots are never
+// compacted here, so slot indices are stable for the whole run.
+func RunAgents(rule core.NodeRule, start *config.Config, r *rng.RNG, opts ...Option) (*Result, error) {
+	if rule == nil || start == nil || r == nil {
+		return nil, errors.New("sim: rule, start and rng must be non-nil")
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	o.compactEvery = 0 // node states refer to slot indices; never renumber
+
+	c := start.Clone()
+	nodes := c.Nodes()
+	next := make([]int, len(nodes))
+	samples := make([]int, rule.Samples())
+
+	step := func(int) {
+		counts := c.CountsView()
+		// A uniform node pull is a categorical color draw with
+		// probabilities counts/n; the alias table makes each draw O(1).
+		alias := rng.NewAliasCounts(counts)
+		for i, own := range nodes {
+			for j := range samples {
+				samples[j] = alias.Draw(r)
+			}
+			next[i] = rule.Update(own, samples, r)
+		}
+		nodes, next = next, nodes
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, s := range nodes {
+			counts[s]++
+		}
+	}
+	return runLoop(c, r, o, step, func() *config.Config { return c })
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/rng"
+	"github.com/ignorecomply/consensus/internal/rules"
+	"github.com/ignorecomply/consensus/internal/stats"
+)
+
+// Cross-engine validation over full runs: the batch law and the per-node
+// agent engine must agree not only per round (tested elsewhere) but in the
+// distributions they induce over whole trajectories — here, the time to
+// reduce to a color target and the winner distribution.
+
+func TestCrossEngineReductionTimesAgree(t *testing.T) {
+	const (
+		n      = 256
+		target = 4
+		reps   = 60
+	)
+	start := config.Singleton(n)
+	r := rng.New(151)
+
+	var batch, agents []float64
+	for i := 0; i < reps; i++ {
+		rb, err := Run(rules.NewThreeMajority(), start, r, WithTargetColors(target))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, float64(rb.Rounds))
+		ra, err := RunAgents(rules.NewThreeMajority(), start, r, WithTargetColors(target))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, float64(ra.Rounds))
+	}
+	mb, ma := stats.Mean(batch), stats.Mean(agents)
+	se := math.Sqrt((stats.Summarize(batch).Var + stats.Summarize(agents).Var) / reps)
+	if math.Abs(mb-ma) > 4*se+0.5 {
+		t.Fatalf("batch mean %.2f vs agent mean %.2f (se %.2f): engines disagree", mb, ma, se)
+	}
+	// The distributions should also be close in KS distance.
+	eb, err := stats.NewECDF(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := stats.NewECDF(agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := stats.KSDistance(eb, ea); d > 0.35 {
+		t.Fatalf("KS distance %.3f between engine trajectories", d)
+	}
+}
+
+// TestCrossEngineWinnerUniform: from a balanced 4-color start, both
+// engines must elect each color with probability ~1/4 (symmetry).
+func TestCrossEngineWinnerUniform(t *testing.T) {
+	const (
+		n    = 200
+		k    = 4
+		reps = 120
+	)
+	start := config.Balanced(n, k)
+	r := rng.New(152)
+
+	check := func(name string, run func() (int, error)) {
+		wins := make([]int, k)
+		for i := 0; i < reps; i++ {
+			w, err := run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w < 0 || w >= k {
+				t.Fatalf("%s: winner label %d out of range", name, w)
+			}
+			wins[w]++
+		}
+		for c, count := range wins {
+			frac := float64(count) / reps
+			// 4 sigma around 1/4 with binomial noise.
+			sigma := math.Sqrt(0.25 * 0.75 / reps)
+			if math.Abs(frac-0.25) > 4*sigma {
+				t.Errorf("%s: color %d won %.3f of runs, want ~0.25", name, c, frac)
+			}
+		}
+	}
+	check("batch", func() (int, error) {
+		res, err := Run(rules.NewVoter(), start, r)
+		if err != nil {
+			return 0, err
+		}
+		return res.WinnerLabel, nil
+	})
+	check("agents", func() (int, error) {
+		res, err := RunAgents(rules.NewVoter(), start, r)
+		if err != nil {
+			return 0, err
+		}
+		return res.WinnerLabel, nil
+	})
+}
+
+// TestWinnerProportionalToSupport: under Voter the probability a color
+// wins equals its initial fraction (a martingale fact), a strong
+// whole-trajectory correctness check of the batch engine.
+func TestWinnerProportionalToSupport(t *testing.T) {
+	const reps = 300
+	start := config.TwoBlock(100, 25) // color 0 should win w.p. 1/4
+	r := rng.New(153)
+	wins := 0
+	for i := 0; i < reps; i++ {
+		res, err := Run(rules.NewVoter(), start, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WinnerLabel == 0 {
+			wins++
+		}
+	}
+	frac := float64(wins) / reps
+	sigma := math.Sqrt(0.25 * 0.75 / reps)
+	if math.Abs(frac-0.25) > 4*sigma {
+		t.Fatalf("color with 1/4 support won %.3f of runs, want ~0.25 (martingale property)", frac)
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/graph"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// RunOnGraph executes a per-node rule on an arbitrary interaction graph:
+// each node's samples are uniformly random *neighbors* rather than uniform
+// nodes. On graph.Complete this coincides with RunAgents; on other
+// topologies it runs the general-graph Voter/2-Choices processes the
+// paper's related work studies (e.g. [CEOR13, CER14, BGKMT16]).
+//
+// colors assigns each vertex its initial color (len(colors) == g.N());
+// distinct ints are distinct colors. Slot indices are stable for the whole
+// run (no compaction).
+func RunOnGraph(rule core.NodeRule, g graph.Graph, colors []int, r *rng.RNG, opts ...Option) (*Result, error) {
+	if rule == nil || g == nil || r == nil {
+		return nil, errors.New("sim: rule, graph and rng must be non-nil")
+	}
+	if len(colors) != g.N() {
+		return nil, fmt.Errorf("sim: %d colors for %d vertices", len(colors), g.N())
+	}
+	c, err := config.FromNodes(colors)
+	if err != nil {
+		return nil, fmt.Errorf("sim: invalid colors: %w", err)
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	o.compactEvery = 0 // node states refer to slot indices
+
+	// Map vertex -> slot using the first-appearance order of FromNodes.
+	slotOf := make(map[int]int, c.Slots())
+	for s := 0; s < c.Slots(); s++ {
+		slotOf[c.Label(s)] = s
+	}
+	nodes := make([]int, len(colors))
+	for u, col := range colors {
+		nodes[u] = slotOf[col]
+	}
+	next := make([]int, len(nodes))
+	samples := make([]int, rule.Samples())
+
+	step := func(int) {
+		for u := range nodes {
+			for j := range samples {
+				samples[j] = nodes[graph.RandomNeighbor(g, u, r)]
+			}
+			next[u] = rule.Update(nodes[u], samples, r)
+		}
+		nodes, next = next, nodes
+		counts := c.CountsView()
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, s := range nodes {
+			counts[s]++
+		}
+	}
+	return runLoop(c, r, o, step, func() *config.Config { return c })
+}

@@ -1,0 +1,213 @@
+// Package sim executes consensus processes round by round: run-to-consensus
+// and run-to-κ-colors (the paper's T^κ reduction times), round budgets,
+// traces, and parallel replica execution with per-replica deterministic
+// random streams.
+package sim
+
+import (
+	"errors"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// TracePoint is one sampled observation of a run.
+type TracePoint struct {
+	Round      int
+	Colors     int
+	MaxSupport int
+	Bias       int
+}
+
+// Result describes a completed run.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Converged reports whether the color target was reached within the
+	// round budget.
+	Converged bool
+	// Final is the configuration at the end of the run.
+	Final *config.Config
+	// WinnerLabel is the label of the plurality color of Final (the
+	// consensus color when Converged with target 1).
+	WinnerLabel int
+	// ColorTimes maps each requested κ to the first round at the end of
+	// which at most κ colors remained (0 if already true initially);
+	// entries are absent for κ values never reached.
+	ColorTimes map[int]int
+	// Trace holds periodic observations when tracing was enabled.
+	Trace []TracePoint
+}
+
+type options struct {
+	maxRounds    int
+	targetColors int
+	colorTimes   []int
+	traceEvery   int
+	compactEvery int
+	observer     func(round int, c *config.Config)
+	stopWhen     func(round int, c *config.Config) bool
+}
+
+// Option configures a run.
+type Option interface {
+	apply(*options)
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithMaxRounds bounds the number of rounds (default 10,000,000).
+func WithMaxRounds(n int) Option {
+	return optionFunc(func(o *options) { o.maxRounds = n })
+}
+
+// WithTargetColors stops the run once at most k colors remain (default 1,
+// i.e. consensus).
+func WithTargetColors(k int) Option {
+	return optionFunc(func(o *options) { o.targetColors = k })
+}
+
+// WithColorTimes records, for each κ, the first round at which at most κ
+// colors remain (the paper's T^κ observable).
+func WithColorTimes(kappas ...int) Option {
+	cp := append([]int(nil), kappas...)
+	return optionFunc(func(o *options) { o.colorTimes = cp })
+}
+
+// WithTrace samples a TracePoint every `every` rounds (and at the end).
+func WithTrace(every int) Option {
+	return optionFunc(func(o *options) { o.traceEvery = every })
+}
+
+// WithCompactEvery controls how often extinct color slots are dropped
+// (default every 32 rounds when more than half the slots are extinct; 0
+// disables compaction). Compaction renumbers slots; observers must use
+// labels, not slot indices, across rounds.
+func WithCompactEvery(every int) Option {
+	return optionFunc(func(o *options) { o.compactEvery = every })
+}
+
+// WithObserver invokes fn after every round with the current round number
+// and configuration (a live view: do not mutate or retain).
+func WithObserver(fn func(round int, c *config.Config)) Option {
+	return optionFunc(func(o *options) { o.observer = fn })
+}
+
+// WithStopWhen ends the run (as converged) the first time fn returns true,
+// evaluated after every round in addition to the color target. Use it for
+// stopping conditions beyond color counts, e.g. "some color exceeds
+// support ℓ'" in the Theorem 5 experiments.
+func WithStopWhen(fn func(round int, c *config.Config) bool) Option {
+	return optionFunc(func(o *options) { o.stopWhen = fn })
+}
+
+func buildOptions(opts []Option) (options, error) {
+	o := options{
+		maxRounds:    10_000_000,
+		targetColors: 1,
+		compactEvery: 32,
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	if o.maxRounds <= 0 {
+		return o, errors.New("sim: max rounds must be positive")
+	}
+	if o.targetColors < 1 {
+		return o, errors.New("sim: target colors must be >= 1")
+	}
+	for _, k := range o.colorTimes {
+		if k < 1 {
+			return o, errors.New("sim: color-time targets must be >= 1")
+		}
+	}
+	return o, nil
+}
+
+// Run executes rule on a copy of start until at most the target number of
+// colors remains or the round budget is exhausted.
+func Run(rule core.Rule, start *config.Config, r *rng.RNG, opts ...Option) (*Result, error) {
+	if rule == nil || start == nil || r == nil {
+		return nil, errors.New("sim: rule, start and rng must be non-nil")
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	c := start.Clone()
+	return runLoop(c, r, o, func(round int) {
+		rule.Step(c, r)
+	}, func() *config.Config { return c })
+}
+
+// runLoop drives the shared round loop. step executes one round; current
+// returns the live configuration (which step may replace).
+func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int), current func() *config.Config) (*Result, error) {
+	res := &Result{ColorTimes: make(map[int]int, len(o.colorTimes))}
+	record := func(round int) bool {
+		cfg := current()
+		k := cfg.Remaining()
+		for _, kappa := range o.colorTimes {
+			if _, done := res.ColorTimes[kappa]; !done && k <= kappa {
+				res.ColorTimes[kappa] = round
+			}
+		}
+		if o.traceEvery > 0 && round%o.traceEvery == 0 {
+			_, maxSup := cfg.Max()
+			res.Trace = append(res.Trace, TracePoint{
+				Round:      round,
+				Colors:     k,
+				MaxSupport: maxSup,
+				Bias:       cfg.Bias(),
+			})
+		}
+		if o.observer != nil {
+			o.observer(round, cfg)
+		}
+		if o.stopWhen != nil && o.stopWhen(round, cfg) {
+			return true
+		}
+		return k <= o.targetColors
+	}
+
+	if record(0) {
+		res.Converged = true
+		finish(res, current(), 0, o)
+		return res, nil
+	}
+	for round := 1; round <= o.maxRounds; round++ {
+		step(round)
+		if record(round) {
+			res.Converged = true
+			finish(res, current(), round, o)
+			return res, nil
+		}
+		if o.compactEvery > 0 && round%o.compactEvery == 0 {
+			cfg := current()
+			if cfg.Remaining()*2 < cfg.Slots() {
+				cfg.Compact()
+			}
+		}
+	}
+	finish(res, current(), o.maxRounds, o)
+	return res, nil
+}
+
+func finish(res *Result, c *config.Config, rounds int, o options) {
+	res.Rounds = rounds
+	res.Final = c
+	slot, _ := c.Max()
+	res.WinnerLabel = c.Label(slot)
+	if o.traceEvery > 0 && (len(res.Trace) == 0 || res.Trace[len(res.Trace)-1].Round != rounds) {
+		_, maxSup := c.Max()
+		res.Trace = append(res.Trace, TracePoint{
+			Round:      rounds,
+			Colors:     c.Remaining(),
+			MaxSupport: maxSup,
+			Bias:       c.Bias(),
+		})
+	}
+}

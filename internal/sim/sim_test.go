@@ -1,0 +1,399 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+	"github.com/ignorecomply/consensus/internal/rules"
+)
+
+func TestRunVoterToConsensus(t *testing.T) {
+	r := rng.New(91)
+	res, err := Run(rules.NewVoter(), config.Balanced(200, 4), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("voter did not converge")
+	}
+	if !res.Final.IsConsensus() {
+		t.Fatalf("final config not consensus: %v", res.Final)
+	}
+	if res.WinnerLabel < 0 || res.WinnerLabel > 3 {
+		t.Fatalf("winner label %d out of range", res.WinnerLabel)
+	}
+}
+
+func TestRunThreeMajorityFromSingleton(t *testing.T) {
+	r := rng.New(92)
+	res, err := Run(rules.NewThreeMajority(), config.Singleton(500), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("3-majority did not converge from the n-color configuration")
+	}
+	if res.Rounds <= 0 {
+		t.Fatalf("Rounds = %d", res.Rounds)
+	}
+}
+
+func TestRunMaxRoundsBudget(t *testing.T) {
+	r := rng.New(93)
+	res, err := Run(rules.NewTwoChoices(), config.Singleton(400), r, WithMaxRounds(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("2-choices cannot reach consensus from 400 colors in 3 rounds")
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("Rounds = %d, want 3", res.Rounds)
+	}
+}
+
+func TestRunTargetColors(t *testing.T) {
+	r := rng.New(94)
+	res, err := Run(rules.NewVoter(), config.Singleton(300), r, WithTargetColors(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not reach 10 colors")
+	}
+	if got := res.Final.Remaining(); got > 10 {
+		t.Fatalf("final colors %d > 10", got)
+	}
+}
+
+func TestRunColorTimesMonotone(t *testing.T) {
+	r := rng.New(95)
+	res, err := Run(rules.NewVoter(), config.Singleton(400), r,
+		WithColorTimes(100, 50, 10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t100, t50, t10, t1 := res.ColorTimes[100], res.ColorTimes[50], res.ColorTimes[10], res.ColorTimes[1]
+	if !(t100 <= t50 && t50 <= t10 && t10 <= t1) {
+		t.Fatalf("T^κ not monotone: %d, %d, %d, %d", t100, t50, t10, t1)
+	}
+	if t1 != res.Rounds {
+		t.Fatalf("T^1 = %d but Rounds = %d", t1, res.Rounds)
+	}
+}
+
+func TestRunAlreadyConverged(t *testing.T) {
+	r := rng.New(96)
+	res, err := Run(rules.NewVoter(), config.Consensus(50), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Rounds != 0 {
+		t.Fatalf("consensus start: Converged=%v Rounds=%d", res.Converged, res.Rounds)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	r := rng.New(97)
+	res, err := Run(rules.NewVoter(), config.Singleton(200), r, WithTrace(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace points")
+	}
+	prev := -1
+	for _, tp := range res.Trace {
+		if tp.Round <= prev {
+			t.Fatalf("trace rounds not increasing: %v", res.Trace)
+		}
+		prev = tp.Round
+		if tp.Colors < 1 || tp.MaxSupport < 1 {
+			t.Fatalf("implausible trace point %+v", tp)
+		}
+	}
+	if last := res.Trace[len(res.Trace)-1]; last.Round != res.Rounds {
+		t.Fatalf("last trace at round %d, run ended at %d", last.Round, res.Rounds)
+	}
+}
+
+func TestRunObserverSeesEveryRound(t *testing.T) {
+	r := rng.New(98)
+	var rounds []int
+	_, err := Run(rules.NewVoter(), config.Balanced(100, 2), r,
+		WithObserver(func(round int, c *config.Config) {
+			rounds = append(rounds, round)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range rounds {
+		if got != i {
+			t.Fatalf("observer rounds = %v", rounds)
+		}
+	}
+}
+
+func TestRunCompaction(t *testing.T) {
+	r := rng.New(99)
+	res, err := Run(rules.NewVoter(), config.Singleton(500), r, WithCompactEvery(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Final.Slots() > 250 {
+		t.Fatalf("compaction did not shrink slots: %d", res.Final.Slots())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	r := rng.New(100)
+	c := config.Balanced(10, 2)
+	if _, err := Run(nil, c, r); err == nil {
+		t.Error("expected error: nil rule")
+	}
+	if _, err := Run(rules.NewVoter(), nil, r); err == nil {
+		t.Error("expected error: nil config")
+	}
+	if _, err := Run(rules.NewVoter(), c, nil); err == nil {
+		t.Error("expected error: nil rng")
+	}
+	if _, err := Run(rules.NewVoter(), c, r, WithMaxRounds(0)); err == nil {
+		t.Error("expected error: zero budget")
+	}
+	if _, err := Run(rules.NewVoter(), c, r, WithTargetColors(0)); err == nil {
+		t.Error("expected error: zero target")
+	}
+	if _, err := Run(rules.NewVoter(), c, r, WithColorTimes(0)); err == nil {
+		t.Error("expected error: zero kappa")
+	}
+}
+
+func TestRunDeterministicGivenSeed(t *testing.T) {
+	run := func() *Result {
+		r := rng.New(4242)
+		res, err := Run(rules.NewThreeMajority(), config.Singleton(300), r, WithTrace(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.WinnerLabel != b.WinnerLabel {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d", a.Rounds, a.WinnerLabel, b.Rounds, b.WinnerLabel)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace diverged at %d: %+v vs %+v", i, a.Trace[i], b.Trace[i])
+		}
+	}
+}
+
+func TestRunDoesNotMutateStart(t *testing.T) {
+	r := rng.New(101)
+	start := config.Balanced(100, 4)
+	before := start.CountsCopy()
+	if _, err := Run(rules.NewVoter(), start, r); err != nil {
+		t.Fatal(err)
+	}
+	after := start.CountsCopy()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Run mutated the start configuration")
+		}
+	}
+}
+
+func TestRunAgentsVoter(t *testing.T) {
+	r := rng.New(102)
+	res, err := RunAgents(rules.NewVoter(), config.Balanced(100, 4), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !res.Final.IsConsensus() {
+		t.Fatalf("agent voter: converged=%v", res.Converged)
+	}
+}
+
+func TestRunAgentsTwoChoicesKeepsOwnColor(t *testing.T) {
+	r := rng.New(103)
+	// From a 2-color near-balanced configuration 2-choices converges.
+	res, err := RunAgents(rules.NewTwoChoices(), config.TwoBlock(100, 40), r,
+		WithMaxRounds(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("agent 2-choices did not converge on 2 colors")
+	}
+}
+
+// TestAgentsMatchBatchOneRound cross-validates the agent engine against the
+// exact batch law: one round from the same configuration must produce the
+// same expected counts (binomial-level agreement on means).
+func TestAgentsMatchBatchOneRound(t *testing.T) {
+	type factory struct {
+		name  string
+		batch func() core.Rule
+		node  func() core.NodeRule
+	}
+	factories := []factory{
+		{
+			name:  "voter",
+			batch: func() core.Rule { return rules.NewVoter() },
+			node:  func() core.NodeRule { return rules.NewVoter() },
+		},
+		{
+			name:  "2-choices",
+			batch: func() core.Rule { return rules.NewTwoChoices() },
+			node:  func() core.NodeRule { return rules.NewTwoChoices() },
+		},
+		{
+			name:  "3-majority",
+			batch: func() core.Rule { return rules.NewThreeMajority() },
+			node:  func() core.NodeRule { return rules.NewThreeMajority() },
+		},
+		{
+			name:  "4-majority",
+			batch: func() core.Rule { return rules.NewHMajority(4) },
+			node:  func() core.NodeRule { return rules.NewHMajority(4) },
+		},
+		{
+			name:  "2-median",
+			batch: func() core.Rule { return rules.NewTwoMedian() },
+			node:  func() core.NodeRule { return rules.NewTwoMedian() },
+		},
+	}
+	start := config.Zipf(300, 4, 0.9)
+	const reps = 1200
+	for _, f := range factories {
+		t.Run(f.name, func(t *testing.T) {
+			r := rng.New(104)
+			batchMeans := make([]float64, start.Slots())
+			agentMeans := make([]float64, start.Slots())
+			for rep := 0; rep < reps; rep++ {
+				cb := start.Clone()
+				f.batch().Step(cb, r)
+				for s := 0; s < cb.Slots(); s++ {
+					batchMeans[s] += float64(cb.Count(s))
+				}
+				ra, err := RunAgents(f.node(), start, r, WithMaxRounds(1), WithTargetColors(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for s := 0; s < ra.Final.Slots(); s++ {
+					agentMeans[s] += float64(ra.Final.Count(s))
+				}
+			}
+			n := float64(start.N())
+			for s := range batchMeans {
+				b := batchMeans[s] / reps / n
+				a := agentMeans[s] / reps / n
+				if math.Abs(b-a) > 0.02 {
+					t.Errorf("slot %d: batch mean %.4f vs agent mean %.4f", s, b, a)
+				}
+			}
+		})
+	}
+}
+
+func TestRunReplicas(t *testing.T) {
+	base := rng.New(105)
+	results, err := RunReplicas(
+		func() core.Rule { return rules.NewThreeMajority() },
+		config.Singleton(200), base, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 16 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if ConvergedCount(results) != 16 {
+		t.Fatalf("only %d/16 replicas converged", ConvergedCount(results))
+	}
+	rounds := Rounds(results)
+	// Replicas must differ (independent streams).
+	allSame := true
+	for _, v := range rounds[1:] {
+		if v != rounds[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("all replicas produced identical round counts; streams correlated?")
+	}
+}
+
+func TestRunReplicasDeterministic(t *testing.T) {
+	run := func() []float64 {
+		base := rng.New(106)
+		results, err := RunReplicas(
+			func() core.Rule { return rules.NewVoter() },
+			config.Singleton(100), base, 8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Rounds(results)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replica %d differs across identical seeded runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunReplicasErrors(t *testing.T) {
+	base := rng.New(107)
+	c := config.Balanced(10, 2)
+	factory := func() core.Rule { return rules.NewVoter() }
+	if _, err := RunReplicas(nil, c, base, 2, 1); err == nil {
+		t.Error("expected error: nil factory")
+	}
+	if _, err := RunReplicas(factory, c, base, 0, 1); err == nil {
+		t.Error("expected error: zero replicas")
+	}
+	if _, err := RunReplicas(factory, c, base, 2, 1, WithMaxRounds(-1)); err == nil {
+		t.Error("expected error propagated from Run")
+	}
+}
+
+func TestColorTimesExtraction(t *testing.T) {
+	results := []*Result{
+		{ColorTimes: map[int]int{5: 10}},
+		{ColorTimes: map[int]int{}},
+		{ColorTimes: map[int]int{5: 20}},
+	}
+	times, all := ColorTimes(results, 5)
+	if all {
+		t.Error("second replica missed κ=5; allReached should be false")
+	}
+	if len(times) != 2 || times[0] != 10 || times[1] != 20 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestUndecidedRunBudgeted(t *testing.T) {
+	r := rng.New(108)
+	// The undecided slot participates in Remaining, so target 1 means all
+	// nodes decided on one color with no undecided nodes left.
+	res, err := Run(rules.NewUndecided(), config.Balanced(300, 3), r,
+		WithMaxRounds(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("undecided dynamics did not converge on 3 balanced colors")
+	}
+	if res.WinnerLabel == rules.UndecidedLabel {
+		t.Fatal("winner is the undecided pseudo-color")
+	}
+}
