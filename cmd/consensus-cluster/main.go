@@ -1,7 +1,9 @@
 // Command consensus-cluster runs a consensus process as a real
 // message-passing system: one goroutine per node exchanging pull
 // requests/responses over channels in synchronized rounds, with message
-// accounting (each message carries one O(log k)-bit color id).
+// accounting (each message carries one O(log k)-bit color id). It is the
+// Runner's cluster engine behind dedicated flags; consensus-sim exposes
+// the same engine alongside the others.
 //
 // Usage:
 //
@@ -10,16 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"github.com/ignorecomply/consensus/internal/cluster"
-	"github.com/ignorecomply/consensus/internal/config"
-	"github.com/ignorecomply/consensus/internal/core"
-	"github.com/ignorecomply/consensus/internal/rules"
+	consensus "github.com/ignorecomply/consensus"
 )
 
 func main() {
@@ -41,7 +41,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	factory, err := nodeRuleFactory(*ruleName)
+	factory, err := ruleFactory(*ruleName)
 	if err != nil {
 		return err
 	}
@@ -49,10 +49,14 @@ func run(args []string) error {
 	if kk <= 0 {
 		kk = *n
 	}
-	start := config.Balanced(*n, kk)
+	start := consensus.BalancedConfig(*n, kk)
 	fmt.Printf("cluster: %d node goroutines, %d colors, rule %s\n", *n, kk, *ruleName)
 
-	res, err := cluster.Run(factory, start, *seed, *maxRounds)
+	runner := consensus.NewFactoryRunner(factory,
+		consensus.WithEngine(consensus.EngineCluster),
+		consensus.WithSeed(*seed),
+		consensus.WithMaxRounds(*maxRounds))
+	res, err := runner.Run(context.Background(), start)
 	if err != nil {
 		return err
 	}
@@ -66,21 +70,21 @@ func run(args []string) error {
 	return nil
 }
 
-func nodeRuleFactory(name string) (func() core.NodeRule, error) {
+func ruleFactory(name string) (consensus.Factory, error) {
 	switch name {
 	case "voter":
-		return func() core.NodeRule { return rules.NewVoter() }, nil
+		return func() consensus.Rule { return consensus.NewVoter() }, nil
 	case "2-choices":
-		return func() core.NodeRule { return rules.NewTwoChoices() }, nil
+		return func() consensus.Rule { return consensus.NewTwoChoices() }, nil
 	case "3-majority":
-		return func() core.NodeRule { return rules.NewThreeMajority() }, nil
+		return func() consensus.Rule { return consensus.NewThreeMajority() }, nil
 	case "2-median":
-		return func() core.NodeRule { return rules.NewTwoMedian() }, nil
+		return func() consensus.Rule { return consensus.NewTwoMedian() }, nil
 	}
 	if h, ok := strings.CutSuffix(name, "-majority"); ok {
 		hv, err := strconv.Atoi(h)
 		if err == nil && hv >= 1 {
-			return func() core.NodeRule { return rules.NewHMajority(hv) }, nil
+			return func() consensus.Rule { return consensus.NewHMajority(hv) }, nil
 		}
 	}
 	return nil, fmt.Errorf("unknown rule %q", name)

@@ -1,26 +1,31 @@
 // Command consensus-sim runs a single consensus process on a single
 // configuration and prints a round trace — the quickest way to watch the
-// paper's dynamics happen.
+// paper's dynamics happen. Every execution engine (exact batch law,
+// per-node agents, graph topology, message-passing cluster) and the §5
+// Byzantine adversary are available behind the same flags, because they
+// are all options on the same Runner.
 //
 // Usage:
 //
 //	consensus-sim [-rule voter|2-choices|3-majority|4-majority|...|2-median|undecided]
+//	              [-engine batch|agents|graph|cluster]
+//	              [-topology complete|ring|torus|random-regular] [-degree D]
+//	              [-adversary none|boost-runner-up|revive-weakest|inject-invalid|random-noise]
+//	              [-budget F] [-epsilon E] [-window W]
 //	              [-n N] [-k K] [-dist singleton|balanced|zipf|biased]
 //	              [-bias B] [-seed S] [-trace-every T] [-max-rounds M]
+//	              [-timeout D]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"github.com/ignorecomply/consensus/internal/config"
-	"github.com/ignorecomply/consensus/internal/core"
-	"github.com/ignorecomply/consensus/internal/rng"
-	"github.com/ignorecomply/consensus/internal/rules"
-	"github.com/ignorecomply/consensus/internal/sim"
+	consensus "github.com/ignorecomply/consensus"
 )
 
 func main() {
@@ -34,6 +39,13 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("consensus-sim", flag.ContinueOnError)
 	var (
 		ruleName   = fs.String("rule", "3-majority", "update rule (voter, 2-choices, 3-majority, H-majority, 2-median, undecided)")
+		engineName = fs.String("engine", "batch", "execution engine: batch, agents, graph, cluster")
+		topology   = fs.String("topology", "complete", "interaction topology for -engine graph: complete, ring, torus, random-regular")
+		degree     = fs.Int("degree", 4, "vertex degree for -topology random-regular")
+		advName    = fs.String("adversary", "none", "§5 adversary: none, boost-runner-up, revive-weakest, inject-invalid, random-noise")
+		budget     = fs.Int("budget", 8, "adversary per-round corruption budget F")
+		epsilon    = fs.Float64("epsilon", 0.05, "almost-consensus threshold parameter ε")
+		window     = fs.Int("window", 25, "rounds the almost-consensus must hold to count as stable")
 		n          = fs.Int("n", 10000, "number of nodes")
 		k          = fs.Int("k", 0, "number of initial colors (0 = n, i.e. the singleton configuration)")
 		dist       = fs.String("dist", "singleton", "initial distribution: singleton, balanced, zipf, biased")
@@ -41,12 +53,13 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 1, "random seed")
 		traceEvery = fs.Int("trace-every", 10, "print a trace line every T rounds (0 = off)")
 		maxRounds  = fs.Int("max-rounds", 10_000_000, "round budget")
+		timeout    = fs.Duration("timeout", 0, "wall-clock budget (0 = none); cancels the run via context")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	rule, err := ruleByName(*ruleName)
+	factory, err := ruleFactory(*ruleName)
 	if err != nil {
 		return err
 	}
@@ -54,14 +67,39 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("rule=%s n=%d k=%d dist=%s seed=%d\n",
-		rule.Name(), start.N(), start.Remaining(), *dist, *seed)
 
-	opts := []sim.Option{sim.WithMaxRounds(*maxRounds)}
-	if *traceEvery > 0 {
-		opts = append(opts, sim.WithTrace(*traceEvery))
+	opts := []consensus.Option{
+		consensus.WithSeed(*seed),
+		consensus.WithMaxRounds(*maxRounds),
 	}
-	res, err := sim.Run(rule, start, rng.New(*seed), opts...)
+	if *traceEvery > 0 {
+		opts = append(opts, consensus.WithTrace(*traceEvery))
+	}
+	engineOpts, err := engineOptions(*engineName, *topology, *degree, start.N(), *seed)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, engineOpts...)
+	adversarial := *advName != "none" && *advName != ""
+	if adversarial {
+		adv, err := adversaryByName(*advName, *budget)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, consensus.WithAdversary(adv, *epsilon, *window))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	fmt.Printf("rule=%s engine=%s n=%d k=%d dist=%s adversary=%s seed=%d\n",
+		*ruleName, *engineName, start.N(), start.Remaining(), *dist, *advName, *seed)
+
+	res, err := consensus.NewFactoryRunner(factory, opts...).Run(ctx, start)
 	if err != nil {
 		return err
 	}
@@ -69,49 +107,119 @@ func run(args []string) error {
 		fmt.Printf("round %8d  colors %8d  max-support %8d  bias %8d\n",
 			tp.Round, tp.Colors, tp.MaxSupport, tp.Bias)
 	}
-	status := "consensus"
-	if !res.Converged {
-		status = "budget exhausted"
+	switch {
+	case adversarial && res.Stable:
+		validity := "valid"
+		if !res.WinnerValid {
+			validity = "INVALID"
+		}
+		fmt.Printf("stable almost-consensus after %d rounds; winner color label %d (%s), %d corruptions applied\n",
+			res.Rounds, res.WinnerLabel, validity, res.Corrupted)
+	case adversarial:
+		fmt.Printf("no stable almost-consensus within %d rounds (%d corruptions applied)\n",
+			res.Rounds, res.Corrupted)
+	case res.Converged:
+		fmt.Printf("consensus after %d rounds; winner color label %d\n", res.Rounds, res.WinnerLabel)
+	default:
+		fmt.Printf("budget exhausted after %d rounds; winner color label %d\n", res.Rounds, res.WinnerLabel)
 	}
-	fmt.Printf("%s after %d rounds; winner color label %d\n", status, res.Rounds, res.WinnerLabel)
+	if res.Messages > 0 {
+		fmt.Printf("messages exchanged: %d (%d bits/message payload)\n", res.Messages, res.BitsPerMessage)
+	}
 	return nil
 }
 
-func ruleByName(name string) (core.Rule, error) {
+func engineOptions(engine, topology string, degree, n int, seed uint64) ([]consensus.Option, error) {
+	switch engine {
+	case "batch":
+		return nil, nil
+	case "agents":
+		return []consensus.Option{consensus.WithEngine(consensus.EngineAgents)}, nil
+	case "cluster":
+		return []consensus.Option{consensus.WithEngine(consensus.EngineCluster)}, nil
+	case "graph":
+		g, err := makeGraph(topology, degree, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		return []consensus.Option{consensus.WithGraph(g)}, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q", engine)
+	}
+}
+
+func makeGraph(topology string, degree, n int, seed uint64) (consensus.Graph, error) {
+	switch topology {
+	case "complete":
+		return consensus.NewCompleteGraph(n), nil
+	case "ring":
+		return consensus.NewRingGraph(n), nil
+	case "torus":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		if side*side != n {
+			return nil, fmt.Errorf("torus needs a square n, got %d", n)
+		}
+		return consensus.NewTorusGraph(side, side), nil
+	case "random-regular":
+		return consensus.NewRandomRegularGraph(n, degree, consensus.NewRNG(seed^0x9e3779b97f4a7c15))
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topology)
+	}
+}
+
+func adversaryByName(name string, budget int) (consensus.Adversary, error) {
+	switch name {
+	case "boost-runner-up":
+		return &consensus.BoostRunnerUp{F: budget}, nil
+	case "revive-weakest":
+		return &consensus.ReviveWeakest{F: budget}, nil
+	case "inject-invalid":
+		return &consensus.InjectInvalid{F: budget}, nil
+	case "random-noise":
+		return &consensus.RandomNoise{F: budget}, nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", name)
+	}
+}
+
+func ruleFactory(name string) (consensus.Factory, error) {
 	switch name {
 	case "voter":
-		return rules.NewVoter(), nil
+		return func() consensus.Rule { return consensus.NewVoter() }, nil
 	case "2-choices":
-		return rules.NewTwoChoices(), nil
+		return func() consensus.Rule { return consensus.NewTwoChoices() }, nil
 	case "3-majority":
-		return rules.NewThreeMajority(), nil
+		return func() consensus.Rule { return consensus.NewThreeMajority() }, nil
 	case "2-median":
-		return rules.NewTwoMedian(), nil
+		return func() consensus.Rule { return consensus.NewTwoMedian() }, nil
 	case "undecided":
-		return rules.NewUndecided(), nil
+		return func() consensus.Rule { return consensus.NewUndecided() }, nil
 	}
 	if h, ok := strings.CutSuffix(name, "-majority"); ok {
 		hv, err := strconv.Atoi(h)
 		if err == nil && hv >= 1 {
-			return rules.NewHMajority(hv), nil
+			return func() consensus.Rule { return consensus.NewHMajority(hv) }, nil
 		}
 	}
 	return nil, fmt.Errorf("unknown rule %q", name)
 }
 
-func makeConfig(dist string, n, k, bias int, seed uint64) (*config.Config, error) {
+func makeConfig(dist string, n, k, bias int, seed uint64) (*consensus.Config, error) {
 	if k <= 0 {
 		k = n
 	}
 	switch dist {
 	case "singleton":
-		return config.Singleton(n), nil
+		return consensus.SingletonConfig(n), nil
 	case "balanced":
-		return config.Balanced(n, k), nil
+		return consensus.BalancedConfig(n, k), nil
 	case "zipf":
-		return config.Zipf(n, k, 1.0), nil
+		return consensus.ZipfConfig(n, k, 1.0), nil
 	case "biased":
-		return config.Biased(n, k, bias), nil
+		return consensus.BiasedConfig(n, k, bias), nil
 	default:
 		return nil, fmt.Errorf("unknown distribution %q", dist)
 	}

@@ -8,21 +8,32 @@
 //   - configurations and workload generators (the paper's c ∈ N₀^k vectors);
 //   - the update rules: Voter, 2-Choices, 3-Majority, general h-Majority,
 //     2-Median and the Undecided-State Dynamics;
-//   - exact-law simulation engines (batch, per-node agents, goroutine
-//     message-passing cluster) with replica fan-out;
+//   - the Runner: one composable, context-aware entry point that executes
+//     any rule on any engine (exact batch law, per-node agents, arbitrary
+//     graph topology, goroutine message-passing cluster) with replica
+//     fan-out, all configured through functional options;
 //   - the paper's anonymous-consensus-process comparison framework:
 //     protocol dominance (Definition 2) and the stochastic-majorization
 //     footprint of the 1-step coupling (Lemma 1);
 //   - coalescing random walks and the Voter duality coupling (Lemma 4);
-//   - the Byzantine round adversary of the fault-tolerance regime (§5).
+//   - the Byzantine round adversary of the fault-tolerance regime (§5),
+//     composable onto every engine via WithAdversary.
+//
+// A minimal run:
+//
+//	runner := consensus.NewRunner(consensus.NewThreeMajority(),
+//	    consensus.WithSeed(42))
+//	res, err := runner.Run(ctx, consensus.SingletonConfig(100_000))
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results; cmd/consensus-bench regenerates every table.
 package consensus
 
 import (
+	"context"
+	"errors"
+
 	"github.com/ignorecomply/consensus/internal/adversary"
-	"github.com/ignorecomply/consensus/internal/cluster"
 	"github.com/ignorecomply/consensus/internal/coalesce"
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/core"
@@ -72,15 +83,49 @@ type (
 
 // Simulation types.
 type (
-	// Result describes a completed run.
+	// Runner executes a consensus process on a configurable engine; see
+	// NewRunner and NewFactoryRunner.
+	Runner = sim.Runner
+	// Engine selects a Runner's execution backend.
+	Engine = sim.Engine
+	// Result describes a completed run on any engine: rounds,
+	// convergence, color-reduction times, traces, message accounting
+	// (cluster engine) and §5 stability bookkeeping (adversarial runs).
 	Result = sim.Result
 	// TracePoint is one sampled observation of a run.
 	TracePoint = sim.TracePoint
 	// Option configures a run.
 	Option = sim.Option
+
 	// ClusterResult describes a goroutine message-passing run.
-	ClusterResult = cluster.Result
+	//
+	// Deprecated: the cluster engine now reports the unified Result.
+	ClusterResult = sim.Result
 )
+
+// Execution engines (see DESIGN.md for the comparison table).
+const (
+	// EngineBatch runs the exact O(k)-per-round law on configurations
+	// (the default; scales to millions of nodes).
+	EngineBatch = sim.EngineBatch
+	// EngineAgents runs the literal per-node Uniform Pull simulation.
+	EngineAgents = sim.EngineAgents
+	// EngineGraph runs per-node on an interaction topology (WithGraph).
+	EngineGraph = sim.EngineGraph
+	// EngineCluster runs one goroutine per node with real message passing.
+	EngineCluster = sim.EngineCluster
+)
+
+// NewRunner builds a Runner around a single rule instance. It drives the
+// batch, agents and graph engines; the cluster engine and RunReplicas
+// need one rule instance per goroutine and therefore a NewFactoryRunner.
+func NewRunner(rule Rule, opts ...Option) *Runner { return sim.NewRunner(rule, opts...) }
+
+// NewFactoryRunner builds a Runner that creates a fresh rule instance per
+// run, per replica, and (on the cluster engine) per node.
+func NewFactoryRunner(factory Factory, opts ...Option) *Runner {
+	return sim.NewFactoryRunner(factory, opts...)
+}
 
 // Framework types (paper §2).
 type (
@@ -105,7 +150,9 @@ type (
 	// Adversary corrupts a bounded set of nodes per round (§5).
 	Adversary = adversary.Adversary
 	// AdversaryResult describes a run under corruption.
-	AdversaryResult = adversary.Result
+	//
+	// Deprecated: adversarial runs now report the unified Result.
+	AdversaryResult = sim.Result
 	// Experiment binds a paper artifact to the code regenerating it.
 	Experiment = expt.Experiment
 	// ExperimentParams configures an experiment run.
@@ -164,17 +211,24 @@ var (
 
 // Run executes a rule on a copy of start until consensus (or another
 // configured target); see the With* options.
+//
+// Deprecated: build a Runner with NewRunner and call Run(ctx, start).
 func Run(rule Rule, start *Config, r *RNG, opts ...Option) (*Result, error) {
 	return sim.Run(rule, start, r, opts...)
 }
 
 // RunAgents executes a per-node rule on an explicit population.
+//
+// Deprecated: build a Runner with WithEngine(EngineAgents).
 func RunAgents(rule NodeRule, start *Config, r *RNG, opts ...Option) (*Result, error) {
 	return sim.RunAgents(rule, start, r, opts...)
 }
 
 // RunReplicas executes independent replicas in parallel with derived
 // deterministic random streams.
+//
+// Deprecated: build a Runner with NewFactoryRunner and call
+// RunReplicas(ctx, start, replicas, workers).
 func RunReplicas(factory Factory, start *Config, base *RNG, replicas, workers int, opts ...Option) ([]*Result, error) {
 	return sim.RunReplicas(factory, start, base, replicas, workers, opts...)
 }
@@ -182,19 +236,36 @@ func RunReplicas(factory Factory, start *Config, base *RNG, replicas, workers in
 // RunOnGraph executes a per-node rule on an arbitrary interaction graph:
 // samples are uniform neighbors instead of uniform nodes. colors assigns
 // each vertex its initial color.
+//
+// Deprecated: build a Runner with WithGraph(g); RunOnGraph remains for
+// explicit per-vertex color placement.
 func RunOnGraph(rule NodeRule, g Graph, colors []int, r *RNG, opts ...Option) (*Result, error) {
 	return sim.RunOnGraph(rule, g, colors, r, opts...)
 }
 
 // RunCluster executes a per-node rule as a real message-passing system
 // (one goroutine per node).
+//
+// Deprecated: build a Runner with NewFactoryRunner and
+// WithEngine(EngineCluster).
 func RunCluster(factory func() NodeRule, start *Config, seed uint64, maxRounds int) (*ClusterResult, error) {
-	return cluster.Run(factory, start, seed, maxRounds)
+	return sim.RunCluster(factory, start, seed, maxRounds)
 }
 
 // RunWithAdversary executes a rule under per-round Byzantine corruption.
+//
+// Deprecated: build a Runner with WithAdversary(adv, epsilon, window) —
+// which additionally composes with every engine and option — and bound it
+// with WithMaxRounds(maxRounds).
 func RunWithAdversary(rule Rule, adv Adversary, start *Config, r *RNG, epsilon float64, window, maxRounds int) (*AdversaryResult, error) {
-	return adversary.Run(rule, adv, start, r, epsilon, window, maxRounds)
+	if r == nil {
+		return nil, errors.New("consensus: rng must be non-nil")
+	}
+	return sim.NewRunner(rule,
+		sim.WithAdversary(adv, epsilon, window),
+		sim.WithMaxRounds(maxRounds),
+		sim.WithRNG(r)).
+		Run(context.Background(), start)
 }
 
 // Run options.
@@ -213,6 +284,20 @@ var (
 	WithStopWhen = sim.WithStopWhen
 	// WithCompactEvery tunes extinct-slot compaction.
 	WithCompactEvery = sim.WithCompactEvery
+	// WithEngine selects the execution backend (default EngineBatch).
+	WithEngine = sim.WithEngine
+	// WithGraph runs the process on an interaction topology (implies
+	// EngineGraph).
+	WithGraph = sim.WithGraph
+	// WithAdversary runs the §5 fault-tolerance regime on any engine:
+	// per-round corruption, almost-consensus threshold ⌈(1-ε)·n⌉ and a
+	// stability window.
+	WithAdversary = sim.WithAdversary
+	// WithRNG supplies the random source (replicas derive independent
+	// streams from it).
+	WithRNG = sim.WithRNG
+	// WithSeed seeds a fresh random source (default seed 1).
+	WithSeed = sim.WithSeed
 )
 
 // Framework functions (paper §2).

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,10 +24,12 @@ func main() {
 
 	fmt.Printf("3-Majority, n=%d, k=%d, adversary injects an invalid color each round\n\n", n, k)
 	for _, budget := range []int{0, 8, 64, 512, 2048} {
-		r := consensus.NewRNG(uint64(100 + budget))
 		adv := &consensus.InjectInvalid{F: budget}
-		res, err := consensus.RunWithAdversary(
-			consensus.NewThreeMajority(), adv, start, r, epsilon, window, 50*n)
+		runner := consensus.NewRunner(consensus.NewThreeMajority(),
+			consensus.WithAdversary(adv, epsilon, window),
+			consensus.WithMaxRounds(50*n),
+			consensus.WithSeed(uint64(100+budget)))
+		res, err := runner.Run(context.Background(), start)
 		if err != nil {
 			log.Fatal(err)
 		}

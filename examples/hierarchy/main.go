@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,9 +26,10 @@ func main() {
 	fmt.Printf("h-Majority consensus times from %d colors (%d replicas):\n", n, replicas)
 	for h := 1; h <= 6; h++ {
 		h := h
-		results, err := consensus.RunReplicas(
+		runner := consensus.NewFactoryRunner(
 			func() consensus.Rule { return consensus.NewHMajority(h) },
-			start, base, replicas, workers)
+			consensus.WithRNG(base))
+		results, err := runner.RunReplicas(context.Background(), start, replicas, workers)
 		if err != nil {
 			log.Fatal(err)
 		}

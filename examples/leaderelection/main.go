@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,8 +35,10 @@ func main() {
 	fmt.Printf("leader election among %d candidates (%d replicas each)\n\n", n, replicas)
 	var baseline float64
 	for _, c := range contenders {
-		results, err := consensus.RunReplicas(c.factory, start, base, replicas, workers,
-			consensus.WithMaxRounds(1000*n))
+		runner := consensus.NewFactoryRunner(c.factory,
+			consensus.WithMaxRounds(1000*n),
+			consensus.WithRNG(base))
+		results, err := runner.RunReplicas(context.Background(), start, replicas, workers)
 		if err != nil {
 			log.Fatal(err)
 		}

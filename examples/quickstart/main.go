@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -12,11 +13,12 @@ import (
 
 func main() {
 	const n = 100_000
-	r := consensus.NewRNG(42)
 	start := consensus.SingletonConfig(n) // n nodes, n distinct colors
 
-	res, err := consensus.Run(consensus.NewThreeMajority(), start, r,
+	runner := consensus.NewRunner(consensus.NewThreeMajority(),
+		consensus.WithSeed(42),
 		consensus.WithTrace(25))
+	res, err := runner.Run(context.Background(), start)
 	if err != nil {
 		log.Fatal(err)
 	}

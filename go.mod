@@ -1,0 +1,3 @@
+module github.com/ignorecomply/consensus
+
+go 1.22

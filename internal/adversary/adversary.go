@@ -129,16 +129,16 @@ func (a *ReviveWeakest) Corrupt(c *config.Config, r *rng.RNG) int {
 	return taken
 }
 
-// InjectInvalid corrupts up to F nodes per round to a fresh color that no
-// correct node ever supported (labels descending from -2), testing that the
-// protocol does not converge to an invalid color (Byzantine validity).
+// InjectInvalid corrupts up to F nodes per round to a color that no
+// correct node ever supported (label -2; -1 is reserved for the undecided
+// state), testing that the protocol does not converge to an invalid color
+// (Byzantine validity).
 type InjectInvalid struct {
 	F int
-
-	nextLabel int
-	slot      int // slot of the injected color in the current config
-	prepared  bool
 }
+
+// InvalidLabel is the color label InjectInvalid corrupts nodes to.
+const InvalidLabel = -2
 
 var _ Adversary = (*InjectInvalid)(nil)
 
@@ -148,25 +148,31 @@ func (a *InjectInvalid) Name() string { return "inject-invalid" }
 // Budget implements Adversary.
 func (a *InjectInvalid) Budget() int { return a.F }
 
-// Corrupt implements Adversary.
+// Corrupt implements Adversary. It is stateless: the injected slot is
+// looked up by label every round (and appended on first use), so one
+// InjectInvalid value can safely serve many runs — including parallel
+// replicas, which hand it distinct configurations.
 func (a *InjectInvalid) Corrupt(c *config.Config, r *rng.RNG) int {
-	if !a.prepared {
-		if a.nextLabel == 0 {
-			a.nextLabel = -2 // -1 is reserved for the undecided state
+	slot := -1
+	for s := 0; s < c.Slots(); s++ {
+		if c.Label(s) == InvalidLabel {
+			slot = s
+			break
 		}
+	}
+	if slot < 0 {
 		counts := append(c.CountsCopy(), 0)
-		labels := append(c.LabelsCopy(), a.nextLabel)
+		labels := append(c.LabelsCopy(), InvalidLabel)
 		rebuilt, err := config.NewLabeled(counts, labels)
 		if err != nil {
 			panic("adversary: InjectInvalid: " + err.Error())
 		}
 		*c = *rebuilt
-		a.slot = len(counts) - 1
-		a.prepared = true
+		slot = c.Slots() - 1
 	}
 	counts := c.CountsView()
 	_, taken := takeFrom(c, a.F)
-	counts[a.slot] += taken
+	counts[slot] += taken
 	return taken
 }
 

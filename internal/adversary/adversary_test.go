@@ -1,11 +1,11 @@
 package adversary
 
 import (
+	"math"
 	"testing"
 
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/rng"
-	"github.com/ignorecomply/consensus/internal/rules"
 )
 
 func allAdversaries(f int) []Adversary {
@@ -122,97 +122,63 @@ func TestRandomNoiseBounded(t *testing.T) {
 	}
 }
 
-// TestRunThreeMajorityBeatsSmallAdversary: with k = o(n^{1/3}) colors and
-// a small budget, 3-Majority reaches a stable almost-consensus on a valid
-// color (the §5 regime).
-func TestRunThreeMajorityBeatsSmallAdversary(t *testing.T) {
-	r := rng.New(127)
-	start := config.Balanced(3000, 4)
-	for _, adv := range allAdversaries(3) {
-		t.Run(adv.Name(), func(t *testing.T) {
-			res, err := Run(rules.NewThreeMajority(), adv, start, r, 0.05, 30, 200000)
-			if err != nil {
-				t.Fatal(err)
+// TestThresholdIntegerCeiling is the regression test for the almost-
+// consensus threshold: the old formula ⌊(1-ε)·n⌋ both floored where the
+// model says ceiling (ε·n non-integer) and truncated one further under
+// floating-point error at integer boundaries (ε=0.07, n=500: ε·n = 35
+// exactly, yet (1-0.07)·500 computes to 464.99999999999994 and the old
+// int() cast yielded 464 instead of 465). Threshold computes n - ⌊ε·n⌋.
+func TestThresholdIntegerCeiling(t *testing.T) {
+	tests := []struct {
+		n       int
+		epsilon float64
+		want    int
+	}{
+		{n: 500, epsilon: 0.07, want: 465},   // float-error regression: old code gave 464
+		{n: 1000, epsilon: 0.07, want: 930},  // old code gave 929
+		{n: 2150, epsilon: 0.06, want: 2021}, // old code gave 2020
+		{n: 10, epsilon: 0.1, want: 9},
+		{n: 10, epsilon: 0.05, want: 10}, // ⌈9.5⌉ = 10: ceiling, not floor
+		{n: 2, epsilon: 0.01, want: 2},   // ⌈1.98⌉ = 2: old floor gave 1
+		{n: 8192, epsilon: 0.05, want: 7783},
+		{n: 100, epsilon: 0.01, want: 99},
+		{n: 3, epsilon: 0.5, want: 2}, // ⌈1.5⌉
+		{n: 1, epsilon: 0.9, want: 1}, // clamped to at least one node
+		{n: 1000, epsilon: 0.001, want: 999},
+	}
+	for _, tt := range tests {
+		if got := Threshold(tt.n, tt.epsilon); got != tt.want {
+			t.Errorf("Threshold(%d, %g) = %d, want %d", tt.n, tt.epsilon, got, tt.want)
+		}
+		naive := int((1 - tt.epsilon) * float64(tt.n))
+		if got := Threshold(tt.n, tt.epsilon); got < naive {
+			t.Errorf("Threshold(%d, %g) = %d below even the naive floor %d", tt.n, tt.epsilon, got, naive)
+		}
+	}
+	// The documented float-error case, spelled out.
+	epsilon, n := 0.07, 500
+	if old := int((1 - epsilon) * float64(n)); old != 464 {
+		t.Fatalf("expected the naive formula to truncate to 464, got %d", old)
+	}
+	if got := Threshold(n, epsilon); got != 465 {
+		t.Fatalf("Threshold(500, 0.07) = %d, want 465", got)
+	}
+}
+
+func TestThresholdBounds(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		for _, eps := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.99} {
+			got := Threshold(n, eps)
+			if got < 1 || got > n {
+				t.Fatalf("Threshold(%d, %g) = %d out of [1, n]", n, eps, got)
 			}
-			if !res.Stable {
-				t.Fatalf("no stable almost-consensus against %s", adv.Name())
+			exact := math.Ceil((1 - eps) * float64(n))
+			// The integer-arithmetic result may differ from the float
+			// ceiling by at most one node, exactly when ε·n sits on an
+			// integer boundary where the float product rounds.
+			if diff := float64(got) - exact; math.Abs(diff) > 1 {
+				t.Fatalf("Threshold(%d, %g) = %d vs exact ceiling %g", n, eps, got, exact)
 			}
-			if !res.WinnerValid {
-				t.Fatalf("winner %d is not a valid color", res.WinnerLabel)
-			}
-		})
-	}
-}
-
-// TestRunOverwhelmingAdversaryPreventsStability: an adversary with budget
-// close to n can hold the system away from almost-consensus indefinitely.
-func TestRunOverwhelmingAdversaryPreventsStability(t *testing.T) {
-	r := rng.New(128)
-	start := config.TwoBlock(200, 100)
-	adv := &BoostRunnerUp{F: 80}
-	res, err := Run(rules.NewThreeMajority(), adv, start, r, 0.05, 20, 2000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Stable {
-		t.Fatal("a budget-80 adversary on n=200 should prevent stability")
-	}
-	if res.Rounds != 2000 {
-		t.Fatalf("Rounds = %d, want full budget", res.Rounds)
-	}
-}
-
-func TestRunValidityBookkeeping(t *testing.T) {
-	r := rng.New(129)
-	start := config.Balanced(500, 3)
-	res, err := Run(rules.NewThreeMajority(), &InjectInvalid{F: 2}, start, r, 0.05, 20, 100000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Stable {
-		t.Fatal("expected stability against a tiny invalid-injection adversary")
-	}
-	if res.WinnerLabel == -2 || !res.WinnerValid {
-		t.Fatalf("converged to the invalid color: label %d", res.WinnerLabel)
-	}
-}
-
-func TestRunErrors(t *testing.T) {
-	r := rng.New(130)
-	start := config.Balanced(100, 2)
-	adv := &RandomNoise{F: 1}
-	rule := rules.NewVoter()
-	if _, err := Run(nil, adv, start, r, 0.1, 5, 100); err == nil {
-		t.Error("expected error: nil rule")
-	}
-	if _, err := Run(rule, nil, start, r, 0.1, 5, 100); err == nil {
-		t.Error("expected error: nil adversary")
-	}
-	if _, err := Run(rule, adv, start, r, 0, 5, 100); err == nil {
-		t.Error("expected error: epsilon = 0")
-	}
-	if _, err := Run(rule, adv, start, r, 1.5, 5, 100); err == nil {
-		t.Error("expected error: epsilon > 1")
-	}
-	if _, err := Run(rule, adv, start, r, 0.1, 0, 100); err == nil {
-		t.Error("expected error: zero window")
-	}
-	if _, err := Run(rule, adv, start, r, 0.1, 5, 0); err == nil {
-		t.Error("expected error: zero budget")
-	}
-}
-
-func TestRunDoesNotMutateStart(t *testing.T) {
-	r := rng.New(131)
-	start := config.Balanced(100, 2)
-	before := start.CountsCopy()
-	if _, err := Run(rules.NewVoter(), &RandomNoise{F: 1}, start, r, 0.1, 5, 1000); err != nil {
-		t.Fatal(err)
-	}
-	after := start.CountsCopy()
-	for i := range before {
-		if before[i] != after[i] {
-			t.Fatal("Run mutated start")
 		}
 	}
 }

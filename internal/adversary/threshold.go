@@ -1,0 +1,21 @@
+package adversary
+
+import "math"
+
+// Threshold returns the almost-consensus support threshold ⌈(1-ε)·n⌉: the
+// minimum number of nodes a color must hold for the configuration to count
+// as an (1-ε)-almost consensus (§5).
+//
+// It is computed as n - ⌊ε·n⌋ rather than the naive ⌊(1-ε)·n⌋: the latter
+// truncates under floating-point error (1-0.1 is slightly below 0.9 in
+// binary, so int((1-0.1)*10) yields 8 where the model says 9).
+func Threshold(n int, epsilon float64) int {
+	t := n - int(math.Floor(epsilon*float64(n)))
+	if t < 1 {
+		t = 1
+	}
+	if t > n {
+		t = n
+	}
+	return t
+}

@@ -13,6 +13,11 @@
 // colors arrive, so — unlike the sequential engines — cluster runs are not
 // bit-reproducible from a seed. All implemented rules are exchangeable in
 // their samples, so the process distribution is unaffected.
+//
+// The package exposes a steppable System rather than a closed run loop:
+// the sim package's Runner drives it round by round so that the cluster
+// engine honors the same option set (round budgets, color targets, traces,
+// observers, adversaries, context cancellation) as every other engine.
 package cluster
 
 import (
@@ -31,23 +36,8 @@ import (
 // the right tool.
 const maxNodes = 100_000
 
-// Result describes a completed cluster run.
-type Result struct {
-	// Rounds executed.
-	Rounds int
-	// Converged reports whether consensus was reached within the budget.
-	Converged bool
-	// Final is the final configuration.
-	Final *config.Config
-	// WinnerLabel is the plurality color's label at the end.
-	WinnerLabel int
-	// Messages is the total number of protocol messages (requests and
-	// responses) exchanged.
-	Messages int64
-	// BitsPerMessage is the size of one message payload: a color
-	// identifier, ⌈log₂(slots)⌉ bits (the model's O(log k) constraint).
-	BitsPerMessage int
-}
+// MaxNodes reports the largest population the cluster engine accepts.
+func MaxNodes() int { return maxNodes }
 
 // pullReq is a pull request: the receiver answers with its current color on
 // the reply channel.
@@ -55,164 +45,168 @@ type pullReq struct {
 	reply chan int
 }
 
-// Run executes the node rule produced by factory on start's population.
-// factory is called once per node so that each goroutine owns its rule's
-// scratch state. The run stops at consensus or after maxRounds.
-func Run(factory func() core.NodeRule, start *config.Config, seed uint64, maxRounds int) (*Result, error) {
-	if factory == nil || start == nil {
-		return nil, errors.New("cluster: factory and start must be non-nil")
-	}
-	if maxRounds < 1 {
-		return nil, errors.New("cluster: maxRounds must be >= 1")
+// System is a running population of node goroutines that can be advanced
+// one synchronous round at a time. Between Step calls the system is
+// quiescent: no requests are in flight and the coordinator owns Colors and
+// Config, so a caller (e.g. a §5 adversary) may mutate both coherently.
+// A System must be released with Close.
+type System struct {
+	cfg    *config.Config
+	colors []int // colors[i] = slot of node i, stable within a round
+	next   []int
+	n      int
+
+	messages  atomic.Int64
+	gatherWG  sync.WaitGroup
+	appliedWG sync.WaitGroup
+	nodesWG   sync.WaitGroup
+	inboxes   []chan pullReq
+	ctrls     []chan struct{}
+	applies   []chan struct{}
+	stop      chan struct{}
+	closed    bool
+}
+
+// NewSystem spawns one goroutine per node of start, each owning a fresh
+// rule instance from factory and a random stream derived from base.
+func NewSystem(factory func() core.NodeRule, start *config.Config, base *rng.RNG) (*System, error) {
+	if factory == nil || start == nil || base == nil {
+		return nil, errors.New("cluster: factory, start and rng must be non-nil")
 	}
 	n := start.N()
 	if n > maxNodes {
 		return nil, fmt.Errorf("cluster: n = %d exceeds the %d-node goroutine budget", n, maxNodes)
 	}
-	if start.IsConsensus() {
-		final := start.Clone()
-		slot, _ := final.Max()
-		return &Result{
-			Converged:      true,
-			Final:          final,
-			WinnerLabel:    final.Label(slot),
-			BitsPerMessage: bitsFor(start.Slots()),
-		}, nil
+
+	s := &System{
+		cfg:     start.Clone(),
+		colors:  start.Nodes(),
+		next:    make([]int, n),
+		n:       n,
+		inboxes: make([]chan pullReq, n),
+		ctrls:   make([]chan struct{}, n),
+		applies: make([]chan struct{}, n),
+		stop:    make(chan struct{}),
 	}
-
-	colors := start.Nodes() // colors[i] = slot of node i, stable within a round
-	next := make([]int, n)
-	base := rng.New(seed)
-
-	var (
-		messages  atomic.Int64
-		gatherWG  sync.WaitGroup
-		appliedWG sync.WaitGroup
-	)
-	inboxes := make([]chan pullReq, n)
-	ctrls := make([]chan struct{}, n)
-	applies := make([]chan struct{}, n)
-	stop := make(chan struct{})
-	var nodesWG sync.WaitGroup
-
 	for i := 0; i < n; i++ {
-		inboxes[i] = make(chan pullReq)
-		ctrls[i] = make(chan struct{}, 1)
-		applies[i] = make(chan struct{}, 1)
+		s.inboxes[i] = make(chan pullReq)
+		s.ctrls[i] = make(chan struct{}, 1)
+		s.applies[i] = make(chan struct{}, 1)
 	}
 
 	for i := 0; i < n; i++ {
 		i := i
 		rule := factory()
 		nodeRNG := base.Derive(uint64(i))
-		nodesWG.Add(1)
+		s.nodesWG.Add(1)
 		go func() {
-			defer nodesWG.Done()
+			defer s.nodesWG.Done()
 			h := rule.Samples()
 			samples := make([]int, h)
 			replyCh := make(chan int, h)
 			for {
 				select {
-				case <-stop:
+				case <-s.stop:
 					return
-				case <-ctrls[i]:
+				case <-s.ctrls[i]:
 				}
-				own := colors[i]
+				own := s.colors[i]
 				// Fire the pull requests; each sender goroutine blocks
 				// until the target serves it.
 				for j := 0; j < h; j++ {
 					target := nodeRNG.IntN(n)
 					req := pullReq{reply: replyCh}
 					go func(t int) {
-						inboxes[t] <- req
-						messages.Add(2) // request + response
+						s.inboxes[t] <- req
+						s.messages.Add(2) // request + response
 					}(target)
 				}
 				// Serve incoming requests while collecting our replies.
 				received := 0
 				for received < h {
 					select {
-					case req := <-inboxes[i]:
+					case req := <-s.inboxes[i]:
 						req.reply <- own
 					case c := <-replyCh:
 						samples[received] = c
 						received++
 					}
 				}
-				gatherWG.Done()
+				s.gatherWG.Done()
 				// Keep serving until the coordinator ends the gather phase
 				// (other nodes may still be waiting on us).
 			serve:
 				for {
 					select {
-					case req := <-inboxes[i]:
+					case req := <-s.inboxes[i]:
 						req.reply <- own
-					case <-applies[i]:
+					case <-s.applies[i]:
 						break serve
 					}
 				}
-				next[i] = rule.Update(own, samples, nodeRNG)
-				appliedWG.Done()
+				s.next[i] = rule.Update(own, samples, nodeRNG)
+				s.appliedWG.Done()
 			}
 		}()
 	}
-
-	res := &Result{BitsPerMessage: bitsFor(start.Slots())}
-	counts := make([]int, start.Slots())
-	defer func() {
-		close(stop)
-		nodesWG.Wait()
-	}()
-
-	for round := 1; round <= maxRounds; round++ {
-		gatherWG.Add(n)
-		appliedWG.Add(n)
-		for i := 0; i < n; i++ {
-			ctrls[i] <- struct{}{}
-		}
-		gatherWG.Wait() // all nodes hold their samples; no requests in flight
-		for i := 0; i < n; i++ {
-			applies[i] <- struct{}{}
-		}
-		appliedWG.Wait()
-		copy(colors, next)
-		res.Rounds = round
-
-		for s := range counts {
-			counts[s] = 0
-		}
-		for _, c := range colors {
-			counts[c]++
-		}
-		if remaining(counts) == 1 {
-			res.Converged = true
-			break
-		}
-	}
-
-	res.Messages = messages.Load()
-	final, err := rebuild(counts, start)
-	if err != nil {
-		return nil, err
-	}
-	res.Final = final
-	slot, _ := final.Max()
-	res.WinnerLabel = final.Label(slot)
-	return res, nil
+	return s, nil
 }
 
-func remaining(counts []int) int {
-	k := 0
-	for _, v := range counts {
-		if v > 0 {
-			k++
-		}
+// Step runs one synchronous round: every node pulls its samples, the
+// barrier closes, and all nodes apply their updates simultaneously. On
+// return Config reflects the new round's support counts.
+func (s *System) Step() {
+	s.gatherWG.Add(s.n)
+	s.appliedWG.Add(s.n)
+	for i := 0; i < s.n; i++ {
+		s.ctrls[i] <- struct{}{}
 	}
-	return k
+	s.gatherWG.Wait() // all nodes hold their samples; no requests in flight
+	for i := 0; i < s.n; i++ {
+		s.applies[i] <- struct{}{}
+	}
+	s.appliedWG.Wait()
+	copy(s.colors, s.next)
+
+	// Rebuild the aggregate view. CountsView is re-fetched every round
+	// because an adversary may have rebuilt the configuration with an
+	// extra (injected) slot between rounds.
+	counts := s.cfg.CountsView()
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, c := range s.colors {
+		counts[c]++
+	}
 }
 
-func rebuild(counts []int, start *config.Config) (*config.Config, error) {
-	return config.NewLabeled(counts, start.LabelsCopy())
+// Config returns the live aggregate configuration (rebuilt after every
+// Step). Callers that mutate it must keep Colors consistent.
+func (s *System) Config() *config.Config { return s.cfg }
+
+// Colors returns the live per-node slot assignment. The slice is owned by
+// the system; it may be mutated only between Step calls.
+func (s *System) Colors() []int { return s.colors }
+
+// Messages returns the total protocol messages (requests and responses)
+// exchanged so far.
+func (s *System) Messages() int64 { return s.messages.Load() }
+
+// BitsPerMessage is the size of one message payload: a color identifier,
+// ⌈log₂(slots)⌉ bits (the model's O(log k) constraint). It is computed
+// from the live slot space, which an adversary may have grown mid-run by
+// injecting a color.
+func (s *System) BitsPerMessage() int { return bitsFor(s.cfg.Slots()) }
+
+// Close terminates all node goroutines. It is idempotent and must be
+// called between rounds (never while a Step is in flight).
+func (s *System) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.stop)
+	s.nodesWG.Wait()
 }
 
 // bitsFor returns ⌈log₂(k)⌉ (minimum 1): the bits needed to name one of k

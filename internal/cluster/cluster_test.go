@@ -10,115 +10,133 @@ import (
 	"github.com/ignorecomply/consensus/internal/rules"
 )
 
-func TestRunVoterConsensus(t *testing.T) {
-	res, err := Run(func() core.NodeRule { return rules.NewVoter() },
-		config.Balanced(60, 3), 201, 100000)
+// runSystem drives a System to consensus or a round budget, the way the
+// sim Runner does, and reports the outcome.
+func runSystem(t *testing.T, factory func() core.NodeRule, start *config.Config, seed uint64, maxRounds int) (rounds int, converged bool, sys *System) {
+	t.Helper()
+	sys, err := NewSystem(factory, start, rng.New(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Converged {
+	t.Cleanup(sys.Close)
+	if sys.Config().IsConsensus() {
+		return 0, true, sys
+	}
+	for round := 1; round <= maxRounds; round++ {
+		sys.Step()
+		if sys.Config().IsConsensus() {
+			return round, true, sys
+		}
+	}
+	return maxRounds, false, sys
+}
+
+func TestSystemVoterConsensus(t *testing.T) {
+	_, converged, sys := runSystem(t, func() core.NodeRule { return rules.NewVoter() },
+		config.Balanced(60, 3), 201, 100000)
+	if !converged {
 		t.Fatal("cluster voter did not converge")
 	}
-	if !res.Final.IsConsensus() {
-		t.Fatalf("final not consensus: %v", res.Final)
+	if !sys.Config().IsConsensus() {
+		t.Fatalf("final not consensus: %v", sys.Config())
 	}
-	if res.WinnerLabel < 0 || res.WinnerLabel > 2 {
-		t.Fatalf("winner label %d", res.WinnerLabel)
+	slot, _ := sys.Config().Max()
+	if label := sys.Config().Label(slot); label < 0 || label > 2 {
+		t.Fatalf("winner label %d", label)
 	}
 }
 
-func TestRunThreeMajorityConsensus(t *testing.T) {
-	res, err := Run(func() core.NodeRule { return rules.NewThreeMajority() },
+func TestSystemThreeMajorityConsensus(t *testing.T) {
+	_, converged, _ := runSystem(t, func() core.NodeRule { return rules.NewThreeMajority() },
 		config.Singleton(80), 202, 100000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Converged {
+	if !converged {
 		t.Fatal("cluster 3-majority did not converge from n colors")
 	}
 }
 
-func TestRunMessageAccounting(t *testing.T) {
-	res, err := Run(func() core.NodeRule { return rules.NewThreeMajority() },
+func TestSystemMessageAccounting(t *testing.T) {
+	rounds, converged, sys := runSystem(t, func() core.NodeRule { return rules.NewThreeMajority() },
 		config.Balanced(40, 2), 203, 100000)
-	if err != nil {
-		t.Fatal(err)
+	if !converged {
+		t.Fatal("did not converge")
 	}
 	// Every round exchanges exactly n*h requests + n*h responses.
-	want := int64(res.Rounds) * 40 * 3 * 2
-	if res.Messages != want {
-		t.Fatalf("Messages = %d, want %d (rounds=%d)", res.Messages, want, res.Rounds)
+	want := int64(rounds) * 40 * 3 * 2
+	if got := sys.Messages(); got != want {
+		t.Fatalf("Messages = %d, want %d (rounds=%d)", got, want, rounds)
 	}
 }
 
-func TestRunBitsPerMessage(t *testing.T) {
-	res, err := Run(func() core.NodeRule { return rules.NewVoter() },
+func TestSystemBitsPerMessage(t *testing.T) {
+	_, _, sys := runSystem(t, func() core.NodeRule { return rules.NewVoter() },
 		config.Balanced(20, 5), 204, 100000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.BitsPerMessage != 3 { // ceil(log2 5) = 3
-		t.Fatalf("BitsPerMessage = %d, want 3", res.BitsPerMessage)
+	if sys.BitsPerMessage() != 3 { // ceil(log2 5) = 3
+		t.Fatalf("BitsPerMessage = %d, want 3", sys.BitsPerMessage())
 	}
 }
 
-func TestRunAlreadyConsensus(t *testing.T) {
-	res, err := Run(func() core.NodeRule { return rules.NewVoter() },
+func TestSystemAlreadyConsensus(t *testing.T) {
+	rounds, converged, sys := runSystem(t, func() core.NodeRule { return rules.NewVoter() },
 		config.Consensus(30), 205, 10)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Converged || res.Rounds != 0 || res.Messages != 0 {
-		t.Fatalf("consensus start: %+v", res)
+	if !converged || rounds != 0 || sys.Messages() != 0 {
+		t.Fatalf("consensus start: rounds=%d messages=%d", rounds, sys.Messages())
 	}
 }
 
-func TestRunBudgetExhaustion(t *testing.T) {
+func TestSystemBudgetExhaustion(t *testing.T) {
 	// 2-choices from many singleton colors cannot finish in 2 rounds.
-	res, err := Run(func() core.NodeRule { return rules.NewTwoChoices() },
+	rounds, converged, _ := runSystem(t, func() core.NodeRule { return rules.NewTwoChoices() },
 		config.Singleton(50), 206, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Converged {
+	if converged {
 		t.Fatal("should not converge in 2 rounds")
 	}
-	if res.Rounds != 2 {
-		t.Fatalf("Rounds = %d, want 2", res.Rounds)
+	if rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", rounds)
 	}
 }
 
-func TestRunErrors(t *testing.T) {
+func TestNewSystemErrors(t *testing.T) {
 	c := config.Balanced(10, 2)
-	if _, err := Run(nil, c, 1, 10); err == nil {
+	base := rng.New(1)
+	if _, err := NewSystem(nil, c, base); err == nil {
 		t.Error("expected error: nil factory")
 	}
-	if _, err := Run(func() core.NodeRule { return rules.NewVoter() }, nil, 1, 10); err == nil {
+	if _, err := NewSystem(func() core.NodeRule { return rules.NewVoter() }, nil, base); err == nil {
 		t.Error("expected error: nil start")
 	}
-	if _, err := Run(func() core.NodeRule { return rules.NewVoter() }, c, 1, 0); err == nil {
-		t.Error("expected error: zero budget")
+	if _, err := NewSystem(func() core.NodeRule { return rules.NewVoter() }, c, nil); err == nil {
+		t.Error("expected error: nil rng")
 	}
 	huge, err := config.New([]int{maxNodes + 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(func() core.NodeRule { return rules.NewVoter() }, huge, 1, 10); err == nil {
+	if _, err := NewSystem(func() core.NodeRule { return rules.NewVoter() }, huge, base); err == nil {
 		t.Error("expected error: too many nodes")
 	}
 }
 
-func TestRunInvariantPreserved(t *testing.T) {
-	res, err := Run(func() core.NodeRule { return rules.NewTwoChoices() },
-		config.TwoBlock(60, 20), 207, 100000)
+func TestCloseIdempotent(t *testing.T) {
+	sys, err := NewSystem(func() core.NodeRule { return rules.NewVoter() },
+		config.Balanced(8, 2), rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := res.Final.CheckInvariant(); err != nil {
+	sys.Close()
+	sys.Close()
+}
+
+func TestSystemInvariantPreserved(t *testing.T) {
+	_, converged, sys := runSystem(t, func() core.NodeRule { return rules.NewTwoChoices() },
+		config.TwoBlock(60, 20), 207, 100000)
+	if !converged {
+		t.Fatal("did not converge")
+	}
+	if err := sys.Config().CheckInvariant(); err != nil {
 		t.Fatal(err)
 	}
-	if res.Final.N() != 60 {
-		t.Fatalf("node count changed: %d", res.Final.N())
+	if sys.Config().N() != 60 {
+		t.Fatalf("node count changed: %d", sys.Config().N())
 	}
 }
 
@@ -132,14 +150,17 @@ func TestClusterMatchesBatchOneRound(t *testing.T) {
 	batchMeans := make([]float64, start.Slots())
 	r := rng.New(208)
 	for rep := 0; rep < reps; rep++ {
-		res, err := Run(func() core.NodeRule { return rules.NewThreeMajority() },
-			start, uint64(1000+rep), 1)
+		sys, err := NewSystem(func() core.NodeRule { return rules.NewThreeMajority() },
+			start, rng.New(uint64(1000+rep)))
 		if err != nil {
 			t.Fatal(err)
 		}
-		for s := 0; s < res.Final.Slots(); s++ {
-			clusterMeans[s] += float64(res.Final.Count(s))
+		sys.Step()
+		for s := 0; s < sys.Config().Slots(); s++ {
+			clusterMeans[s] += float64(sys.Config().Count(s))
 		}
+		sys.Close()
+
 		cb := start.Clone()
 		rules.NewThreeMajority().Step(cb, r)
 		for s := 0; s < cb.Slots(); s++ {

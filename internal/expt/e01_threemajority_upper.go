@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"math"
 
 	"github.com/ignorecomply/consensus/internal/config"
@@ -43,9 +44,10 @@ func runE1(p Params) (*Table, error) {
 	}
 	var xs, ys []float64
 	for _, n := range sizes {
-		results, err := sim.RunReplicas(
+		results, err := sim.NewFactoryRunner(
 			func() core.Rule { return rules.NewThreeMajority() },
-			config.Singleton(n), base, reps, p.Workers)
+			sim.WithRNG(base)).
+			RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"context"
+
 	"github.com/ignorecomply/consensus/internal/analytic"
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/core"
@@ -50,15 +52,15 @@ func runE2(p Params) (*Table, error) {
 		lp := params.LPrime
 
 		// Escape time: first round some color exceeds ℓ'.
-		escape, err := sim.RunReplicas(
+		escape, err := sim.NewFactoryRunner(
 			func() core.Rule { return rules.NewTwoChoices() },
-			config.Singleton(n), base, reps, p.Workers,
 			sim.WithStopWhen(func(_ int, c *config.Config) bool {
 				_, maxSup := c.Max()
 				return maxSup > lp
 			}),
 			sim.WithMaxRounds(100*n),
-		)
+			sim.WithRNG(base),
+		).RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -71,11 +73,11 @@ func runE2(p Params) (*Table, error) {
 		}
 
 		// Full consensus time.
-		full, err := sim.RunReplicas(
+		full, err := sim.NewFactoryRunner(
 			func() core.Rule { return rules.NewTwoChoices() },
-			config.Singleton(n), base, reps, p.Workers,
 			sim.WithMaxRounds(1000*n),
-		)
+			sim.WithRNG(base),
+		).RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
 		if err != nil {
 			return nil, err
 		}

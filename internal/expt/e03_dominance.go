@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"math"
 
 	"github.com/ignorecomply/consensus/internal/config"
@@ -38,8 +39,10 @@ func runE3(p Params) (*Table, error) {
 	base := rng.New(p.Seed)
 
 	collect := func(factory core.Factory) ([]*sim.Result, error) {
-		return sim.RunReplicas(factory, config.Singleton(n), base, reps, p.Workers,
-			sim.WithColorTimes(kappas...))
+		return sim.NewFactoryRunner(factory,
+			sim.WithColorTimes(kappas...),
+			sim.WithRNG(base)).
+			RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
 	}
 	resV, err := collect(func() core.Rule { return rules.NewVoter() })
 	if err != nil {

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"math"
 
 	"github.com/ignorecomply/consensus/internal/config"
@@ -46,10 +47,11 @@ func runE4(p Params) (*Table, error) {
 	ok := true
 	for _, n := range sizes {
 		kappas := []int{n / 4, n / 16, n / 64, 8, 1}
-		results, err := sim.RunReplicas(
+		results, err := sim.NewFactoryRunner(
 			func() core.Rule { return rules.NewVoter() },
-			config.Singleton(n), base, reps, p.Workers,
-			sim.WithColorTimes(kappas...))
+			sim.WithColorTimes(kappas...),
+			sim.WithRNG(base)).
+			RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
 		if err != nil {
 			return nil, err
 		}

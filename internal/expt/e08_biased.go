@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"math"
 
 	"github.com/ignorecomply/consensus/internal/config"
@@ -49,13 +50,15 @@ func runE8(p Params) (*Table, error) {
 		start := config.Biased(n, k, bias)
 		leaderLabel := start.Label(0)
 
-		r2, err := sim.RunReplicas(func() core.Rule { return rules.NewTwoChoices() },
-			start, base, reps, p.Workers, sim.WithMaxRounds(100*n))
+		r2, err := sim.NewFactoryRunner(func() core.Rule { return rules.NewTwoChoices() },
+			sim.WithMaxRounds(100*n), sim.WithRNG(base)).
+			RunReplicas(context.Background(), start, reps, p.Workers)
 		if err != nil {
 			return nil, err
 		}
-		r3, err := sim.RunReplicas(func() core.Rule { return rules.NewThreeMajority() },
-			start, base, reps, p.Workers, sim.WithMaxRounds(100*n))
+		r3, err := sim.NewFactoryRunner(func() core.Rule { return rules.NewThreeMajority() },
+			sim.WithMaxRounds(100*n), sim.WithRNG(base)).
+			RunReplicas(context.Background(), start, reps, p.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"context"
+
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/core"
 	"github.com/ignorecomply/consensus/internal/rng"
@@ -48,9 +50,10 @@ func runE9(p Params) (*Table, error) {
 		if h <= 2 {
 			hReps *= 3
 		}
-		results, err := sim.RunReplicas(
+		results, err := sim.NewFactoryRunner(
 			func() core.Rule { return rules.NewHMajority(h) },
-			config.Singleton(n), base, hReps, p.Workers)
+			sim.WithRNG(base)).
+			RunReplicas(context.Background(), config.Singleton(n), hReps, p.Workers)
 		if err != nil {
 			return nil, err
 		}

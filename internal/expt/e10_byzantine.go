@@ -1,10 +1,13 @@
 package expt
 
 import (
+	"context"
+
 	"github.com/ignorecomply/consensus/internal/adversary"
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/rng"
 	"github.com/ignorecomply/consensus/internal/rules"
+	"github.com/ignorecomply/consensus/internal/sim"
 )
 
 // e10 exercises the §5 fault-tolerance regime: 3-Majority with k = o(n^{1/3})
@@ -59,8 +62,11 @@ func runE10(p Params) (*Table, error) {
 			for rep := 0; rep < reps; rep++ {
 				adv := mk(f)
 				name = adv.Name()
-				res, err := adversary.Run(rules.NewThreeMajority(), adv, start,
-					base.Derive(uint64(rep)), epsilon, window, 30*n)
+				res, err := sim.NewRunner(rules.NewThreeMajority(),
+					sim.WithAdversary(adv, epsilon, window),
+					sim.WithMaxRounds(30*n),
+					sim.WithRNG(base.Derive(uint64(rep)))).
+					Run(context.Background(), start)
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"context"
+
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/core"
 	"github.com/ignorecomply/consensus/internal/rng"
@@ -45,13 +47,15 @@ func runE11(p Params) (*Table, error) {
 	var ratios []float64
 	for _, k := range ks {
 		start := config.Balanced(n, k)
-		r2, err := sim.RunReplicas(func() core.Rule { return rules.NewTwoChoices() },
-			start, base, reps, p.Workers, sim.WithMaxRounds(1000*n))
+		r2, err := sim.NewFactoryRunner(func() core.Rule { return rules.NewTwoChoices() },
+			sim.WithMaxRounds(1000*n), sim.WithRNG(base)).
+			RunReplicas(context.Background(), start, reps, p.Workers)
 		if err != nil {
 			return nil, err
 		}
-		r3, err := sim.RunReplicas(func() core.Rule { return rules.NewThreeMajority() },
-			start, base, reps, p.Workers, sim.WithMaxRounds(1000*n))
+		r3, err := sim.NewFactoryRunner(func() core.Rule { return rules.NewThreeMajority() },
+			sim.WithMaxRounds(1000*n), sim.WithRNG(base)).
+			RunReplicas(context.Background(), start, reps, p.Workers)
 		if err != nil {
 			return nil, err
 		}

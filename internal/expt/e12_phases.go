@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"math"
 
 	"github.com/ignorecomply/consensus/internal/config"
@@ -45,8 +46,10 @@ func runE12(p Params) (*Table, error) {
 	for _, n := range sizes {
 		kStar := int(math.Ceil(math.Pow(float64(n), 0.25) * math.Pow(math.Log(float64(n)), 0.125)))
 		run := func(factory core.Factory) ([]*sim.Result, error) {
-			return sim.RunReplicas(factory, config.Singleton(n), base, reps, p.Workers,
-				sim.WithColorTimes(kStar, 1))
+			return sim.NewFactoryRunner(factory,
+				sim.WithColorTimes(kStar, 1),
+				sim.WithRNG(base)).
+				RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
 		}
 		res3, err := run(func() core.Rule { return rules.NewThreeMajority() })
 		if err != nil {

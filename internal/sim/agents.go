@@ -17,6 +17,9 @@ import (
 // batch laws (core.Rule) against the literal per-node semantics, and to run
 // rules whose batch law the caller does not trust. Slots are never
 // compacted here, so slot indices are stable for the whole run.
+//
+// Deprecated: build a Runner with WithEngine(EngineAgents) instead;
+// RunAgents remains as the agents-engine compatibility entry point.
 func RunAgents(rule core.NodeRule, start *config.Config, r *rng.RNG, opts ...Option) (*Result, error) {
 	if rule == nil || start == nil || r == nil {
 		return nil, errors.New("sim: rule, start and rng must be non-nil")
@@ -25,6 +28,10 @@ func RunAgents(rule core.NodeRule, start *config.Config, r *rng.RNG, opts ...Opt
 	if err != nil {
 		return nil, err
 	}
+	return runAgents(rule, start, r, o)
+}
+
+func runAgents(rule core.NodeRule, start *config.Config, r *rng.RNG, o options) (*Result, error) {
 	o.compactEvery = 0 // node states refer to slot indices; never renumber
 
 	c := start.Clone()
@@ -51,5 +58,5 @@ func RunAgents(rule core.NodeRule, start *config.Config, r *rng.RNG, opts ...Opt
 			counts[s]++
 		}
 	}
-	return runLoop(c, r, o, step, func() *config.Config { return c })
+	return runLoop(c, r, o, step, func() *config.Config { return c }, func() []int { return nodes })
 }

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"errors"
+
+	"github.com/ignorecomply/consensus/internal/cluster"
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// RunCluster executes a per-node rule as a real message-passing system
+// (one goroutine per node), stopping at consensus or after maxRounds.
+//
+// Deprecated: build a Runner with WithEngine(EngineCluster) instead;
+// RunCluster remains as the cluster-engine compatibility entry point.
+func RunCluster(factory func() core.NodeRule, start *config.Config, seed uint64, maxRounds int) (*Result, error) {
+	if factory == nil || start == nil {
+		return nil, errors.New("sim: factory and start must be non-nil")
+	}
+	o, err := buildOptions([]Option{WithMaxRounds(maxRounds)})
+	if err != nil {
+		return nil, err
+	}
+	return runCluster(factory, start, rng.New(seed), o)
+}
+
+// runCluster drives a cluster.System through the shared round loop, so the
+// message-passing engine honors the full option set (targets, traces,
+// observers, adversaries, cancellation) like every other engine.
+func runCluster(factory func() core.NodeRule, start *config.Config, r *rng.RNG, o options) (*Result, error) {
+	o.compactEvery = 0 // node goroutines hold slot indices; never renumber
+
+	sys, err := cluster.NewSystem(factory, start, r)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+
+	res, err := runLoop(sys.Config(), r, o,
+		func(int) { sys.Step() },
+		sys.Config,
+		sys.Colors)
+	if err != nil {
+		return nil, err
+	}
+	res.Messages = sys.Messages()
+	res.BitsPerMessage = sys.BitsPerMessage()
+	return res, nil
+}

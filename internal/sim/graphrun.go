@@ -19,20 +19,28 @@ import (
 // colors assigns each vertex its initial color (len(colors) == g.N());
 // distinct ints are distinct colors. Slot indices are stable for the whole
 // run (no compaction).
+//
+// Deprecated: build a Runner with WithGraph(g) instead; RunOnGraph remains
+// as the graph-engine compatibility entry point and for explicit per-vertex
+// color placement.
 func RunOnGraph(rule core.NodeRule, g graph.Graph, colors []int, r *rng.RNG, opts ...Option) (*Result, error) {
 	if rule == nil || g == nil || r == nil {
 		return nil, errors.New("sim: rule, graph and rng must be non-nil")
 	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return runGraph(rule, g, colors, r, o)
+}
+
+func runGraph(rule core.NodeRule, g graph.Graph, colors []int, r *rng.RNG, o options) (*Result, error) {
 	if len(colors) != g.N() {
 		return nil, fmt.Errorf("sim: %d colors for %d vertices", len(colors), g.N())
 	}
 	c, err := config.FromNodes(colors)
 	if err != nil {
 		return nil, fmt.Errorf("sim: invalid colors: %w", err)
-	}
-	o, err := buildOptions(opts)
-	if err != nil {
-		return nil, err
 	}
 	o.compactEvery = 0 // node states refer to slot indices
 
@@ -64,5 +72,20 @@ func RunOnGraph(rule core.NodeRule, g graph.Graph, colors []int, r *rng.RNG, opt
 			counts[s]++
 		}
 	}
-	return runLoop(c, r, o, step, func() *config.Config { return c })
+	return runLoop(c, r, o, step, func() *config.Config { return c }, func() []int { return nodes })
+}
+
+// graphStartColors expands a configuration into per-vertex colors in slot
+// order: the first Count(0) vertices get Label(0), and so on. On a
+// complete graph placement is irrelevant; on a structured topology this is
+// the natural "contiguous blocks" start.
+func graphStartColors(start *config.Config) []int {
+	out := make([]int, 0, start.N())
+	for s := 0; s < start.Slots(); s++ {
+		label := start.Label(s)
+		for i := 0; i < start.Count(s); i++ {
+			out = append(out, label)
+		}
+	}
+	return out
 }

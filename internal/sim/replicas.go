@@ -16,6 +16,9 @@ import (
 // bounded worker pool. Replica i runs on a random stream derived
 // deterministically from base and i, so results are reproducible
 // regardless of scheduling. Results are returned in replica order.
+//
+// Deprecated: build a Runner with NewFactoryRunner and call its
+// RunReplicas instead; this remains as the compatibility entry point.
 func RunReplicas(factory core.Factory, start *config.Config, base *rng.RNG, replicas, workers int, opts ...Option) ([]*Result, error) {
 	if factory == nil || start == nil || base == nil {
 		return nil, errors.New("sim: factory, start and rng must be non-nil")

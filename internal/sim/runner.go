@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/graph"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// Engine selects the execution backend of a Runner. All engines simulate
+// the same synchronous process and honor the same option set; they differ
+// in cost and in what they make observable.
+type Engine int
+
+const (
+	// EngineBatch runs the exact O(k)-per-round law on configurations
+	// (core.Rule) — the default, and the only engine that scales to
+	// millions of nodes.
+	EngineBatch Engine = iota
+	// EngineAgents runs the literal per-node Uniform Pull simulation
+	// (core.NodeRule), O(n·samples) per round.
+	EngineAgents
+	// EngineGraph runs the per-node simulation on an arbitrary
+	// interaction topology (WithGraph); samples are uniform neighbors.
+	EngineGraph
+	// EngineCluster runs a real message-passing miniature system: one
+	// goroutine per node exchanging pull requests over channels, with
+	// message accounting.
+	EngineCluster
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineBatch:
+		return "batch"
+	case EngineAgents:
+		return "agents"
+	case EngineGraph:
+		return "graph"
+	case EngineCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// WithEngine selects the execution backend (default EngineBatch).
+func WithEngine(e Engine) Option {
+	return optionFunc(func(o *options) { o.engine = e; o.engineSet = true })
+}
+
+// WithGraph runs the process on an interaction topology g and implies
+// EngineGraph. Vertices are colored from the start configuration in slot
+// order (contiguous blocks); use RunOnGraph for explicit placement.
+func WithGraph(g graph.Graph) Option {
+	return optionFunc(func(o *options) { o.graph = g })
+}
+
+// Runner executes a consensus process: built once from a rule or a rule
+// factory, configured entirely through options, and run against any start
+// configuration with Run or RunReplicas. The same Runner value is safe for
+// sequential reuse; replica fan-out requires a factory (NewFactoryRunner)
+// so every goroutine owns its rule's scratch state.
+type Runner struct {
+	rule    core.Rule
+	factory core.Factory
+	opts    []Option
+}
+
+// NewRunner builds a Runner around a single rule instance. It drives the
+// batch, agents and graph engines; the cluster engine and RunReplicas need
+// one rule instance per goroutine and therefore a NewFactoryRunner.
+func NewRunner(rule core.Rule, opts ...Option) *Runner {
+	return &Runner{rule: rule, opts: opts}
+}
+
+// NewFactoryRunner builds a Runner that creates a fresh rule instance per
+// run, per replica, and (on the cluster engine) per node.
+func NewFactoryRunner(factory core.Factory, opts ...Option) *Runner {
+	return &Runner{factory: factory, opts: opts}
+}
+
+// With returns a new Runner with opts appended to the receiver's options
+// (later options win), leaving the receiver unchanged.
+func (rn *Runner) With(opts ...Option) *Runner {
+	cp := *rn
+	cp.opts = append(append([]Option(nil), rn.opts...), opts...)
+	return &cp
+}
+
+// instance returns a rule instance for one run.
+func (rn *Runner) instance() (core.Rule, error) {
+	switch {
+	case rn.factory != nil:
+		rule := rn.factory()
+		if rule == nil {
+			return nil, errors.New("sim: factory returned a nil rule")
+		}
+		return rule, nil
+	case rn.rule != nil:
+		return rn.rule, nil
+	default:
+		return nil, errors.New("sim: runner has no rule")
+	}
+}
+
+// Run executes the process on a copy of start and returns the unified
+// Result. ctx cancellation is checked every round on every engine.
+func (rn *Runner) Run(ctx context.Context, start *config.Config) (*Result, error) {
+	o, err := rn.buildRunOptions(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return rn.runOnce(start, o.source(), o)
+}
+
+// RunReplicas executes replicas independent runs from the same start
+// configuration over a bounded worker pool. Replica i runs on a random
+// stream derived deterministically from the configured source, so results
+// are reproducible regardless of scheduling; they are returned in replica
+// order. workers <= 0 means GOMAXPROCS.
+func (rn *Runner) RunReplicas(ctx context.Context, start *config.Config, replicas, workers int) ([]*Result, error) {
+	if rn.factory == nil {
+		return nil, errors.New("sim: RunReplicas needs a fresh rule per replica; use NewFactoryRunner")
+	}
+	if replicas <= 0 {
+		return nil, errors.New("sim: replicas must be positive")
+	}
+	o, err := rn.buildRunOptions(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > replicas {
+		workers = replicas
+	}
+
+	// Derive all streams up front on the caller's goroutine: Derive
+	// advances the base source, so ordering must not depend on scheduling.
+	base := o.source()
+	streams := make([]*rng.RNG, replicas)
+	for i := range streams {
+		streams[i] = base.Derive(uint64(i))
+	}
+
+	results := make([]*Result, replicas)
+	errs := make([]error, replicas)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := rn.runOnce(start, streams[i], o)
+				results[i] = res
+				errs[i] = err
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < replicas; i++ {
+		select {
+		case jobs <- i:
+		case <-o.ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := o.ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: replica %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+func (rn *Runner) buildRunOptions(ctx context.Context) (options, error) {
+	o, err := buildOptions(rn.opts)
+	if err != nil {
+		return o, err
+	}
+	if ctx != nil {
+		o.ctx = ctx
+	}
+	return o, nil
+}
+
+// runOnce dispatches a single run to the selected engine.
+func (rn *Runner) runOnce(start *config.Config, r *rng.RNG, o options) (*Result, error) {
+	if start == nil {
+		return nil, errors.New("sim: start configuration must be non-nil")
+	}
+	rule, err := rn.instance()
+	if err != nil {
+		return nil, err
+	}
+	switch o.engine {
+	case EngineBatch:
+		return runBatch(rule, start, r, o)
+	case EngineAgents:
+		nodeRule, err := asNodeRule(rule, o.engine)
+		if err != nil {
+			return nil, err
+		}
+		return runAgents(nodeRule, start, r, o)
+	case EngineGraph:
+		nodeRule, err := asNodeRule(rule, o.engine)
+		if err != nil {
+			return nil, err
+		}
+		if o.graph.N() != start.N() {
+			return nil, fmt.Errorf("sim: graph has %d vertices for %d nodes", o.graph.N(), start.N())
+		}
+		return runGraph(nodeRule, o.graph, graphStartColors(start), r, o)
+	case EngineCluster:
+		if rn.factory == nil {
+			return nil, errors.New("sim: the cluster engine needs a fresh rule per node; use NewFactoryRunner")
+		}
+		if _, err := asNodeRule(rule, o.engine); err != nil {
+			return nil, err
+		}
+		return runCluster(func() core.NodeRule {
+			return rn.factory().(core.NodeRule)
+		}, start, r, o)
+	default:
+		return nil, fmt.Errorf("sim: unknown engine %v", o.engine)
+	}
+}
+
+func asNodeRule(rule core.Rule, e Engine) (core.NodeRule, error) {
+	nr, ok := rule.(core.NodeRule)
+	if !ok {
+		return nil, fmt.Errorf("sim: the %v engine needs per-node semantics, but rule %q implements no core.NodeRule", e, rule.Name())
+	}
+	return nr, nil
+}

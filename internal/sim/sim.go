@@ -1,14 +1,26 @@
-// Package sim executes consensus processes round by round: run-to-consensus
-// and run-to-κ-colors (the paper's T^κ reduction times), round budgets,
-// traces, and parallel replica execution with per-replica deterministic
-// random streams.
+// Package sim executes consensus processes round by round behind one
+// engine-agnostic Runner: run-to-consensus and run-to-κ-colors (the
+// paper's T^κ reduction times), round budgets, traces, context
+// cancellation, per-round Byzantine corruption (§5), and parallel replica
+// execution with per-replica deterministic random streams.
+//
+// Four engines share the same round loop, option set and Result type:
+//
+//   - Batch: the exact O(k) one-round law on configurations (core.Rule);
+//   - Agents: the literal per-node Uniform Pull simulation (core.NodeRule);
+//   - Graph: per-node simulation on an arbitrary interaction topology;
+//   - Cluster: a real message-passing miniature system, one goroutine per
+//     node (internal/cluster).
 package sim
 
 import (
+	"context"
 	"errors"
 
+	"github.com/ignorecomply/consensus/internal/adversary"
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/graph"
 	"github.com/ignorecomply/consensus/internal/rng"
 )
 
@@ -20,27 +32,57 @@ type TracePoint struct {
 	Bias       int
 }
 
-// Result describes a completed run.
+// Result describes a completed run. It is the superset of what every
+// engine and regime reports: the batch/agents/graph engines fill the
+// round-and-configuration fields, the cluster engine additionally fills
+// the message accounting, and adversarial runs (WithAdversary) fill the
+// §5 stability bookkeeping.
 type Result struct {
 	// Rounds is the number of rounds executed.
 	Rounds int
-	// Converged reports whether the color target was reached within the
-	// round budget.
+	// Converged reports whether the stopping target was reached within the
+	// round budget: the color target (or WithStopWhen predicate) for plain
+	// runs, the stable almost-consensus window for adversarial runs.
 	Converged bool
 	// Final is the configuration at the end of the run.
 	Final *config.Config
 	// WinnerLabel is the label of the plurality color of Final (the
 	// consensus color when Converged with target 1).
 	WinnerLabel int
+	// WinnerValid reports whether the winner is a valid color: one
+	// supported in the initial configuration (Byzantine validity, §5).
+	// Always true for runs without an adversary.
+	WinnerValid bool
 	// ColorTimes maps each requested κ to the first round at the end of
 	// which at most κ colors remained (0 if already true initially);
 	// entries are absent for κ values never reached.
 	ColorTimes map[int]int
 	// Trace holds periodic observations when tracing was enabled.
 	Trace []TracePoint
+
+	// Messages is the total number of protocol messages (requests and
+	// responses) exchanged; only the cluster engine sends real messages.
+	Messages int64
+	// BitsPerMessage is the size of one cluster message payload:
+	// ⌈log₂(slots)⌉ bits over the final slot space (the model's O(log k)
+	// constraint; an adversary may grow the slot space mid-run). Zero for
+	// the sampling engines.
+	BitsPerMessage int
+
+	// Corrupted is the total number of node corruptions applied by the
+	// adversary (WithAdversary runs only).
+	Corrupted int
+	// AlmostConsensusRound is the first round at the end of which some
+	// color held at least ⌈(1-ε)·n⌉ nodes, or -1 if never (or if the run
+	// had no adversary).
+	AlmostConsensusRound int
+	// Stable reports whether, from AlmostConsensusRound on, the same color
+	// kept almost-consensus support for the required window.
+	Stable bool
 }
 
 type options struct {
+	ctx          context.Context
 	maxRounds    int
 	targetColors int
 	colorTimes   []int
@@ -48,6 +90,19 @@ type options struct {
 	compactEvery int
 	observer     func(round int, c *config.Config)
 	stopWhen     func(round int, c *config.Config) bool
+
+	engine    Engine
+	engineSet bool
+	graph     graph.Graph
+
+	adv     adversary.Adversary
+	advSet  bool
+	epsilon float64
+	window  int
+
+	rng     *rng.RNG
+	seed    uint64
+	seedSet bool
 }
 
 // Option configures a run.
@@ -65,7 +120,8 @@ func WithMaxRounds(n int) Option {
 }
 
 // WithTargetColors stops the run once at most k colors remain (default 1,
-// i.e. consensus).
+// i.e. consensus). Adversarial runs ignore the color target: their
+// stopping rule is the §5 stability window (see WithAdversary).
 func WithTargetColors(k int) Option {
 	return optionFunc(func(o *options) { o.targetColors = k })
 }
@@ -85,7 +141,8 @@ func WithTrace(every int) Option {
 // WithCompactEvery controls how often extinct color slots are dropped
 // (default every 32 rounds when more than half the slots are extinct; 0
 // disables compaction). Compaction renumbers slots; observers must use
-// labels, not slot indices, across rounds.
+// labels, not slot indices, across rounds. Only the batch engine compacts:
+// the per-node engines and adversarial runs need stable slot indices.
 func WithCompactEvery(every int) Option {
 	return optionFunc(func(o *options) { o.compactEvery = every })
 }
@@ -104,11 +161,47 @@ func WithStopWhen(fn func(round int, c *config.Config) bool) Option {
 	return optionFunc(func(o *options) { o.stopWhen = fn })
 }
 
+// WithAdversary runs the process in the §5 fault-tolerance regime: after
+// every protocol round, adv corrupts up to its budget of nodes. The run
+// converges when some valid-or-not color has held at least ⌈(1-ε)·n⌉
+// nodes for window consecutive rounds (Result.Stable); the plain color
+// target does not apply. Works on every engine: on the per-node and
+// cluster engines the aggregate corruption is reflected onto concrete
+// node states between rounds.
+//
+// The adversary value is shared by every run of the Runner, including
+// parallel replicas. The built-in adversaries are stateless and safe for
+// that; a custom stateful Adversary must tolerate interleaved Corrupt
+// calls from concurrent replicas.
+func WithAdversary(adv adversary.Adversary, epsilon float64, window int) Option {
+	return optionFunc(func(o *options) {
+		o.adv = adv
+		o.advSet = true
+		o.epsilon = epsilon
+		o.window = window
+	})
+}
+
+// WithRNG supplies the random source. Replica runs derive one independent
+// deterministic stream per replica from it. Mutually exclusive with
+// WithSeed.
+func WithRNG(r *rng.RNG) Option {
+	return optionFunc(func(o *options) { o.rng = r })
+}
+
+// WithSeed seeds a fresh random source for the run (default seed 1).
+// Mutually exclusive with WithRNG.
+func WithSeed(seed uint64) Option {
+	return optionFunc(func(o *options) { o.seed = seed; o.seedSet = true })
+}
+
 func buildOptions(opts []Option) (options, error) {
 	o := options{
+		ctx:          context.Background(),
 		maxRounds:    10_000_000,
 		targetColors: 1,
 		compactEvery: 32,
+		seed:         1,
 	}
 	for _, opt := range opts {
 		opt.apply(&o)
@@ -124,11 +217,54 @@ func buildOptions(opts []Option) (options, error) {
 			return o, errors.New("sim: color-time targets must be >= 1")
 		}
 	}
+	if o.advSet && o.adv == nil {
+		return o, errors.New("sim: adversary must be non-nil")
+	}
+	if o.adv != nil {
+		if o.epsilon <= 0 || o.epsilon >= 1 {
+			return o, errors.New("sim: adversary epsilon must be in (0, 1)")
+		}
+		if o.window < 1 {
+			return o, errors.New("sim: adversary window must be >= 1")
+		}
+		// The InjectInvalid adversary caches the slot index of its
+		// injected color; compaction renumbers slots, so adversarial
+		// runs never compact.
+		o.compactEvery = 0
+	}
+	if o.rng != nil && o.seedSet {
+		return o, errors.New("sim: WithRNG and WithSeed are mutually exclusive")
+	}
+	if o.engineSet && (o.engine < EngineBatch || o.engine > EngineCluster) {
+		return o, errors.New("sim: unknown engine")
+	}
+	if o.graph != nil {
+		if !o.engineSet {
+			o.engine = EngineGraph
+			o.engineSet = true
+		} else if o.engine != EngineGraph {
+			return o, errors.New("sim: WithGraph requires the graph engine")
+		}
+	}
+	if o.engine == EngineGraph && o.graph == nil {
+		return o, errors.New("sim: graph engine requires WithGraph")
+	}
 	return o, nil
+}
+
+// source resolves the run's random stream from the options.
+func (o *options) source() *rng.RNG {
+	if o.rng != nil {
+		return o.rng
+	}
+	return rng.New(o.seed)
 }
 
 // Run executes rule on a copy of start until at most the target number of
 // colors remains or the round budget is exhausted.
+//
+// Deprecated: build a Runner instead; Run remains as the batch-engine
+// compatibility entry point.
 func Run(rule core.Rule, start *config.Config, r *rng.RNG, opts ...Option) (*Result, error) {
 	if rule == nil || start == nil || r == nil {
 		return nil, errors.New("sim: rule, start and rng must be non-nil")
@@ -137,16 +273,47 @@ func Run(rule core.Rule, start *config.Config, r *rng.RNG, opts ...Option) (*Res
 	if err != nil {
 		return nil, err
 	}
+	return runBatch(rule, start, r, o)
+}
+
+func runBatch(rule core.Rule, start *config.Config, r *rng.RNG, o options) (*Result, error) {
 	c := start.Clone()
 	return runLoop(c, r, o, func(round int) {
 		rule.Step(c, r)
-	}, func() *config.Config { return c })
+	}, func() *config.Config { return c }, nil)
 }
 
 // runLoop drives the shared round loop. step executes one round; current
-// returns the live configuration (which step may replace).
-func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int), current func() *config.Config) (*Result, error) {
-	res := &Result{ColorTimes: make(map[int]int, len(o.colorTimes))}
+// returns the live configuration (which step may replace). nodes, when
+// non-nil, returns the live per-node slot assignment of the engine, so
+// that adversarial corruption of the aggregate counts can be reflected
+// onto concrete node states; nil means the engine is purely aggregate.
+func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int), current func() *config.Config, nodes func() []int) (*Result, error) {
+	if err := o.ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ColorTimes:           make(map[int]int, len(o.colorTimes)),
+		AlmostConsensusRound: -1,
+	}
+
+	// Validity bookkeeping (§5): the valid labels are those of the
+	// initial positive-support slots; an adversary may inject colors
+	// outside that set.
+	valid := make(map[int]struct{}, c.Slots())
+	for s := 0; s < c.Slots(); s++ {
+		if c.Count(s) > 0 {
+			valid[c.Label(s)] = struct{}{}
+		}
+	}
+
+	var threshold int
+	if o.adv != nil {
+		threshold = adversary.Threshold(c.N(), o.epsilon)
+	}
+	streakLabel := 0
+	streak := 0
+
 	record := func(round int) bool {
 		cfg := current()
 		k := cfg.Remaining()
@@ -170,19 +337,51 @@ func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int), curr
 		if o.stopWhen != nil && o.stopWhen(round, cfg) {
 			return true
 		}
+		if o.adv != nil {
+			// §5 stopping rule: a stable almost-consensus window. Rounds
+			// before the first corruption (round 0) don't count.
+			if round < 1 {
+				return false
+			}
+			slot, support := cfg.Max()
+			label := cfg.Label(slot)
+			if support >= threshold {
+				if streak > 0 && label == streakLabel {
+					streak++
+				} else {
+					streakLabel, streak = label, 1
+				}
+				if res.AlmostConsensusRound < 0 {
+					res.AlmostConsensusRound = round
+				}
+				if streak >= o.window {
+					res.Stable = true
+					return true
+				}
+			} else {
+				streak = 0
+			}
+			return false
+		}
 		return k <= o.targetColors
 	}
 
 	if record(0) {
 		res.Converged = true
-		finish(res, current(), 0, o)
+		finish(res, current(), 0, o, valid)
 		return res, nil
 	}
 	for round := 1; round <= o.maxRounds; round++ {
+		if err := o.ctx.Err(); err != nil {
+			return nil, err
+		}
 		step(round)
+		if o.adv != nil {
+			res.Corrupted += corrupt(current(), nodes, o.adv, r)
+		}
 		if record(round) {
 			res.Converged = true
-			finish(res, current(), round, o)
+			finish(res, current(), round, o, valid)
 			return res, nil
 		}
 		if o.compactEvery > 0 && round%o.compactEvery == 0 {
@@ -192,15 +391,73 @@ func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int), curr
 			}
 		}
 	}
-	finish(res, current(), o.maxRounds, o)
+	finish(res, current(), o.maxRounds, o, valid)
 	return res, nil
 }
 
-func finish(res *Result, c *config.Config, rounds int, o options) {
+// corrupt applies one round of adversarial corruption. For aggregate
+// engines (nodes == nil) the adversary mutates the configuration counts
+// directly. For per-node engines the aggregate corruption is reconciled
+// onto the live node states: for every node the adversary moved from
+// color a to color b, one concrete node holding a — chosen uniformly at
+// random — is reassigned to b. Under Uniform Pull nodes of a color are
+// exchangeable and any choice would do; on a graph topology positions
+// matter, and the random choice keeps the corruption spatially unbiased.
+func corrupt(c *config.Config, nodes func() []int, adv adversary.Adversary, r *rng.RNG) int {
+	if nodes == nil {
+		return adv.Corrupt(c, r)
+	}
+	before := c.CountsCopy()
+	did := adv.Corrupt(c, r)
+	// Re-fetch: InjectInvalid may have rebuilt the configuration with an
+	// extra slot (old slot indices are stable, new ones append).
+	after := c.CountsView()
+	deficit := make([]int, len(after))
+	surplus := make([]int, len(after))
+	changed := false
+	for s := range after {
+		b := 0
+		if s < len(before) {
+			b = before[s]
+		}
+		switch {
+		case after[s] < b:
+			deficit[s] = b - after[s]
+			changed = true
+		case after[s] > b:
+			surplus[s] = after[s] - b
+			changed = true
+		}
+	}
+	if !changed {
+		return did
+	}
+	ns := nodes()
+	t := 0
+	for _, i := range r.Perm(len(ns)) {
+		s := ns[i]
+		if s >= len(deficit) || deficit[s] == 0 {
+			continue
+		}
+		for t < len(surplus) && surplus[t] == 0 {
+			t++
+		}
+		if t == len(surplus) {
+			break
+		}
+		deficit[s]--
+		surplus[t]--
+		ns[i] = t
+	}
+	return did
+}
+
+func finish(res *Result, c *config.Config, rounds int, o options, valid map[int]struct{}) {
 	res.Rounds = rounds
 	res.Final = c
 	slot, _ := c.Max()
 	res.WinnerLabel = c.Label(slot)
+	_, res.WinnerValid = valid[res.WinnerLabel]
 	if o.traceEvery > 0 && (len(res.Trace) == 0 || res.Trace[len(res.Trace)-1].Round != rounds) {
 		_, maxSup := c.Max()
 		res.Trace = append(res.Trace, TracePoint{

@@ -1,0 +1,120 @@
+package consensus_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	consensus "github.com/ignorecomply/consensus"
+)
+
+// The Runner facade tests exercise the unified entry point the way a
+// downstream user would: one constructor, engines and the §5 adversary as
+// options, context-aware execution.
+
+func TestRunnerFacadeBatch(t *testing.T) {
+	runner := consensus.NewRunner(consensus.NewThreeMajority(),
+		consensus.WithSeed(1))
+	res, err := runner.Run(context.Background(), consensus.SingletonConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !res.Final.IsConsensus() {
+		t.Fatalf("3-majority runner failed: %+v", res)
+	}
+	if !res.WinnerValid {
+		t.Fatal("winner must be valid without an adversary")
+	}
+}
+
+func TestRunnerFacadeEngines(t *testing.T) {
+	const n = 120
+	factory := func() consensus.Rule { return consensus.NewThreeMajority() }
+	for name, opts := range map[string][]consensus.Option{
+		"agents":  {consensus.WithEngine(consensus.EngineAgents)},
+		"graph":   {consensus.WithGraph(consensus.NewCompleteGraph(n))},
+		"cluster": {consensus.WithEngine(consensus.EngineCluster)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			runner := consensus.NewFactoryRunner(factory,
+				append([]consensus.Option{consensus.WithSeed(2)}, opts...)...)
+			res, err := runner.Run(context.Background(), consensus.BalancedConfig(n, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("%s engine did not converge", name)
+			}
+		})
+	}
+}
+
+func TestRunnerFacadeReplicas(t *testing.T) {
+	runner := consensus.NewFactoryRunner(
+		func() consensus.Rule { return consensus.NewVoter() },
+		consensus.WithRNG(consensus.NewRNG(2)))
+	results, err := runner.RunReplicas(context.Background(), consensus.BalancedConfig(500, 5), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results", len(results))
+	}
+}
+
+func TestRunnerFacadeAdversaryOnCluster(t *testing.T) {
+	runner := consensus.NewFactoryRunner(
+		func() consensus.Rule { return consensus.NewThreeMajority() },
+		consensus.WithEngine(consensus.EngineCluster),
+		consensus.WithAdversary(&consensus.BoostRunnerUp{F: 1}, 0.05, 10),
+		consensus.WithMaxRounds(100_000),
+		consensus.WithSeed(5))
+	res, err := runner.Run(context.Background(), consensus.BalancedConfig(300, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable || !res.WinnerValid {
+		t.Fatalf("adversary on cluster engine: stable=%v valid=%v", res.Stable, res.WinnerValid)
+	}
+	if res.Messages == 0 {
+		t.Fatal("no messages accounted")
+	}
+	if res.Corrupted == 0 {
+		t.Fatal("no corruption accounted")
+	}
+}
+
+func TestRunnerFacadeCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runner := consensus.NewRunner(consensus.NewVoter(), consensus.WithSeed(3))
+	if _, err := runner.Run(ctx, consensus.SingletonConfig(100)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeprecatedShimsStillWork pins the compatibility contract: the old
+// top-level entry points keep working on top of the Runner.
+func TestDeprecatedShimsStillWork(t *testing.T) {
+	r := consensus.NewRNG(6)
+	res, err := consensus.RunWithAdversary(
+		consensus.NewThreeMajority(),
+		&consensus.BoostRunnerUp{F: 2},
+		consensus.BalancedConfig(2000, 4), r, 0.05, 20, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable || !res.WinnerValid {
+		t.Fatalf("adversary shim: stable=%v valid=%v", res.Stable, res.WinnerValid)
+	}
+
+	cres, err := consensus.RunCluster(
+		func() consensus.NodeRule { return consensus.NewVoter() },
+		consensus.BalancedConfig(40, 2), 6, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cres.Converged || cres.Messages == 0 {
+		t.Fatalf("cluster shim: %+v", cres)
+	}
+}
