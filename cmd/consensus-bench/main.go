@@ -2,13 +2,22 @@
 // registered experiments (E1..E12, one per theorem/lemma/figure/numeric
 // claim — see DESIGN.md §4) and prints their tables.
 //
+// With -json it instead runs the engine benchmark sweep and writes the
+// machine-readable benchmark trajectory (ns/round and allocs/round per
+// engine × n × k, plus the parallel speedup curves of the sharded
+// engines) — the file checked in as BENCH_PR<i>.json each PR. The -scale
+// flag then accepts the additional value "smoke" (CI-sized).
+//
 // Usage:
 //
 //	consensus-bench [-run E1,E5,E7 | -run all] [-scale quick|full]
 //	                [-seed N] [-workers N] [-csv DIR] [-list]
+//	consensus-bench -json FILE [-scale smoke|quick|full] [-seed N]
+//	                [-parallel P]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/ignorecomply/consensus/internal/bench"
 	"github.com/ignorecomply/consensus/internal/expt"
 )
 
@@ -35,9 +45,16 @@ func run(args []string) error {
 		workers = fs.Int("workers", 0, "replica parallelism (0 = GOMAXPROCS)")
 		csvDir  = fs.String("csv", "", "also write each table as CSV into this directory")
 		list    = fs.Bool("list", false, "list experiments and exit")
+
+		jsonPath = fs.String("json", "", "run the engine benchmark sweep and write the JSON report to this file (instead of experiments)")
+		parallel = fs.Int("parallel", 0, "cap the sharded-engine parallelism sweep for -json (0 = full sweep {1,2,4,8})")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *jsonPath != "" {
+		return runJSONBench(*jsonPath, *scale, *seed, *parallel)
 	}
 
 	if *list {
@@ -87,6 +104,29 @@ func run(args []string) error {
 			}
 		}
 	}
+	return nil
+}
+
+// runJSONBench runs the engine benchmark sweep and writes the
+// machine-readable trajectory report.
+func runJSONBench(path, scale string, seed uint64, maxParallel int) error {
+	start := time.Now()
+	rep, err := bench.Run(scale, seed, maxParallel, func(line string) {
+		fmt.Println(line)
+	})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d points, scale=%s, seed=%d, gomaxprocs=%d, %.1fs)\n",
+		path, len(rep.Points), scale, seed, rep.GOMAXPROCS, time.Since(start).Seconds())
 	return nil
 }
 

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	consensus-sim [-rule voter|2-choices|3-majority|4-majority|...|2-median|undecided]
-//	              [-engine batch|agents|graph|cluster]
+//	              [-engine batch|agents|graph|cluster] [-parallel P]
 //	              [-topology complete|ring|torus|random-regular] [-degree D]
 //	              [-adversary none|boost-runner-up|revive-weakest|inject-invalid|random-noise]
 //	              [-budget F] [-epsilon E] [-window W]
@@ -40,6 +40,7 @@ func run(args []string) error {
 	var (
 		ruleName   = fs.String("rule", "3-majority", "update rule (voter, 2-choices, 3-majority, H-majority, 2-median, undecided)")
 		engineName = fs.String("engine", "batch", "execution engine: batch, agents, graph, cluster")
+		parallel   = fs.Int("parallel", 0, "worker shards for the agents/graph engines (0 = GOMAXPROCS, 1 = sequential bit-exact)")
 		topology   = fs.String("topology", "complete", "interaction topology for -engine graph: complete, ring, torus, random-regular")
 		degree     = fs.Int("degree", 4, "vertex degree for -topology random-regular")
 		advName    = fs.String("adversary", "none", "§5 adversary: none, boost-runner-up, revive-weakest, inject-invalid, random-noise")
@@ -71,6 +72,7 @@ func run(args []string) error {
 	opts := []consensus.Option{
 		consensus.WithSeed(*seed),
 		consensus.WithMaxRounds(*maxRounds),
+		consensus.WithParallelism(*parallel),
 	}
 	if *traceEvery > 0 {
 		opts = append(opts, consensus.WithTrace(*traceEvery))

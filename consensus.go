@@ -286,6 +286,11 @@ var (
 	WithCompactEvery = sim.WithCompactEvery
 	// WithEngine selects the execution backend (default EngineBatch).
 	WithEngine = sim.WithEngine
+	// WithParallelism shards the per-node engines (agents, graph) across
+	// worker goroutines with per-shard derived random streams (factory
+	// Runners default to GOMAXPROCS, single-rule Runners to sequential;
+	// 1 reproduces the sequential engine bit-for-bit).
+	WithParallelism = sim.WithParallelism
 	// WithGraph runs the process on an interaction topology (implies
 	// EngineGraph).
 	WithGraph = sim.WithGraph

@@ -1,18 +1,46 @@
 package rng
 
 // Alias is a Vose alias table for O(1) sampling from a fixed categorical
-// distribution. Build once with NewAlias (O(k)), then Draw repeatedly.
+// distribution. Build once with NewAlias (O(k)), then Draw repeatedly; when
+// the distribution changes every round, Reset or ResetCounts rebuild the
+// table in place without allocating once the table has reached its
+// steady-state capacity.
 //
 // The agent-based simulators use it to draw n node samples per round from
-// the color-frequency distribution.
+// the color-frequency distribution. Draw only reads the table, so a single
+// Alias may be shared by many goroutines drawing concurrently (each with
+// its own RNG), as the sharded engines do; Reset/ResetCounts must not run
+// concurrently with Draw.
 type Alias struct {
 	prob  []float64
 	alias []int
+
+	// Build scratch, retained across Reset calls so steady-state rebuilds
+	// are allocation-free.
+	scaled  []float64
+	small   []int
+	large   []int
+	weights []float64
 }
 
 // NewAlias builds an alias table over weights (non-negative, not all zero).
 // Weights need not be normalized.
 func NewAlias(weights []float64) *Alias {
+	a := &Alias{}
+	a.Reset(weights)
+	return a
+}
+
+// NewAliasCounts builds an alias table over non-negative integer counts.
+func NewAliasCounts(counts []int) *Alias {
+	a := &Alias{}
+	a.ResetCounts(counts)
+	return a
+}
+
+// Reset rebuilds the table over weights in place, reusing the receiver's
+// storage. It panics under the same conditions as NewAlias.
+func (a *Alias) Reset(weights []float64) {
 	k := len(weights)
 	if k == 0 {
 		panic("rng: NewAlias requires at least one weight")
@@ -28,18 +56,16 @@ func NewAlias(weights []float64) *Alias {
 		panic("rng: NewAlias requires a positive weight")
 	}
 
-	a := &Alias{
-		prob:  make([]float64, k),
-		alias: make([]int, k),
-	}
+	a.prob = growFloats(a.prob, k)
+	a.alias = growInts(a.alias, k)
+	a.scaled = growFloats(a.scaled, k)
 	// Scaled probabilities: mean 1.
-	scaled := make([]float64, k)
 	for i, w := range weights {
-		scaled[i] = w * float64(k) / total
+		a.scaled[i] = w * float64(k) / total
 	}
-	small := make([]int, 0, k)
-	large := make([]int, 0, k)
-	for i, s := range scaled {
+	small := a.small[:0]
+	large := a.large[:0]
+	for i, s := range a.scaled {
 		if s < 1 {
 			small = append(small, i)
 		} else {
@@ -52,10 +78,10 @@ func NewAlias(weights []float64) *Alias {
 		g := large[len(large)-1]
 		large = large[:len(large)-1]
 
-		a.prob[l] = scaled[l]
+		a.prob[l] = a.scaled[l]
 		a.alias[l] = g
-		scaled[g] = (scaled[g] + scaled[l]) - 1
-		if scaled[g] < 1 {
+		a.scaled[g] = (a.scaled[g] + a.scaled[l]) - 1
+		if a.scaled[g] < 1 {
 			small = append(small, g)
 		} else {
 			large = append(large, g)
@@ -70,18 +96,21 @@ func NewAlias(weights []float64) *Alias {
 		a.prob[i] = 1
 		a.alias[i] = i
 	}
-	return a
+	a.small = small[:0]
+	a.large = large[:0]
 }
 
-// NewAliasCounts builds an alias table over non-negative integer counts.
-func NewAliasCounts(counts []int) *Alias {
-	weights := make([]float64, len(counts))
+// ResetCounts rebuilds the table over non-negative integer counts in place.
+func (a *Alias) ResetCounts(counts []int) {
+	a.weights = growFloats(a.weights, len(counts))
 	for i, c := range counts {
 		if c > 0 {
-			weights[i] = float64(c)
+			a.weights[i] = float64(c)
+		} else {
+			a.weights[i] = 0
 		}
 	}
-	return NewAlias(weights)
+	a.Reset(a.weights)
 }
 
 // Draw returns an index sampled from the table's distribution.
@@ -95,3 +124,17 @@ func (a *Alias) Draw(r *RNG) int {
 
 // Len returns the number of categories in the table.
 func (a *Alias) Len() int { return len(a.prob) }
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,162 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets for the exact discrete samplers the sharded per-node engines
+// lean on. Under `go test` only the seeded corpus runs (deterministic);
+// `go test -fuzz=FuzzBinomial ./internal/rng` explores further. The
+// invariants checked are the ones a sampler bug would corrupt silently:
+// support bounds, total-count conservation, and first-moment sanity.
+
+func FuzzBinomial(f *testing.F) {
+	f.Add(uint64(1), 10, 0.5)
+	f.Add(uint64(2), 0, 0.3)
+	f.Add(uint64(3), 1000, 0.001)
+	f.Add(uint64(4), 5000, 0.9999)
+	f.Add(uint64(5), 100000, 0.25) // BTRS branch
+	f.Add(uint64(6), 7, 1.0)
+	f.Add(uint64(7), 12, 0.0)
+	f.Fuzz(func(t *testing.T, seed uint64, n int, p float64) {
+		if n < 0 || n > 1_000_000 {
+			t.Skip("n out of the supported range")
+		}
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			t.Skip("p outside [0, 1]")
+		}
+		r := New(seed)
+		const draws = 64
+		sum := 0.0
+		for i := 0; i < draws; i++ {
+			k := r.Binomial(n, p)
+			if k < 0 || k > n {
+				t.Fatalf("Binomial(%d, %g) = %d outside [0, %d]", n, p, k, n)
+			}
+			if p == 0 && k != 0 {
+				t.Fatalf("Binomial(%d, 0) = %d, want 0", n, k)
+			}
+			if p == 1 && k != n {
+				t.Fatalf("Binomial(%d, 1) = %d, want %d", n, k, n)
+			}
+			sum += float64(k)
+		}
+		// First-moment sanity: the empirical mean of 64 draws stays within
+		// 8 standard errors of np, plus one unit of absolute slack for
+		// distributions with near-zero variance. Non-adversarial: a seed
+		// triggering the 8σ tail (~1e-15 per corpus entry) would indicate a
+		// sampler bug long before bad luck.
+		mean := sum / draws
+		se := math.Sqrt(float64(n)*p*(1-p)) / math.Sqrt(draws)
+		if diff := math.Abs(mean - float64(n)*p); diff > 8*se+1 {
+			t.Fatalf("Binomial(%d, %g): empirical mean %.2f is %.1f away from np=%.2f (8se+1=%.2f)",
+				n, p, mean, diff, float64(n)*p, 8*se+1)
+		}
+	})
+}
+
+func FuzzMultinomial(f *testing.F) {
+	f.Add(uint64(1), 100, []byte{10, 20, 30, 40})
+	f.Add(uint64(2), 0, []byte{1, 1})
+	f.Add(uint64(3), 5000, []byte{255, 0, 0, 1})
+	f.Add(uint64(4), 77, []byte{0, 0, 0})
+	f.Add(uint64(5), 31, []byte{128})
+	f.Fuzz(func(t *testing.T, seed uint64, n int, probBytes []byte) {
+		if n < 0 || n > 1_000_000 {
+			t.Skip("n out of the supported range")
+		}
+		if len(probBytes) == 0 || len(probBytes) > 64 {
+			t.Skip("no categories")
+		}
+		// Bytes below 32 become non-positive probabilities, so the
+		// zero-assignment contract is exercised too.
+		probs := make([]float64, len(probBytes))
+		anyPositive := false
+		for i, b := range probBytes {
+			probs[i] = (float64(b) - 32) / 223
+			if probs[i] > 0 {
+				anyPositive = true
+			}
+		}
+		r := New(seed)
+		out := make([]int, len(probs))
+		r.Multinomial(n, probs, out)
+		total := 0
+		for i, v := range out {
+			if v < 0 {
+				t.Fatalf("Multinomial: negative count %d in slot %d", v, i)
+			}
+			if probs[i] <= 0 && v != 0 {
+				t.Fatalf("Multinomial: slot %d has non-positive probability %g but count %d", i, probs[i], v)
+			}
+			total += v
+		}
+		want := n
+		if !anyPositive || n <= 0 {
+			want = 0
+		}
+		if total != want {
+			t.Fatalf("Multinomial: counts sum to %d, want %d (conservation)", total, want)
+		}
+	})
+}
+
+func FuzzAliasCounts(f *testing.F) {
+	f.Add(uint64(1), []byte{1, 2, 3, 4})
+	f.Add(uint64(2), []byte{0, 0, 5})
+	f.Add(uint64(3), []byte{255})
+	f.Add(uint64(4), []byte{0, 1, 0, 1, 0, 255, 255})
+	f.Fuzz(func(t *testing.T, seed uint64, countBytes []byte) {
+		if len(countBytes) == 0 || len(countBytes) > 64 {
+			t.Skip("no slots")
+		}
+		counts := make([]int, len(countBytes))
+		total := 0
+		for i, b := range countBytes {
+			counts[i] = int(b)
+			total += counts[i]
+		}
+		if total == 0 {
+			t.Skip("all-zero counts panic by contract")
+		}
+		a := NewAliasCounts(counts)
+		if a.Len() != len(counts) {
+			t.Fatalf("Len = %d, want %d", a.Len(), len(counts))
+		}
+		r := New(seed)
+		const draws = 256
+		freq := make([]int, len(counts))
+		for i := 0; i < draws; i++ {
+			s := a.Draw(r)
+			if s < 0 || s >= len(counts) {
+				t.Fatalf("Draw = %d outside [0, %d)", s, len(counts))
+			}
+			if counts[s] == 0 {
+				t.Fatalf("Draw returned slot %d with zero count", s)
+			}
+			freq[s]++
+		}
+		// Rebuilding in place must yield the same distribution support, and
+		// first-moment sanity: a slot holding the whole mass gets every draw;
+		// generally the empirical frequency of the heaviest slot stays within
+		// 8 binomial standard errors of its probability.
+		a.ResetCounts(counts)
+		heavy, heavyCount := 0, 0
+		for i, c := range counts {
+			if c > heavyCount {
+				heavy, heavyCount = i, c
+			}
+		}
+		ph := float64(heavyCount) / float64(total)
+		se := math.Sqrt(ph * (1 - ph) / draws)
+		if got := float64(freq[heavy]) / draws; math.Abs(got-ph) > 8*se+1.0/draws {
+			t.Fatalf("heaviest slot %d drawn with frequency %.3f, want ~%.3f (8se=%.3f)", heavy, got, ph, 8*se)
+		}
+		for i := 0; i < 32; i++ {
+			if s := a.Draw(r); counts[s] == 0 {
+				t.Fatalf("after ResetCounts: Draw returned dead slot %d", s)
+			}
+		}
+	})
+}

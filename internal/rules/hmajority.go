@@ -28,7 +28,7 @@ type HMajority struct {
 	next   []int
 	fracs  []float64
 	sample []int
-	tied   []int
+	alias  *rng.Alias
 }
 
 var _ core.Rule = (*HMajority)(nil)
@@ -43,7 +43,6 @@ func NewHMajority(h int) *HMajority {
 	return &HMajority{
 		h:      h,
 		sample: make([]int, h),
-		tied:   make([]int, 0, h),
 	}
 }
 
@@ -59,7 +58,12 @@ func (m *HMajority) Name() string { return fmt.Sprintf("%d-majority", m.h) }
 func (m *HMajority) Step(c *config.Config, r *rng.RNG) {
 	counts := c.CountsView()
 	n := c.N()
-	alias := rng.NewAliasCounts(counts)
+	if m.alias == nil {
+		m.alias = rng.NewAliasCounts(counts)
+	} else {
+		m.alias.ResetCounts(counts)
+	}
+	alias := m.alias
 	m.next = resizeInts(m.next, len(counts))
 	for i := range m.next {
 		m.next[i] = 0
@@ -83,10 +87,18 @@ func (m *HMajority) Update(_ int, samples []int, r *rng.RNG) int {
 
 // plurality returns the plurality value among samples[:h], breaking ties
 // uniformly among the tied colors. It scans deterministically (O(h²), h is
-// a small constant) so that runs reproduce exactly from a seed.
+// a small constant) so that runs reproduce exactly from a seed. The tie
+// buffer is local — stack-allocated for h <= 16, a per-call heap
+// allocation beyond that — never receiver state, so Update is
+// unconditionally safe for concurrent calls from the sharded engines
+// (which may share one instance across shards on a single-rule Runner).
 func (m *HMajority) plurality(samples []int, r *rng.RNG) int {
+	var buf [16]int
+	tied := buf[:0]
+	if m.h > len(buf) {
+		tied = make([]int, 0, m.h)
+	}
 	maxCount := 0
-	m.tied = m.tied[:0]
 	for i := 0; i < m.h; i++ {
 		v := samples[i]
 		// Count each distinct value once, at its first occurrence.
@@ -109,15 +121,15 @@ func (m *HMajority) plurality(samples []int, r *rng.RNG) int {
 		switch {
 		case count > maxCount:
 			maxCount = count
-			m.tied = append(m.tied[:0], v)
+			tied = append(tied[:0], v)
 		case count == maxCount:
-			m.tied = append(m.tied, v)
+			tied = append(tied, v)
 		}
 	}
-	if len(m.tied) == 1 {
-		return m.tied[0]
+	if len(tied) == 1 {
+		return tied[0]
 	}
-	return m.tied[r.IntN(len(m.tied))]
+	return tied[r.IntN(len(tied))]
 }
 
 // AlphaExact returns the exact process function α(c) by enumeration, or an

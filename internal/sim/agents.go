@@ -18,6 +18,13 @@ import (
 // rules whose batch law the caller does not trust. Slots are never
 // compacted here, so slot indices are stable for the whole run.
 //
+// With an explicit WithParallelism(p > 1) the round is sharded across p
+// worker goroutines that share the single rule instance, so the rule's
+// Update must be safe for concurrent calls (every built-in rule is);
+// without the option this entry point stays sequential. Use a factory
+// Runner for one rule instance per shard and GOMAXPROCS sharding by
+// default.
+//
 // Deprecated: build a Runner with WithEngine(EngineAgents) instead;
 // RunAgents remains as the agents-engine compatibility entry point.
 func RunAgents(rule core.NodeRule, start *config.Config, r *rng.RNG, opts ...Option) (*Result, error) {
@@ -28,35 +35,109 @@ func RunAgents(rule core.NodeRule, start *config.Config, r *rng.RNG, opts ...Opt
 	if err != nil {
 		return nil, err
 	}
-	return runAgents(rule, start, r, o)
+	return runAgents(rule, nil, start, r, o)
 }
 
-func runAgents(rule core.NodeRule, start *config.Config, r *rng.RNG, o options) (*Result, error) {
-	o.compactEvery = 0 // node states refer to slot indices; never renumber
+// agentsState is the engine room of one agents run: the population arrays,
+// the per-round alias table (rebuilt in place — zero steady-state
+// allocations), and, when sharded, the worker pool with per-shard rule
+// instances, random streams and sample scratch.
+type agentsState struct {
+	c     *config.Config
+	nodes []int // current per-node slot assignment
+	next  []int
+	alias *rng.Alias
 
+	// Sequential path (p == 1): the run's own stream, bit-for-bit the
+	// pre-sharding engine.
+	rule    core.NodeRule
+	r       *rng.RNG
+	samples []int
+
+	// Sharded path (p > 1).
+	pool *shardPool
+}
+
+// newAgentsState builds the run state. factory, when non-nil, provides a
+// fresh rule instance per shard; otherwise all shards share rule.
+func newAgentsState(rule core.NodeRule, factory core.Factory, start *config.Config, r *rng.RNG, o options) (*agentsState, error) {
 	c := start.Clone()
-	nodes := c.Nodes()
-	next := make([]int, len(nodes))
-	samples := make([]int, rule.Samples())
+	st := &agentsState{
+		c:     c,
+		nodes: c.Nodes(),
+		next:  make([]int, c.N()),
+		alias: rng.NewAliasCounts(c.CountsView()),
+		rule:  rule,
+		r:     r,
+	}
+	p := o.shardCount(c.N(), factory)
+	if p == 1 {
+		st.samples = make([]int, rule.Samples())
+		return st, nil
+	}
 
-	step := func(int) {
-		counts := c.CountsView()
-		// A uniform node pull is a categorical color draw with
-		// probabilities counts/n; the alias table makes each draw O(1).
-		alias := rng.NewAliasCounts(counts)
-		for i, own := range nodes {
+	su, err := newShardSetup(rule, factory, p, o.engine, r)
+	if err != nil {
+		return nil, err
+	}
+	st.pool = newShardPool(c.N(), p, func(s, lo, hi int, tally []int) {
+		rr := su.streams[s]
+		ru := su.rules[s]
+		samples := su.samples[s]
+		for i := lo; i < hi; i++ {
 			for j := range samples {
-				samples[j] = alias.Draw(r)
+				samples[j] = st.alias.Draw(rr)
 			}
-			next[i] = rule.Update(own, samples, r)
+			nxt := ru.Update(st.nodes[i], samples, rr)
+			st.next[i] = nxt
+			tally[nxt]++
 		}
-		nodes, next = next, nodes
+	})
+	return st, nil
+}
+
+// step advances the population by one synchronous round: a uniform node
+// pull is a categorical color draw with probabilities counts/n, so the
+// round's immutable snapshot is the alias table built from the previous
+// configuration; every node (in every shard) samples against it.
+func (st *agentsState) step(int) {
+	counts := st.c.CountsView()
+	st.alias.ResetCounts(counts)
+	if st.pool == nil {
+		for i, own := range st.nodes {
+			for j := range st.samples {
+				st.samples[j] = st.alias.Draw(st.r)
+			}
+			st.next[i] = st.rule.Update(own, st.samples, st.r)
+		}
+		st.nodes, st.next = st.next, st.nodes
 		for i := range counts {
 			counts[i] = 0
 		}
-		for _, s := range nodes {
+		for _, s := range st.nodes {
 			counts[s]++
 		}
+		return
 	}
-	return runLoop(c, r, o, step, func() *config.Config { return c }, func() []int { return nodes })
+	st.pool.step(len(counts))
+	st.nodes, st.next = st.next, st.nodes
+	st.pool.merge(counts)
+}
+
+// close releases the worker pool, if any.
+func (st *agentsState) close() {
+	if st.pool != nil {
+		st.pool.close()
+	}
+}
+
+func runAgents(rule core.NodeRule, factory core.Factory, start *config.Config, r *rng.RNG, o options) (*Result, error) {
+	o.compactEvery = 0 // node states refer to slot indices; never renumber
+
+	st, err := newAgentsState(rule, factory, start, r, o)
+	if err != nil {
+		return nil, err
+	}
+	defer st.close()
+	return runLoop(st.c, r, o, st.step, func() *config.Config { return st.c }, func() []int { return st.nodes })
 }

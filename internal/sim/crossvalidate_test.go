@@ -1,10 +1,15 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"testing"
 
+	"github.com/ignorecomply/consensus/internal/adversary"
 	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/graph"
 	"github.com/ignorecomply/consensus/internal/rng"
 	"github.com/ignorecomply/consensus/internal/rules"
 	"github.com/ignorecomply/consensus/internal/stats"
@@ -14,6 +19,13 @@ import (
 // agent engine must agree not only per round (tested elsewhere) but in the
 // distributions they induce over whole trajectories — here, the time to
 // reduce to a color target and the winner distribution.
+//
+// The sharded engines (WithParallelism > 1) are validated the same way
+// against their sequential counterparts: sharding reassigns nodes to
+// derived random streams, so equality is distributional, not bitwise, and
+// is asserted with the internal/stats equivalence tests at
+// stats.DefaultEquivalenceAlpha per comparison. All runs are seeded, so
+// the suite is deterministic: it cannot flake, only regress.
 
 func TestCrossEngineReductionTimesAgree(t *testing.T) {
 	const (
@@ -102,6 +114,126 @@ func TestCrossEngineWinnerUniform(t *testing.T) {
 		}
 		return res.WinnerLabel, nil
 	})
+}
+
+// shardedTimes collects consensus-time samples (rounds to the stopping
+// target) from reps seeded runs of the given runner template.
+func shardedTimes(t *testing.T, rn *Runner, start *config.Config, reps int, seed uint64) []float64 {
+	t.Helper()
+	times := make([]float64, reps)
+	for i := 0; i < reps; i++ {
+		res, err := rn.With(WithSeed(seed+uint64(i))).Run(context.Background(), start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[i] = float64(res.Rounds)
+	}
+	return times
+}
+
+func assertIndistinguishable(t *testing.T, name string, seq, par []float64) {
+	t.Helper()
+	res, err := stats.TwoSampleKS(seq, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IndistinguishableAt(stats.DefaultEquivalenceAlpha) {
+		t.Errorf("%s: sharded and sequential consensus-time distributions differ: D=%.3f p=%.2g (n=%d,%d)",
+			name, res.D, res.P, res.Nx, res.Ny)
+	}
+}
+
+// TestShardedAgentsMatchesSequential: the sharded agents engine must induce
+// the same consensus-time distribution as the sequential engine, for every
+// shard count.
+func TestShardedAgentsMatchesSequential(t *testing.T) {
+	const (
+		n    = 256
+		k    = 8
+		reps = 80
+	)
+	start := config.Balanced(n, k)
+	rn := NewFactoryRunner(func() core.Rule { return rules.NewThreeMajority() },
+		WithEngine(EngineAgents))
+	seq := shardedTimes(t, rn.With(WithParallelism(1)), start, reps, 9000)
+	for _, p := range []int{2, 4, 8} {
+		par := shardedTimes(t, rn.With(WithParallelism(p)), start, reps, 9100+uint64(p)*100)
+		assertIndistinguishable(t, fmt.Sprintf("agents p=%d", p), seq, par)
+	}
+}
+
+// TestShardedGraphMatchesSequential: same check on the graph engine, whose
+// sharded round samples neighbors concurrently from the immutable previous
+// node-state array.
+func TestShardedGraphMatchesSequential(t *testing.T) {
+	const (
+		n    = 192
+		k    = 6
+		reps = 80
+	)
+	start := config.Balanced(n, k)
+	rn := NewFactoryRunner(func() core.Rule { return rules.NewThreeMajority() },
+		WithGraph(graph.NewComplete(n)))
+	seq := shardedTimes(t, rn.With(WithParallelism(1)), start, reps, 9500)
+	for _, p := range []int{2, 4, 8} {
+		par := shardedTimes(t, rn.With(WithParallelism(p)), start, reps, 9600+uint64(p)*100)
+		assertIndistinguishable(t, fmt.Sprintf("graph p=%d", p), seq, par)
+	}
+}
+
+// TestShardedAgentsUnderAdversaryMatchesSequential: the §5 regime exercises
+// the corrupt/reconcile path between sharded rounds — the
+// rounds-to-stability distribution must still match the sequential engine.
+func TestShardedAgentsUnderAdversaryMatchesSequential(t *testing.T) {
+	const (
+		n    = 200
+		k    = 4
+		reps = 70
+	)
+	start := config.Balanced(n, k)
+	rn := NewFactoryRunner(func() core.Rule { return rules.NewThreeMajority() },
+		WithEngine(EngineAgents),
+		WithAdversary(&adversary.RandomNoise{F: 2}, 0.1, 10),
+		WithMaxRounds(5000))
+	seq := shardedTimes(t, rn.With(WithParallelism(1)), start, reps, 9800)
+	for _, p := range []int{2, 4} {
+		par := shardedTimes(t, rn.With(WithParallelism(p)), start, reps, 9850+uint64(p)*25)
+		assertIndistinguishable(t, fmt.Sprintf("agents+adversary p=%d", p), seq, par)
+	}
+}
+
+// TestShardedWinnerDistributionMatches: beyond timing, the sharded engine
+// must elect the same winner distribution; from a balanced start each color
+// must win equally often (chi-square homogeneity between p=1 and p=4).
+func TestShardedWinnerDistributionMatches(t *testing.T) {
+	const (
+		n    = 128
+		k    = 4
+		reps = 120
+	)
+	start := config.Balanced(n, k)
+	rn := NewFactoryRunner(func() core.Rule { return rules.NewVoter() },
+		WithEngine(EngineAgents))
+	tally := func(p int, seed uint64) []int {
+		wins := make([]int, k)
+		for i := 0; i < reps; i++ {
+			res, err := rn.With(WithParallelism(p), WithSeed(seed+uint64(i))).Run(context.Background(), start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wins[res.WinnerLabel]++
+		}
+		return wins
+	}
+	seq := tally(1, 7000)
+	par := tally(4, 7300)
+	res, err := stats.ChiSquareHomogeneity(seq, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IndistinguishableAt(stats.DefaultEquivalenceAlpha) {
+		t.Errorf("winner distributions differ: seq=%v par=%v stat=%.2f p=%.2g", seq, par, res.Stat, res.P)
+	}
 }
 
 // TestWinnerProportionalToSupport: under Voter the probability a color

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/adversary"
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/graph"
+	"github.com/ignorecomply/consensus/internal/rng"
+	"github.com/ignorecomply/consensus/internal/rules"
+)
+
+// Determinism regressions for the sharded engines.
+//
+// The reproducibility contract is three-tiered:
+//
+//  1. WithParallelism(1) reproduces the pre-sharding sequential engine
+//     bit-for-bit — pinned below against golden values captured from the
+//     engine as it stood before the sharding change.
+//  2. Fixed seed + fixed p is bit-exact across repeated runs, regardless
+//     of goroutine scheduling: shard streams are derived deterministically
+//     up front and the count merge is ordered.
+//  3. Changing p reassigns nodes to streams, so results across different p
+//     values are equal in distribution only (crossvalidate_test.go).
+
+// agentsGolden values were captured from the sequential agents engine
+// immediately before the sharded engine landed (same seeds, default
+// options). Any change to these is a break in the p=1 stream contract.
+var agentsGolden = []struct {
+	name   string
+	rule   func() core.Rule
+	n, k   int
+	seed   uint64
+	rounds int
+	winner int
+	counts []int
+}{
+	{"voter", func() core.Rule { return rules.NewVoter() }, 128, 8, 7, 186, 5, []int{0, 0, 0, 0, 0, 128, 0, 0}},
+	{"3-majority", func() core.Rule { return rules.NewThreeMajority() }, 200, 5, 11, 17, 3, []int{0, 0, 0, 200, 0}},
+	{"2-choices", func() core.Rule { return rules.NewTwoChoices() }, 150, 6, 13, 21, 1, []int{0, 150, 0, 0, 0, 0}},
+	{"5-majority", func() core.Rule { return rules.NewHMajority(5) }, 100, 4, 17, 9, 3, []int{0, 0, 0, 100}},
+}
+
+func TestAgentsSequentialGolden(t *testing.T) {
+	for _, tc := range agentsGolden {
+		t.Run(tc.name, func(t *testing.T) {
+			start := config.Balanced(tc.n, tc.k)
+			// Via the deprecated shim, parallelism pinned to 1.
+			res, err := RunAgents(tc.rule().(core.NodeRule), start, rng.New(tc.seed), WithParallelism(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "shim", res, tc.rounds, tc.winner, tc.counts)
+			// Without options: single-rule entry points must stay
+			// sequential (and therefore bit-exact) on any machine.
+			res, err = RunAgents(tc.rule().(core.NodeRule), start, rng.New(tc.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "shim-default", res, tc.rounds, tc.winner, tc.counts)
+			// Via the Runner: identical stream, identical result.
+			res2, err := NewRunner(tc.rule(), WithEngine(EngineAgents), WithParallelism(1), WithSeed(tc.seed)).
+				Run(context.Background(), start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "runner", res2, tc.rounds, tc.winner, tc.counts)
+		})
+	}
+}
+
+func TestGraphSequentialGolden(t *testing.T) {
+	ringColors := make([]int, 60)
+	for i := range ringColors {
+		ringColors[i] = i % 4
+	}
+	res, err := RunOnGraph(rules.NewVoter(), graph.NewRing(60), ringColors, rng.New(23),
+		WithParallelism(1), WithMaxRounds(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("golden ring run converged inside the 500-round budget; stream changed")
+	}
+	checkGolden(t, "ring/voter", res, 500, 2, []int{0, 15, 30, 15})
+
+	torusColors := make([]int, 64)
+	for i := range torusColors {
+		torusColors[i] = i % 3
+	}
+	res, err = RunOnGraph(rules.NewThreeMajority(), graph.NewTorus(8, 8), torusColors, rng.New(29),
+		WithParallelism(1), WithMaxRounds(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "torus/3-majority", res, 500, 0, []int{32, 0, 32})
+}
+
+// TestAgentsAdversarialGolden pins the p=1 stream through the §5
+// corrupt/reconcile path (node reassignment consumes the main stream).
+func TestAgentsAdversarialGolden(t *testing.T) {
+	res, err := NewRunner(rules.NewThreeMajority(),
+		WithEngine(EngineAgents),
+		WithParallelism(1),
+		WithAdversary(&adversary.RandomNoise{F: 3}, 0.1, 10),
+		WithMaxRounds(5000),
+		WithSeed(31)).Run(context.Background(), config.Balanced(120, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable || res.Corrupted != 33 {
+		t.Errorf("stable=%v corrupted=%d, want stable with 33 corruptions", res.Stable, res.Corrupted)
+	}
+	checkGolden(t, "agents+noise", res, 21, 0, []int{120, 0, 0, 0})
+}
+
+func checkGolden(t *testing.T, name string, res *Result, rounds, winner int, counts []int) {
+	t.Helper()
+	if res.Rounds != rounds || res.WinnerLabel != winner {
+		t.Errorf("%s: rounds=%d winner=%d, want %d/%d (sequential stream changed)",
+			name, res.Rounds, res.WinnerLabel, rounds, winner)
+	}
+	if got := res.Final.CountsCopy(); !reflect.DeepEqual(got, counts) {
+		t.Errorf("%s: final counts %v, want %v", name, got, counts)
+	}
+}
+
+// TestShardedFixedSeedFixedPIsBitExact: for any fixed (seed, p) the sharded
+// engines reproduce bit-for-bit across repeated runs — goroutine scheduling
+// must not be observable.
+func TestShardedFixedSeedFixedPIsBitExact(t *testing.T) {
+	start := config.Balanced(300, 6)
+	for _, p := range []int{2, 3, 8} {
+		for name, opts := range map[string][]Option{
+			"agents": {WithEngine(EngineAgents)},
+			"graph":  {WithGraph(graph.NewComplete(300))},
+		} {
+			rn := NewFactoryRunner(func() core.Rule { return rules.NewThreeMajority() },
+				append([]Option{WithParallelism(p), WithSeed(99), WithTrace(1)}, opts...)...)
+			run := func() *Result {
+				res, err := rn.Run(context.Background(), start)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if a.Rounds != b.Rounds || a.WinnerLabel != b.WinnerLabel {
+				t.Fatalf("%s p=%d: non-deterministic: %d/%d vs %d/%d",
+					name, p, a.Rounds, a.WinnerLabel, b.Rounds, b.WinnerLabel)
+			}
+			if !reflect.DeepEqual(a.Final.CountsCopy(), b.Final.CountsCopy()) {
+				t.Fatalf("%s p=%d: final counts diverge: %v vs %v",
+					name, p, a.Final.CountsCopy(), b.Final.CountsCopy())
+			}
+			if !reflect.DeepEqual(a.Trace, b.Trace) {
+				t.Fatalf("%s p=%d: round traces diverge", name, p)
+			}
+		}
+	}
+}
+
+// TestParallelismValidation: negative parallelism is rejected; zero means
+// auto and one shard on a one-node population is fine.
+func TestParallelismValidation(t *testing.T) {
+	if _, err := RunAgents(rules.NewVoter(), config.Balanced(10, 2), rng.New(1), WithParallelism(-1)); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+	if _, err := RunAgents(rules.NewVoter(), config.Balanced(10, 2), rng.New(1), WithParallelism(0)); err != nil {
+		t.Fatalf("auto parallelism rejected: %v", err)
+	}
+	// More shards than nodes: capped at n, must still be correct.
+	res, err := RunAgents(rules.NewVoter(), config.Balanced(4, 2), rng.New(1), WithParallelism(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Final.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,11 @@ import (
 // distinct ints are distinct colors. Slot indices are stable for the whole
 // run (no compaction).
 //
+// With an explicit WithParallelism(p > 1) the round is sharded across p
+// worker goroutines; see RunAgents for the concurrency contract. Graph
+// implementations must then be safe for concurrent reads (all built-in
+// topologies are immutable after construction).
+//
 // Deprecated: build a Runner with WithGraph(g) instead; RunOnGraph remains
 // as the graph-engine compatibility entry point and for explicit per-vertex
 // color placement.
@@ -31,10 +36,93 @@ func RunOnGraph(rule core.NodeRule, g graph.Graph, colors []int, r *rng.RNG, opt
 	if err != nil {
 		return nil, err
 	}
-	return runGraph(rule, g, colors, r, o)
+	return runGraph(rule, nil, g, colors, r, o)
 }
 
-func runGraph(rule core.NodeRule, g graph.Graph, colors []int, r *rng.RNG, o options) (*Result, error) {
+// graphState mirrors agentsState for the graph engine: the only difference
+// is the sampling step — uniform neighbors on g instead of uniform nodes —
+// so the round snapshot is the previous node-state array itself rather than
+// an alias table over the counts.
+type graphState struct {
+	c     *config.Config
+	g     graph.Graph
+	nodes []int
+	next  []int
+
+	// Sequential path (p == 1).
+	rule    core.NodeRule
+	r       *rng.RNG
+	samples []int
+
+	// Sharded path (p > 1).
+	pool *shardPool
+}
+
+func newGraphState(rule core.NodeRule, factory core.Factory, g graph.Graph, c *config.Config, nodes []int, r *rng.RNG, o options) (*graphState, error) {
+	st := &graphState{
+		c:     c,
+		g:     g,
+		nodes: nodes,
+		next:  make([]int, len(nodes)),
+		rule:  rule,
+		r:     r,
+	}
+	p := o.shardCount(len(nodes), factory)
+	if p == 1 {
+		st.samples = make([]int, rule.Samples())
+		return st, nil
+	}
+
+	su, err := newShardSetup(rule, factory, p, o.engine, r)
+	if err != nil {
+		return nil, err
+	}
+	st.pool = newShardPool(len(nodes), p, func(s, lo, hi int, tally []int) {
+		rr := su.streams[s]
+		ru := su.rules[s]
+		samples := su.samples[s]
+		for u := lo; u < hi; u++ {
+			for j := range samples {
+				samples[j] = st.nodes[graph.RandomNeighbor(st.g, u, rr)]
+			}
+			nxt := ru.Update(st.nodes[u], samples, rr)
+			st.next[u] = nxt
+			tally[nxt]++
+		}
+	})
+	return st, nil
+}
+
+func (st *graphState) step(int) {
+	counts := st.c.CountsView()
+	if st.pool == nil {
+		for u := range st.nodes {
+			for j := range st.samples {
+				st.samples[j] = st.nodes[graph.RandomNeighbor(st.g, u, st.r)]
+			}
+			st.next[u] = st.rule.Update(st.nodes[u], st.samples, st.r)
+		}
+		st.nodes, st.next = st.next, st.nodes
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, s := range st.nodes {
+			counts[s]++
+		}
+		return
+	}
+	st.pool.step(len(counts))
+	st.nodes, st.next = st.next, st.nodes
+	st.pool.merge(counts)
+}
+
+func (st *graphState) close() {
+	if st.pool != nil {
+		st.pool.close()
+	}
+}
+
+func runGraph(rule core.NodeRule, factory core.Factory, g graph.Graph, colors []int, r *rng.RNG, o options) (*Result, error) {
 	if len(colors) != g.N() {
 		return nil, fmt.Errorf("sim: %d colors for %d vertices", len(colors), g.N())
 	}
@@ -53,26 +141,13 @@ func runGraph(rule core.NodeRule, g graph.Graph, colors []int, r *rng.RNG, o opt
 	for u, col := range colors {
 		nodes[u] = slotOf[col]
 	}
-	next := make([]int, len(nodes))
-	samples := make([]int, rule.Samples())
 
-	step := func(int) {
-		for u := range nodes {
-			for j := range samples {
-				samples[j] = nodes[graph.RandomNeighbor(g, u, r)]
-			}
-			next[u] = rule.Update(nodes[u], samples, r)
-		}
-		nodes, next = next, nodes
-		counts := c.CountsView()
-		for i := range counts {
-			counts[i] = 0
-		}
-		for _, s := range nodes {
-			counts[s]++
-		}
+	st, err := newGraphState(rule, factory, g, c, nodes, r, o)
+	if err != nil {
+		return nil, err
 	}
-	return runLoop(c, r, o, step, func() *config.Config { return c }, func() []int { return nodes })
+	defer st.close()
+	return runLoop(c, r, o, st.step, func() *config.Config { return c }, func() []int { return st.nodes })
 }
 
 // graphStartColors expands a configuration into per-vertex colors in slot

@@ -15,7 +15,11 @@ import (
 // factory from the same start configuration, fanning the work out over a
 // bounded worker pool. Replica i runs on a random stream derived
 // deterministically from base and i, so results are reproducible
-// regardless of scheduling. Results are returned in replica order.
+// regardless of scheduling. Results are returned in replica order. This
+// entry point drives the batch engine only, so WithParallelism — the
+// per-node engines' intra-round sharding — does not apply here; the
+// Runner's RunReplicas composes both (and defaults each replica's engine
+// to sequential, since the replica pool already saturates the cores).
 //
 // Deprecated: build a Runner with NewFactoryRunner and call its
 // RunReplicas instead; this remains as the compatibility entry point.

@@ -143,6 +143,11 @@ func (rn *Runner) RunReplicas(ctx context.Context, start *config.Config, replica
 	if workers > replicas {
 		workers = replicas
 	}
+	// The replica pool already saturates the cores; per-replica engine
+	// sharding defaults to sequential unless the caller asked for it.
+	if !o.parallelSet {
+		o.parallel = 1
+	}
 
 	// Derive all streams up front on the caller's goroutine: Derive
 	// advances the base source, so ordering must not depend on scheduling.
@@ -217,7 +222,7 @@ func (rn *Runner) runOnce(start *config.Config, r *rng.RNG, o options) (*Result,
 		if err != nil {
 			return nil, err
 		}
-		return runAgents(nodeRule, start, r, o)
+		return runAgents(nodeRule, rn.factory, start, r, o)
 	case EngineGraph:
 		nodeRule, err := asNodeRule(rule, o.engine)
 		if err != nil {
@@ -226,7 +231,7 @@ func (rn *Runner) runOnce(start *config.Config, r *rng.RNG, o options) (*Result,
 		if o.graph.N() != start.N() {
 			return nil, fmt.Errorf("sim: graph has %d vertices for %d nodes", o.graph.N(), start.N())
 		}
-		return runGraph(nodeRule, o.graph, graphStartColors(start), r, o)
+		return runGraph(nodeRule, rn.factory, o.graph, graphStartColors(start), r, o)
 	case EngineCluster:
 		if rn.factory == nil {
 			return nil, errors.New("sim: the cluster engine needs a fresh rule per node; use NewFactoryRunner")

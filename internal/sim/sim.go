@@ -16,6 +16,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"runtime"
 
 	"github.com/ignorecomply/consensus/internal/adversary"
 	"github.com/ignorecomply/consensus/internal/config"
@@ -95,6 +96,9 @@ type options struct {
 	engineSet bool
 	graph     graph.Graph
 
+	parallel    int
+	parallelSet bool
+
 	adv     adversary.Adversary
 	advSet  bool
 	epsilon float64
@@ -159,6 +163,39 @@ func WithObserver(fn func(round int, c *config.Config)) Option {
 // support ℓ'" in the Theorem 5 experiments.
 func WithStopWhen(fn func(round int, c *config.Config) bool) Option {
 	return optionFunc(func(o *options) { o.stopWhen = fn })
+}
+
+// WithParallelism shards the per-node engines (agents, graph) across p
+// worker goroutines: the population is partitioned into p contiguous
+// shards, shard s draws from its own random stream derived from the run's
+// source (base.Derive(s)), all shards sample against an immutable snapshot
+// of the round's configuration, and the per-shard count deltas are merged
+// at the round barrier. This is exact for the paper's synchronous Uniform
+// Pull model — every node updates against the previous round's
+// configuration regardless of execution order.
+//
+// p = 1 reproduces the sequential engine bit-for-bit. p = 0 (the default)
+// resolves to runtime.GOMAXPROCS(0) on factory Runners; a single-rule
+// Runner without an explicit WithParallelism stays sequential (see below).
+// Fixed seed and fixed p reproduce bit-for-bit across runs and schedulers;
+// changing p reassigns nodes to streams, so results across different p are
+// equal in distribution only (the statistical-equivalence suite in
+// crossvalidate_test.go pins this) — which also means the GOMAXPROCS
+// default trades cross-machine seed reproducibility for speed; pin p where
+// recorded streams matter.
+//
+// With p > 1 every shard needs its own rule scratch: a factory Runner
+// (NewFactoryRunner) creates one rule instance per shard; a single-rule
+// Runner shares the instance across shards, which requires the rule's
+// Update method to be safe for concurrent calls (true of every built-in
+// rule). That sharing is therefore opt-in: a custom rule may keep scratch
+// on the receiver, so without a factory, sharding needs an explicit
+// WithParallelism. The batch
+// and cluster engines ignore this option. Replica fan-out (RunReplicas)
+// defaults each replica's engine to p = 1 — the replica pool already
+// saturates the cores — unless WithParallelism is given explicitly.
+func WithParallelism(p int) Option {
+	return optionFunc(func(o *options) { o.parallel = p; o.parallelSet = true })
 }
 
 // WithAdversary runs the process in the §5 fault-tolerance regime: after
@@ -235,6 +272,9 @@ func buildOptions(opts []Option) (options, error) {
 	if o.rng != nil && o.seedSet {
 		return o, errors.New("sim: WithRNG and WithSeed are mutually exclusive")
 	}
+	if o.parallel < 0 {
+		return o, errors.New("sim: parallelism must be >= 0 (0 = GOMAXPROCS)")
+	}
 	if o.engineSet && (o.engine < EngineBatch || o.engine > EngineCluster) {
 		return o, errors.New("sim: unknown engine")
 	}
@@ -250,6 +290,35 @@ func buildOptions(opts []Option) (options, error) {
 		return o, errors.New("sim: graph engine requires WithGraph")
 	}
 	return o, nil
+}
+
+// parallelism resolves the worker-shard count for a population of n nodes:
+// the configured value, defaulting to GOMAXPROCS, capped by n.
+func (o *options) parallelism(n int) int {
+	p := o.parallel
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// shardCount is parallelism plus the safety default for single-rule
+// runners: without a factory there is one rule instance for all shards, so
+// sharding only happens when the caller asked for it explicitly (keeping a
+// stateful custom rule's Update out of an implicit data race, and keeping
+// legacy single-rule seeded runs bit-identical across machines with
+// different core counts).
+func (o *options) shardCount(n int, factory core.Factory) int {
+	if factory == nil && !o.parallelSet {
+		return 1
+	}
+	return o.parallelism(n)
 }
 
 // source resolves the run's random stream from the options.
