@@ -8,12 +8,21 @@
 // engines) — the file checked in as BENCH_PR<i>.json each PR. The -scale
 // flag then accepts the additional value "smoke" (CI-sized).
 //
+// With -compare it diffs two trajectory reports: points are matched by
+// (engine, rule, n, k, parallel), a per-point speedup table is printed,
+// and the command exits non-zero when any matched point regressed more
+// than -threshold percent ns/round (default 25) — the CI bench smoke job
+// runs it against the last checked-in BENCH_PR<i>.json.
+//
+// Usage:
+//
 // Usage:
 //
 //	consensus-bench [-run E1,E5,E7 | -run all] [-scale quick|full]
 //	                [-seed N] [-workers N] [-csv DIR] [-list]
 //	consensus-bench -json FILE [-scale smoke|quick|full] [-seed N]
 //	                [-parallel P]
+//	consensus-bench -compare [-threshold PCT] old.json new.json
 package main
 
 import (
@@ -48,9 +57,20 @@ func run(args []string) error {
 
 		jsonPath = fs.String("json", "", "run the engine benchmark sweep and write the JSON report to this file (instead of experiments)")
 		parallel = fs.Int("parallel", 0, "cap the sharded-engine parallelism sweep for -json (0 = full sweep {1,2,4,8})")
+
+		compare   = fs.Bool("compare", false, "compare two trajectory reports: consensus-bench -compare old.json new.json")
+		threshold = fs.Float64("threshold", bench.DefaultRegressionThresholdPct, "ns/round regression (percent) past which -compare exits non-zero")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *compare {
+		rest := fs.Args()
+		if len(rest) != 2 {
+			return fmt.Errorf("-compare needs exactly two report files, got %d", len(rest))
+		}
+		return bench.CompareReports(rest[0], rest[1], *threshold, os.Stdout)
 	}
 
 	if *jsonPath != "" {

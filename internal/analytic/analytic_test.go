@@ -261,3 +261,94 @@ func TestQuickHMajorityConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHMajorityTermsMatchesBinomial: the allocation-free multiplicative
+// count must agree with the big.Int binomial for every (h, s) the batch
+// step can see, and report -1 exactly when the bound is exceeded.
+func TestHMajorityTermsMatchesBinomial(t *testing.T) {
+	for h := 1; h <= 9; h++ {
+		for s := 1; s <= 24; s++ {
+			want := new(big.Int).Binomial(int64(h+s-1), int64(s-1))
+			got := HMajorityTerms(h, s, MaxEnumerationTerms)
+			if want.IsInt64() && want.Int64() <= MaxEnumerationTerms {
+				if int64(got) != want.Int64() {
+					t.Errorf("HMajorityTerms(%d, %d) = %d, want %s", h, s, got, want)
+				}
+			} else if got != -1 {
+				t.Errorf("HMajorityTerms(%d, %d) = %d, want -1 (over bound)", h, s, got)
+			}
+		}
+	}
+	if got := HMajorityTerms(5, 8, 100); got != -1 {
+		t.Errorf("HMajorityTerms(5, 8, 100) = %d, want -1 (792 terms over the caller bound)", got)
+	}
+	if got := HMajorityTerms(-1, 3, 10); got != -1 {
+		t.Errorf("HMajorityTerms(-1, 3, 10) = %d, want -1 (negative h)", got)
+	}
+}
+
+// TestAlphaEnumeratorMatchesHMajorityAlpha: the reusable enumerator and the
+// allocating wrapper are the same computation.
+func TestAlphaEnumeratorMatchesHMajorityAlpha(t *testing.T) {
+	var e AlphaEnumerator
+	for _, x := range [][]float64{
+		{0.5, 0.3, 0.2},
+		{0.25, 0, 0.25, 0.5},
+		{1},
+		{0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125},
+	} {
+		for _, h := range []int{1, 3, 5} {
+			want, err := HMajorityAlpha(x, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float64, len(x))
+			// Twice through the same enumerator: scratch reuse must not
+			// leak state between calls.
+			for pass := 0; pass < 2; pass++ {
+				if err := e.Alpha(x, h, got); err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if math.Abs(got[i]-want[i]) > 1e-12 {
+						t.Fatalf("h=%d pass %d slot %d: enumerator %.15f, wrapper %.15f", h, pass, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAlphaEnumeratorZeroAllocs: after the first call sizes the scratch,
+// evaluating the process function must not allocate — the count-based
+// h-Majority batch round depends on it.
+func TestAlphaEnumeratorZeroAllocs(t *testing.T) {
+	var e AlphaEnumerator
+	x := []float64{0.3, 0.1, 0.2, 0.15, 0.05, 0.08, 0.07, 0.05}
+	out := make([]float64, len(x))
+	if err := e.Alpha(x, 5, out); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		if err := e.Alpha(x, 5, out); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("AlphaEnumerator.Alpha allocates %.2f times per call, want 0", avg)
+	}
+}
+
+// TestAlphaEnumeratorErrors mirrors the wrapper's error contract.
+func TestAlphaEnumeratorErrors(t *testing.T) {
+	var e AlphaEnumerator
+	out := make([]float64, 2)
+	if err := e.Alpha([]float64{0.5, 0.5}, 0, out); err == nil {
+		t.Error("h = 0 accepted")
+	}
+	if err := e.Alpha([]float64{0, 0}, 3, out); err == nil {
+		t.Error("empty support accepted")
+	}
+	if err := e.Alpha([]float64{0.5, 0.5}, 3, make([]float64, 3)); err == nil {
+		t.Error("output length mismatch accepted")
+	}
+}

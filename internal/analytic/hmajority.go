@@ -19,50 +19,134 @@ import (
 
 const maxEnumerationTerms = 2_000_000
 
+// MaxEnumerationTerms is the hard bound on the number of sample-count
+// outcomes HMajorityAlpha will enumerate; callers that pick their own
+// (tighter) cutoff, like the count-based h-Majority batch step, must stay
+// at or below it.
+const MaxEnumerationTerms = maxEnumerationTerms
+
 // HMajorityAlpha computes the exact h-Majority process function for the
 // fraction vector x by enumeration. Zero entries of x stay zero. It returns
 // an error for h < 1 or when the enumeration would be too large.
+//
+// Each call allocates its result and scratch; hot paths that evaluate the
+// process function every round should hold an AlphaEnumerator instead.
 func HMajorityAlpha(x []float64, h int) ([]float64, error) {
-	if h < 1 {
-		return nil, errors.New("analytic: h must be >= 1")
+	var e AlphaEnumerator
+	out := make([]float64, len(x))
+	if err := e.Alpha(x, h, out); err != nil {
+		return nil, err
 	}
-	support := make([]int, 0, len(x))
+	return out, nil
+}
+
+// HMajorityTerms returns the number of terms C(h+s-1, s-1) the enumeration
+// over support size s visits, or -1 when it exceeds bound (or overflows).
+// It is exact (binomial coefficients are computed by the multiplicative
+// formula, whose intermediate products are divisible at every step) and
+// allocation-free, so per-round cutoff decisions can afford it.
+func HMajorityTerms(h, s, bound int) int {
+	if h < 0 || s < 1 {
+		return -1
+	}
+	// C(h+s-1, s-1) == C(h+s-1, h): iterate over the smaller index.
+	k := s - 1
+	if h < k {
+		k = h
+	}
+	terms := 1
+	for i := 1; i <= k; i++ {
+		// terms * (h+s-k-1+i) is divisible by i at this step.
+		terms = terms * (h + s - 1 - k + i) / i
+		if terms > bound || terms < 0 {
+			return -1
+		}
+	}
+	return terms
+}
+
+// AlphaEnumerator computes the exact h-Majority process function
+// repeatedly without allocating in steady state: all enumeration scratch
+// lives on the receiver and is resized in place. The zero value is ready
+// to use. Not safe for concurrent use.
+type AlphaEnumerator struct {
+	x       []float64 // fraction vector of the current call
+	support []int     // indices of positive entries
+	counts  []int     // sample-count odometer over the support
+	fact    []float64 // factorials 0..h
+	out     []float64 // output vector of the current call
+	h       int
+}
+
+// Alpha writes the exact h-Majority process function for the fraction
+// vector x into out (len(out) must equal len(x); zero entries of x stay
+// zero). It returns an error for h < 1, empty support, or when the
+// enumeration would exceed MaxEnumerationTerms — out is untouched then.
+func (e *AlphaEnumerator) Alpha(x []float64, h int, out []float64) error {
+	if h < 1 {
+		return errors.New("analytic: h must be >= 1")
+	}
+	if len(out) != len(x) {
+		return errors.New("analytic: output length mismatch")
+	}
+	e.support = e.support[:0]
 	for i, v := range x {
 		if v > 0 {
-			support = append(support, i)
+			e.support = append(e.support, i)
 		}
 	}
-	s := len(support)
+	s := len(e.support)
 	if s == 0 {
-		return nil, errors.New("analytic: empty support")
+		return errors.New("analytic: empty support")
 	}
-	if terms := compositionsCount(h, s); terms < 0 || terms > maxEnumerationTerms {
-		return nil, fmt.Errorf("analytic: enumeration too large (h=%d, support=%d)", h, s)
+	if HMajorityTerms(h, s, maxEnumerationTerms) < 0 {
+		return fmt.Errorf("analytic: enumeration too large (h=%d, support=%d)", h, s)
 	}
-	out := make([]float64, len(x))
-	counts := make([]int, s)
+	for i := range out {
+		out[i] = 0
+	}
+	e.x, e.out, e.h = x, out, h
+	e.counts = growIntsTo(e.counts, s)
 	// lgamma-free multinomial via factorials up to h.
-	fact := make([]float64, h+1)
-	fact[0] = 1
+	e.fact = growFloatsTo(e.fact, h+1)
+	e.fact[0] = 1
 	for i := 1; i <= h; i++ {
-		fact[i] = fact[i-1] * float64(i)
+		e.fact[i] = e.fact[i-1] * float64(i)
 	}
-	var rec func(idx, left int, prob float64)
-	rec = func(idx, left int, prob float64) {
-		if idx == s-1 {
-			counts[idx] = left
-			p := prob * math.Pow(x[support[idx]], float64(left)) / fact[left]
-			contribute(out, support, counts, p*fact[h])
-			return
-		}
-		for m := 0; m <= left; m++ {
-			counts[idx] = m
-			p := prob * math.Pow(x[support[idx]], float64(m)) / fact[m]
-			rec(idx+1, left-m, p)
-		}
+	e.rec(0, h, 1)
+	e.x, e.out = nil, nil // do not retain caller slices across calls
+	return nil
+}
+
+// rec enumerates sample-count outcomes over the support. A method rather
+// than a closure so recursion stays allocation-free.
+func (e *AlphaEnumerator) rec(idx, left int, prob float64) {
+	s := len(e.support)
+	if idx == s-1 {
+		e.counts[idx] = left
+		p := prob * math.Pow(e.x[e.support[idx]], float64(left)) / e.fact[left]
+		contribute(e.out, e.support, e.counts, p*e.fact[e.h])
+		return
 	}
-	rec(0, h, 1)
-	return out, nil
+	for m := 0; m <= left; m++ {
+		e.counts[idx] = m
+		p := prob * math.Pow(e.x[e.support[idx]], float64(m)) / e.fact[m]
+		e.rec(idx+1, left-m, p)
+	}
+}
+
+func growIntsTo(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growFloatsTo(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // contribute adds probability p of the outcome counts to the plurality
@@ -114,7 +198,7 @@ func HMajorityAlphaRat(x []*big.Rat, h int) ([]*big.Rat, error) {
 	if s == 0 {
 		return nil, errors.New("analytic: empty support")
 	}
-	if terms := compositionsCount(h, s); terms < 0 || terms > maxEnumerationTerms {
+	if HMajorityTerms(h, s, maxEnumerationTerms) < 0 {
 		return nil, fmt.Errorf("analytic: enumeration too large (h=%d, support=%d)", h, s)
 	}
 	out := make([]*big.Rat, len(x))
@@ -166,16 +250,6 @@ func contributeRat(out []*big.Rat, support, counts []int, p *big.Rat) {
 			out[support[j]].Add(out[support[j]], share)
 		}
 	}
-}
-
-// compositionsCount returns C(h+s-1, s-1), or -1 on overflow.
-func compositionsCount(h, s int) int {
-	v := big.NewInt(1)
-	v.Binomial(int64(h+s-1), int64(s-1))
-	if !v.IsInt64() || v.Int64() > math.MaxInt32 {
-		return -1
-	}
-	return int(v.Int64())
 }
 
 func ratPow(x *big.Rat, m int) *big.Rat {

@@ -52,14 +52,24 @@ type Report struct {
 	Points     []Point `json:"points"`
 }
 
-// workload is one engine × population cell of the sweep.
+// workload is one engine × rule × population cell of the sweep.
 type workload struct {
 	engine    consensus.Engine
+	rule      string
 	n, k      int
 	parallels []int
 	// minRounds is the accumulation target: runs are repeated (fresh
 	// seeds) until at least this many rounds have been timed.
 	minRounds int
+}
+
+// ruleFactories maps the rules the sweep measures to their constructors.
+// "5-majority" exercises the count-based h-Majority batch law (exact
+// enumeration + one Mult(n, α) draw), whose ns/round must be independent
+// of n — the full scale records it at n=1e5 and n=1e6 to pin that.
+var ruleFactories = map[string]consensus.Factory{
+	"3-majority": func() consensus.Rule { return consensus.NewThreeMajority() },
+	"5-majority": func() consensus.Rule { return consensus.NewHMajority(5) },
 }
 
 // plan returns the sweep for a scale. Scales are cumulative in spirit:
@@ -80,27 +90,38 @@ func plan(scale string, maxParallel int) ([]workload, error) {
 	}
 	sweep := []int{1, 2, 4, 8}
 	var w []workload
+	// The smoke cells are a subset of the full cells (same engine, rule,
+	// n, k), so `consensus-bench -compare BENCH_PR<i>.json smoke.json`
+	// always has points to match — CI gates on exactly that.
 	switch scale {
 	case "smoke":
 		w = []workload{
-			{consensus.EngineBatch, 100_000, 8, []int{1}, 400},
-			{consensus.EngineAgents, 10_000, 8, caps([]int{1, 2, 4}), 60},
-			{consensus.EngineGraph, 10_000, 8, caps([]int{1, 2, 4}), 60},
+			{consensus.EngineBatch, "3-majority", 100_000, 8, []int{1}, 400},
+			{consensus.EngineBatch, "5-majority", 100_000, 8, []int{1}, 400},
+			{consensus.EngineAgents, "3-majority", 10_000, 8, caps([]int{1, 2, 4}), 60},
+			{consensus.EngineGraph, "3-majority", 10_000, 8, caps([]int{1}), 60},
 		}
 	case "quick":
 		w = []workload{
-			{consensus.EngineBatch, 1_000_000, 8, []int{1}, 400},
-			{consensus.EngineAgents, 10_000, 8, caps(sweep), 200},
-			{consensus.EngineAgents, 100_000, 8, caps(sweep), 60},
-			{consensus.EngineGraph, 100_000, 8, caps(sweep), 60},
+			{consensus.EngineBatch, "3-majority", 1_000_000, 8, []int{1}, 400},
+			{consensus.EngineBatch, "5-majority", 1_000_000, 8, []int{1}, 400},
+			{consensus.EngineAgents, "3-majority", 10_000, 8, caps(sweep), 200},
+			{consensus.EngineAgents, "3-majority", 100_000, 8, caps(sweep), 60},
+			{consensus.EngineGraph, "3-majority", 100_000, 8, caps(sweep), 60},
 		}
 	case "full":
 		w = []workload{
-			{consensus.EngineBatch, 1_000_000, 8, []int{1}, 1000},
-			{consensus.EngineAgents, 10_000, 8, caps(sweep), 400},
-			{consensus.EngineAgents, 100_000, 8, caps(sweep), 120},
-			{consensus.EngineAgents, 1_000_000, 8, caps(sweep), 30},
-			{consensus.EngineGraph, 100_000, 8, caps(sweep), 60},
+			{consensus.EngineBatch, "3-majority", 100_000, 8, []int{1}, 1000},
+			{consensus.EngineBatch, "3-majority", 1_000_000, 8, []int{1}, 1000},
+			// The count-based h-Majority law at two population scales:
+			// ns/round within 2× of each other is the n-independence pin.
+			{consensus.EngineBatch, "5-majority", 100_000, 8, []int{1}, 400},
+			{consensus.EngineBatch, "5-majority", 1_000_000, 8, []int{1}, 400},
+			{consensus.EngineAgents, "3-majority", 10_000, 8, caps(sweep), 400},
+			{consensus.EngineAgents, "3-majority", 100_000, 8, caps(sweep), 120},
+			{consensus.EngineAgents, "3-majority", 1_000_000, 8, caps(sweep), 30},
+			{consensus.EngineGraph, "3-majority", 10_000, 8, caps([]int{1}), 400},
+			{consensus.EngineGraph, "3-majority", 100_000, 8, caps(sweep), 60},
 		}
 	default:
 		return nil, fmt.Errorf("unknown benchmark scale %q (want smoke, quick or full)", scale)
@@ -135,7 +156,7 @@ func Run(scale string, seed uint64, maxParallel int, progress func(string)) (*Re
 			if err != nil {
 				return nil, err
 			}
-			key := fmt.Sprintf("%s/%d/%d", pt.Engine, pt.N, pt.K)
+			key := fmt.Sprintf("%s/%s/%d/%d", pt.Engine, pt.Rule, pt.N, pt.K)
 			if p == 1 {
 				base[key] = pt.NsPerRound
 			}
@@ -144,20 +165,22 @@ func Run(scale string, seed uint64, maxParallel int, progress func(string)) (*Re
 			}
 			rep.Points = append(rep.Points, pt)
 			if progress != nil {
-				progress(fmt.Sprintf("%-6s n=%-8d k=%-3d p=%-2d  %12.0f ns/round  %6.2f allocs/round  speedup %.2fx",
-					pt.Engine, pt.N, pt.K, pt.Parallel, pt.NsPerRound, pt.AllocsPerRound, pt.SpeedupVsP1))
+				progress(fmt.Sprintf("%-6s %-11s n=%-8d k=%-3d p=%-2d  %12.0f ns/round  %6.2f allocs/round  speedup %.2fx",
+					pt.Engine, pt.Rule, pt.N, pt.K, pt.Parallel, pt.NsPerRound, pt.AllocsPerRound, pt.SpeedupVsP1))
 			}
 		}
 	}
 	return rep, nil
 }
 
-// measure times one cell: seeded runs of 3-Majority from a balanced start,
-// repeated until wl.minRounds rounds have accumulated.
+// measure times one cell: seeded runs of the workload's rule from a
+// balanced start, repeated until wl.minRounds rounds have accumulated.
 func measure(wl workload, parallel int, seed uint64) (Point, error) {
-	rule := "3-majority"
 	start := consensus.BalancedConfig(wl.n, wl.k)
-	factory := func() consensus.Rule { return consensus.NewThreeMajority() }
+	factory, ok := ruleFactories[wl.rule]
+	if !ok {
+		return Point{}, fmt.Errorf("bench: unknown rule %q", wl.rule)
+	}
 
 	var (
 		rounds  int
@@ -206,7 +229,7 @@ func measure(wl workload, parallel int, seed uint64) (Point, error) {
 	}
 	return Point{
 		Engine:         wl.engine.String(),
-		Rule:           rule,
+		Rule:           wl.rule,
 		N:              wl.n,
 		K:              wl.k,
 		Parallel:       parallel,

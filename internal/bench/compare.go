@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Compare tooling for the benchmark trajectory: `consensus-bench -compare
+// old.json new.json` matches the two reports' points by (engine, rule, n,
+// k, parallel), prints a per-point speedup table, and fails when any
+// matched point regressed past the threshold — CI runs it on every push
+// against the last checked-in BENCH_PR<i>.json, so a hot-path slowdown
+// breaks the build instead of silently landing.
+
+// DefaultRegressionThresholdPct is the ns/round slowdown (percent, new vs
+// old) past which CompareReports' gate fails.
+const DefaultRegressionThresholdPct = 25
+
+// Delta is one benchmark point matched between two reports.
+type Delta struct {
+	Old, New Point
+	// Speedup is old ns/round over new ns/round: > 1 got faster, < 1
+	// slower.
+	Speedup float64
+}
+
+// SlowdownPct returns how much slower the new point is, in percent of the
+// old ns/round (negative when it got faster; 0 for a malformed old point
+// with no measurement, which cannot meaningfully regress).
+func (d Delta) SlowdownPct() float64 {
+	if d.Old.NsPerRound <= 0 {
+		return 0
+	}
+	return (d.New.NsPerRound - d.Old.NsPerRound) / d.Old.NsPerRound * 100
+}
+
+// Comparison is the outcome of matching two trajectory reports.
+type Comparison struct {
+	Matched []Delta
+	// OldOnly and NewOnly count points present in exactly one report
+	// (different scales measure different cells; those are skipped, not
+	// errors).
+	OldOnly, NewOnly int
+}
+
+func pointKey(p Point) string {
+	return fmt.Sprintf("%s/%s/n=%d/k=%d/p=%d", p.Engine, p.Rule, p.N, p.K, p.Parallel)
+}
+
+// Compare matches new against old point-by-point.
+func Compare(oldRep, newRep *Report) *Comparison {
+	oldByKey := make(map[string]Point, len(oldRep.Points))
+	for _, p := range oldRep.Points {
+		oldByKey[pointKey(p)] = p
+	}
+	c := &Comparison{}
+	matched := make(map[string]bool, len(newRep.Points))
+	for _, np := range newRep.Points {
+		op, ok := oldByKey[pointKey(np)]
+		if !ok {
+			c.NewOnly++
+			continue
+		}
+		matched[pointKey(np)] = true
+		d := Delta{Old: op, New: np}
+		if np.NsPerRound > 0 {
+			d.Speedup = op.NsPerRound / np.NsPerRound
+		}
+		c.Matched = append(c.Matched, d)
+	}
+	for k := range oldByKey {
+		if !matched[k] {
+			c.OldOnly++
+		}
+	}
+	return c
+}
+
+// Regressions returns the matched points whose slowdown exceeds
+// thresholdPct.
+func (c *Comparison) Regressions(thresholdPct float64) []Delta {
+	var out []Delta
+	for _, d := range c.Matched {
+		if d.SlowdownPct() > thresholdPct {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Render prints the per-point speedup table.
+func (c *Comparison) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-42s %14s %14s %9s\n", "point", "old ns/round", "new ns/round", "speedup"); err != nil {
+		return err
+	}
+	for _, d := range c.Matched {
+		if _, err := fmt.Fprintf(w, "%-42s %14.0f %14.0f %8.2fx\n",
+			pointKey(d.New), d.Old.NsPerRound, d.New.NsPerRound, d.Speedup); err != nil {
+			return err
+		}
+	}
+	if c.OldOnly > 0 || c.NewOnly > 0 {
+		if _, err := fmt.Fprintf(w, "(%d matched; skipped %d old-only and %d new-only points)\n",
+			len(c.Matched), c.OldOnly, c.NewOnly); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadReport reads a trajectory report from a JSON file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// CompareReports loads two report files, renders the speedup table to w,
+// and returns an error when no points match or any matched point regressed
+// past thresholdPct.
+func CompareReports(oldPath, newPath string, thresholdPct float64, w io.Writer) error {
+	oldRep, err := LoadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := LoadReport(newPath)
+	if err != nil {
+		return err
+	}
+	c := Compare(oldRep, newRep)
+	if err := c.Render(w); err != nil {
+		return err
+	}
+	if len(c.Matched) == 0 {
+		return fmt.Errorf("no benchmark points match between %s and %s", oldPath, newPath)
+	}
+	if regs := c.Regressions(thresholdPct); len(regs) > 0 {
+		worst := regs[0]
+		for _, d := range regs[1:] {
+			if d.SlowdownPct() > worst.SlowdownPct() {
+				worst = d
+			}
+		}
+		return fmt.Errorf("%d point(s) regressed more than %.0f%% ns/round (worst: %s, +%.0f%%)",
+			len(regs), thresholdPct, pointKey(worst.New), worst.SlowdownPct())
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkPoint(engine, rule string, n, p int, ns float64) Point {
+	return Point{Engine: engine, Rule: rule, N: n, K: 8, Parallel: p, NsPerRound: ns}
+}
+
+func TestCompareMatchesAndSkips(t *testing.T) {
+	oldRep := &Report{Points: []Point{
+		mkPoint("agents", "3-majority", 10_000, 1, 1000),
+		mkPoint("batch", "3-majority", 100_000, 1, 500),
+		mkPoint("graph", "3-majority", 100_000, 1, 800), // old-only
+	}}
+	newRep := &Report{Points: []Point{
+		mkPoint("agents", "3-majority", 10_000, 1, 500), // 2x faster
+		mkPoint("batch", "3-majority", 100_000, 1, 600), // 20% slower
+		mkPoint("batch", "5-majority", 100_000, 1, 40),  // new-only
+	}}
+	c := Compare(oldRep, newRep)
+	if len(c.Matched) != 2 || c.OldOnly != 1 || c.NewOnly != 1 {
+		t.Fatalf("matched=%d oldOnly=%d newOnly=%d, want 2/1/1", len(c.Matched), c.OldOnly, c.NewOnly)
+	}
+	for _, d := range c.Matched {
+		switch d.New.Engine {
+		case "agents":
+			if d.Speedup != 2 {
+				t.Errorf("agents speedup %.2f, want 2.00", d.Speedup)
+			}
+		case "batch":
+			if got := d.SlowdownPct(); got < 19.9 || got > 20.1 {
+				t.Errorf("batch slowdown %.1f%%, want 20%%", got)
+			}
+		}
+	}
+	if regs := c.Regressions(25); len(regs) != 0 {
+		t.Errorf("20%% slowdown flagged at 25%% threshold: %v", regs)
+	}
+	if regs := c.Regressions(15); len(regs) != 1 {
+		t.Errorf("20%% slowdown not flagged at 15%% threshold")
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, rep *Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReportsGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", &Report{Points: []Point{
+		mkPoint("agents", "3-majority", 10_000, 1, 1000),
+	}})
+
+	var buf bytes.Buffer
+	okPath := writeReport(t, dir, "ok.json", &Report{Points: []Point{
+		mkPoint("agents", "3-majority", 10_000, 1, 1100), // +10%: within gate
+	}})
+	if err := CompareReports(oldPath, okPath, DefaultRegressionThresholdPct, &buf); err != nil {
+		t.Fatalf("10%% slowdown failed the 25%% gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "agents/3-majority/n=10000/k=8/p=1") {
+		t.Errorf("table missing the matched point:\n%s", buf.String())
+	}
+
+	badPath := writeReport(t, dir, "bad.json", &Report{Points: []Point{
+		mkPoint("agents", "3-majority", 10_000, 1, 1400), // +40%: regression
+	}})
+	if err := CompareReports(oldPath, badPath, DefaultRegressionThresholdPct, &buf); err == nil {
+		t.Fatal("40% slowdown passed the 25% gate")
+	}
+
+	nonePath := writeReport(t, dir, "none.json", &Report{Points: []Point{
+		mkPoint("cluster", "3-majority", 10_000, 1, 1000),
+	}})
+	if err := CompareReports(oldPath, nonePath, DefaultRegressionThresholdPct, &buf); err == nil {
+		t.Fatal("disjoint reports compared without error")
+	}
+}
+
+func TestSmokeIsSubsetOfFull(t *testing.T) {
+	smoke, err := plan("smoke", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := plan("full", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index cells by (engine, rule, n, k) -> parallel set.
+	index := func(w []workload) map[string]map[int]bool {
+		out := make(map[string]map[int]bool)
+		for _, wl := range w {
+			key := pointKey(Point{Engine: wl.engine.String(), Rule: wl.rule, N: wl.n, K: wl.k})
+			if out[key] == nil {
+				out[key] = make(map[int]bool)
+			}
+			for _, p := range wl.parallels {
+				out[key][p] = true
+			}
+		}
+		return out
+	}
+	fullIdx := index(full)
+	for key, ps := range index(smoke) {
+		fps, ok := fullIdx[key]
+		if !ok {
+			t.Errorf("smoke cell %s missing from the full scale; CI compare would skip it", key)
+			continue
+		}
+		for p := range ps {
+			if !fps[p] {
+				t.Errorf("smoke cell %s parallel=%d missing from the full scale", key, p)
+			}
+		}
+	}
+}

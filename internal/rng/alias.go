@@ -1,5 +1,7 @@
 package rng
 
+import "math/bits"
+
 // Alias is a Vose alias table for O(1) sampling from a fixed categorical
 // distribution. Build once with NewAlias (O(k)), then Draw repeatedly; when
 // the distribution changes every round, Reset or ResetCounts rebuild the
@@ -114,12 +116,41 @@ func (a *Alias) ResetCounts(counts []int) {
 }
 
 // Draw returns an index sampled from the table's distribution.
+//
+// One draw consumes exactly one 64-bit word: the high bits pick the column
+// (via the 128-bit multiply hi = ⌊u·k/2^64⌋) and the multiply's remainder —
+// uniform within the chosen column — provides the 53-bit fraction for the
+// probability compare. Using the remainder rather than the raw low bits of
+// u matters: for k > 2^11 the raw low bits are correlated with the column,
+// while the remainder lo = u·k mod 2^64 walks an evenly spaced grid over
+// the full range conditional on hi. Column and fraction are each exact to
+// within k/2^64 — far below the float64 error already present in the table
+// probabilities themselves.
 func (a *Alias) Draw(r *RNG) int {
-	i := r.IntN(len(a.prob))
-	if r.Float64() < a.prob[i] {
+	hi, lo := bits.Mul64(r.pcg.Uint64(), uint64(len(a.prob)))
+	i := int(hi)
+	if float64(lo>>11)*0x1p-53 < a.prob[i] {
 		return i
 	}
 	return a.alias[i]
+}
+
+// DrawN fills dst with independent samples from the table's distribution.
+// It draws exactly like Draw — same stream, bit-identical results — but
+// amortizes the RNG dispatch and table bounds checks across the batch; the
+// per-node engines feed their strided sample buffers through it.
+func (a *Alias) DrawN(r *RNG, dst []int) {
+	prob, alias := a.prob, a.alias
+	k := uint64(len(prob))
+	src := r.pcg
+	for j := range dst {
+		hi, lo := bits.Mul64(src.Uint64(), k)
+		i := int(hi)
+		if float64(lo>>11)*0x1p-53 >= prob[i] {
+			i = alias[i]
+		}
+		dst[j] = i
+	}
 }
 
 // Len returns the number of categories in the table.

@@ -87,6 +87,65 @@ func TestAliasAllZeroPanics(t *testing.T) {
 	NewAlias([]float64{0, 0})
 }
 
+// TestAliasDrawNMatchesDraw: DrawN is specified as the batched form of
+// Draw — same stream, bit-identical samples. Two RNGs with the same seed
+// must therefore produce identical sequences through either entry point.
+func TestAliasDrawNMatchesDraw(t *testing.T) {
+	weights := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	a := NewAlias(weights)
+	const n = 4096
+	r1, r2 := New(77), New(77)
+	batched := make([]int, n)
+	a.DrawN(r1, batched)
+	for i := 0; i < n; i++ {
+		if got := a.Draw(r2); got != batched[i] {
+			t.Fatalf("draw %d: DrawN=%d Draw=%d (streams diverged)", i, batched[i], got)
+		}
+	}
+}
+
+// TestAliasDrawNLargeK guards the fraction/column decorrelation for tables
+// wider than 2^11 columns: the Mul64 remainder must keep the probability
+// compare unbiased even when the raw low bits of the draw word would be
+// pinned by the column choice.
+func TestAliasDrawNLargeK(t *testing.T) {
+	const k = 1 << 14
+	weights := make([]float64, k)
+	// Half the mass on even columns, spread so every column's alias slot
+	// is exercised.
+	for i := range weights {
+		if i%2 == 0 {
+			weights[i] = 3
+		} else {
+			weights[i] = 1
+		}
+	}
+	a := NewAlias(weights)
+	r := New(78)
+	buf := make([]int, 1<<18)
+	a.DrawN(r, buf)
+	even := 0
+	for _, v := range buf {
+		if v%2 == 0 {
+			even++
+		}
+	}
+	got := float64(even) / float64(len(buf))
+	// Want 3/4; 8 sigma of binomial noise at 2^18 draws is ~0.0068.
+	if math.Abs(got-0.75) > 0.0068 {
+		t.Fatalf("even-column frequency %.4f, want 0.75 (biased fraction compare)", got)
+	}
+}
+
+func TestAliasDrawNZeroAllocs(t *testing.T) {
+	a := NewAliasCounts([]int{5, 1, 3, 7})
+	r := New(79)
+	dst := make([]int, 1024)
+	if avg := testing.AllocsPerRun(20, func() { a.DrawN(r, dst) }); avg != 0 {
+		t.Fatalf("DrawN allocates %.2f times per batch, want 0", avg)
+	}
+}
+
 // TestAliasQuickInRangeAndSupported checks that every draw is a valid index
 // with positive weight, for arbitrary weight vectors.
 func TestAliasQuickInRangeAndSupported(t *testing.T) {

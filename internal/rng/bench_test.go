@@ -86,3 +86,44 @@ func BenchmarkCategoricalVsAlias(b *testing.B) {
 		_ = sink
 	})
 }
+
+// BenchmarkAliasDrawN contrasts the scalar one-word draw with the batched
+// fill: the fill amortizes RNG dispatch and table bounds checks, which is
+// what the per-node engines' strided sample buffers buy.
+func BenchmarkAliasDrawN(b *testing.B) {
+	const k = 64
+	weights := make([]float64, k)
+	for i := range weights {
+		weights[i] = float64(i%7 + 1)
+	}
+	a := NewAlias(weights)
+	b.Run("draw", func(b *testing.B) {
+		r := New(4)
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += a.Draw(r)
+		}
+		_ = sink
+	})
+	for _, batch := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("drawn-%d", batch), func(b *testing.B) {
+			r := New(4)
+			dst := make([]int, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				a.DrawN(r, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkFillIntN measures the batched uniform fill the graph engine's
+// regular-topology fast path uses.
+func BenchmarkFillIntN(b *testing.B) {
+	r := New(5)
+	dst := make([]int, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(dst) {
+		r.FillIntN(1000, dst)
+	}
+}

@@ -3,6 +3,8 @@ package rng
 import (
 	"math"
 	"testing"
+
+	"github.com/ignorecomply/consensus/internal/stats"
 )
 
 // Fuzz targets for the exact discrete samplers the sharded per-node engines
@@ -157,6 +159,71 @@ func FuzzAliasCounts(f *testing.F) {
 			if s := a.Draw(r); counts[s] == 0 {
 				t.Fatalf("after ResetCounts: Draw returned dead slot %d", s)
 			}
+		}
+	})
+}
+
+// FuzzAliasDrawN pins the batched fill to the scalar draw two ways: with a
+// shared seed the streams must be bit-identical, and across independent
+// streams the two count vectors must be chi-square homogeneous. The
+// homogeneity alpha is 1e-9 — far below the suites' usual 1e-3 — so fuzz
+// exploration over arbitrary seeds cannot flake on a true null; a real
+// divergence between the two code paths blows far past it.
+func FuzzAliasDrawN(f *testing.F) {
+	f.Add(uint64(1), []byte{1, 2, 3, 4})
+	f.Add(uint64(2), []byte{0, 0, 5})
+	f.Add(uint64(3), []byte{255})
+	f.Add(uint64(4), []byte{0, 1, 0, 1, 0, 255, 255})
+	f.Add(uint64(5), []byte{9, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, seed uint64, countBytes []byte) {
+		if len(countBytes) == 0 || len(countBytes) > 64 {
+			t.Skip("no slots")
+		}
+		counts := make([]int, len(countBytes))
+		total := 0
+		for i, b := range countBytes {
+			counts[i] = int(b)
+			total += counts[i]
+		}
+		if total == 0 {
+			t.Skip("all-zero counts panic by contract")
+		}
+		a := NewAliasCounts(counts)
+
+		// Bit-identity on a shared seed.
+		r1, r2 := New(seed), New(seed)
+		buf := make([]int, 512)
+		a.DrawN(r1, buf)
+		for i, v := range buf {
+			if got := a.Draw(r2); got != v {
+				t.Fatalf("draw %d: DrawN=%d Draw=%d (streams diverged)", i, v, got)
+			}
+			if v < 0 || v >= len(counts) || counts[v] == 0 {
+				t.Fatalf("draw %d: slot %d invalid or dead", i, v)
+			}
+		}
+
+		// Distributional identity on independent streams.
+		base := New(seed)
+		rn, rd := base.Derive(0), base.Derive(1)
+		const draws = 2048
+		big := make([]int, draws)
+		a.DrawN(rn, big)
+		freqN := make([]int, len(counts))
+		freqD := make([]int, len(counts))
+		for _, v := range big {
+			freqN[v]++
+		}
+		for i := 0; i < draws; i++ {
+			freqD[a.Draw(rd)]++
+		}
+		chi, err := stats.ChiSquareHomogeneity(freqN, freqD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chi.IndistinguishableAt(1e-9) {
+			t.Fatalf("DrawN and Draw count vectors differ: %v vs %v (stat=%.2f p=%.2g)",
+				freqN, freqD, chi.Stat, chi.P)
 		}
 	})
 }

@@ -9,13 +9,20 @@ package rng
 
 import (
 	"math"
+	"math/bits"
 	"math/rand/v2"
 )
 
 // RNG is a seedable source of randomness with exact discrete samplers.
 // It is not safe for concurrent use; derive one RNG per goroutine.
+//
+// The underlying PCG generator is held both behind the rand/v2 adapter
+// (for its derived samplers) and directly: the hot batched fills below
+// pull words straight from the concrete generator, skipping the Source
+// interface dispatch. Both views drain the same stream.
 type RNG struct {
 	src *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns an RNG seeded with seed. Two RNGs created with the same seed
@@ -25,7 +32,12 @@ func New(seed uint64) *RNG {
 	// still yield uncorrelated PCG states.
 	s1 := splitMix64(seed)
 	s2 := splitMix64(s1)
-	return &RNG{src: rand.New(rand.NewPCG(s1, s2))}
+	return newFromPCG(s1, s2)
+}
+
+func newFromPCG(s1, s2 uint64) *RNG {
+	pcg := rand.NewPCG(s1, s2)
+	return &RNG{src: rand.New(pcg), pcg: pcg}
 }
 
 // Derive returns a new RNG whose stream is a deterministic function of the
@@ -36,7 +48,7 @@ func (r *RNG) Derive(i uint64) *RNG {
 	// advances, so successive Derive calls with the same i also differ.
 	a := r.src.Uint64()
 	b := r.src.Uint64()
-	return &RNG{src: rand.New(rand.NewPCG(splitMix64(a^i), splitMix64(b+i)))}
+	return newFromPCG(splitMix64(a^i), splitMix64(b+i))
 }
 
 // Float64 returns a uniform value in [0, 1).
@@ -46,7 +58,31 @@ func (r *RNG) Float64() float64 { return r.src.Float64() }
 func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
 
 // Uint64 returns a uniform 64-bit value.
-func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+func (r *RNG) Uint64() uint64 { return r.pcg.Uint64() }
+
+// FillIntN fills dst with independent uniform values in [0, n), one RNG
+// word per value in the common case. It is the batched form of IntN for
+// the per-node sampling loops: the generator is pulled directly (no Source
+// interface dispatch) and the Lemire multiply-with-rejection bound check
+// is hoisted out of the loop. It panics if n <= 0.
+//
+// The stream differs from repeated IntN calls (rand/v2 consumes words in
+// its own order); within FillIntN the draws are exact and unbiased.
+func (r *RNG) FillIntN(n int, dst []int) {
+	if n <= 0 {
+		panic("rng: FillIntN requires n > 0")
+	}
+	un := uint64(n)
+	thresh := -un % un // (2^64 - un) mod un: reject lo below this
+	src := r.pcg
+	for i := range dst {
+		hi, lo := bits.Mul64(src.Uint64(), un)
+		for lo < thresh {
+			hi, lo = bits.Mul64(src.Uint64(), un)
+		}
+		dst[i] = int(hi)
+	}
+}
 
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }

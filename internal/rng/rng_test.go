@@ -334,3 +334,56 @@ func TestGeometricEdge(t *testing.T) {
 		t.Fatalf("Geometric(1) = %d", got)
 	}
 }
+
+func TestFillIntNRangeAndUniformity(t *testing.T) {
+	r := New(61)
+	const (
+		n     = 7
+		draws = 70000
+	)
+	dst := make([]int, draws)
+	r.FillIntN(n, dst)
+	freq := make([]int, n)
+	for _, v := range dst {
+		if v < 0 || v >= n {
+			t.Fatalf("FillIntN value %d outside [0, %d)", v, n)
+		}
+		freq[v]++
+	}
+	want := float64(draws) / n
+	for i, c := range freq {
+		// 5 sigma of multinomial noise per cell.
+		sigma := math.Sqrt(want * (1 - 1.0/n))
+		if math.Abs(float64(c)-want) > 5*sigma {
+			t.Errorf("value %d drawn %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFillIntNSingleValue(t *testing.T) {
+	r := New(62)
+	dst := make([]int, 64)
+	r.FillIntN(1, dst)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("FillIntN(1) wrote %d at %d", v, i)
+		}
+	}
+}
+
+func TestFillIntNPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	New(63).FillIntN(0, make([]int, 1))
+}
+
+func TestFillIntNZeroAllocs(t *testing.T) {
+	r := New(64)
+	dst := make([]int, 1024)
+	if avg := testing.AllocsPerRun(20, func() { r.FillIntN(12, dst) }); avg != 0 {
+		t.Fatalf("FillIntN allocates %.2f times per batch, want 0", avg)
+	}
+}

@@ -1,0 +1,145 @@
+package rules
+
+import (
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
+	"github.com/ignorecomply/consensus/internal/rng"
+	"github.com/ignorecomply/consensus/internal/stats"
+)
+
+// TestBatchStepZeroSteadyStateAllocs: a steady-state batch round must not
+// allocate for the rules the hot loop leans on — the AC laws (Voter,
+// 3-Majority), the keeper/switcher laws (2-Choices, LazyVoter), and the
+// count-based h-Majority law, whose per-round enumeration reuses the
+// scratch held by analytic.AlphaEnumerator.
+func TestBatchStepZeroSteadyStateAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		rule core.Rule
+	}{
+		{"voter", NewVoter()},
+		{"3-majority", NewThreeMajority()},
+		{"2-choices", NewTwoChoices()},
+		{"lazy-voter", NewLazyVoter(0.5)},
+		{"5-majority-count-based", NewHMajority(5)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rng.New(31)
+			c := config.Balanced(4096, 8)
+			for i := 0; i < 5; i++ {
+				tc.rule.Step(c, r) // reach steady state
+			}
+			if avg := testing.AllocsPerRun(50, func() { tc.rule.Step(c, r) }); avg != 0 {
+				t.Errorf("%s batch round allocates %.2f times, want 0", tc.name, avg)
+			}
+		})
+	}
+}
+
+// TestHMajorityStepRegimes pins the cutoff: narrow supports take the
+// count-based law, wide supports fall back to the per-node sampler. Both
+// paths must preserve the configuration invariant.
+func TestHMajorityStepRegimes(t *testing.T) {
+	r := rng.New(32)
+	// h=5 over 8 live colors: 792 terms, count-based.
+	m := NewHMajority(5)
+	c := config.Balanced(10_000, 8)
+	m.Step(c, r)
+	if err := c.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if m.alias != nil {
+		t.Error("narrow support built the fallback alias table; count-based path not taken")
+	}
+	// h=5 over 256 live colors: C(260, 255) ≈ 9.7e9 terms, per-node.
+	wide := config.Balanced(10_000, 256)
+	m.Step(wide, r)
+	if err := wide.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if m.alias == nil {
+		t.Error("wide support did not fall back to the per-node sampler")
+	}
+}
+
+// TestHMajorityCountBasedMatchesPerNode cross-validates the two batch-step
+// regimes over whole trajectories: with forcePerNode pinning the O(n·h)
+// sampler, the consensus-time and winner distributions must be
+// statistically indistinguishable from the count-based law at the
+// documented equivalence budget. Seeded, so deterministic.
+func TestHMajorityCountBasedMatchesPerNode(t *testing.T) {
+	const (
+		n    = 400
+		k    = 6
+		h    = 5
+		reps = 100
+	)
+	collect := func(perNode bool, seedBase uint64) (rounds []float64, wins []int) {
+		wins = make([]int, k)
+		for rep := 0; rep < reps; rep++ {
+			m := NewHMajority(h)
+			m.forcePerNode = perNode
+			r := rng.New(seedBase + uint64(rep))
+			c := config.Balanced(n, k)
+			round := 0
+			for ; c.Remaining() > 1 && round < 10_000; round++ {
+				m.Step(c, r)
+			}
+			if c.Remaining() > 1 {
+				t.Fatalf("perNode=%v rep %d: no consensus in 10k rounds", perNode, rep)
+			}
+			rounds = append(rounds, float64(round))
+			slot, _ := c.Max()
+			wins[c.Label(slot)]++
+		}
+		return rounds, wins
+	}
+	countRounds, countWins := collect(false, 50_000)
+	nodeRounds, nodeWins := collect(true, 60_000)
+
+	ks, err := stats.TwoSampleKS(countRounds, nodeRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ks.IndistinguishableAt(stats.DefaultEquivalenceAlpha) {
+		t.Errorf("consensus-time distributions differ count-based vs per-node: D=%.3f p=%.2g", ks.D, ks.P)
+	}
+	chi, err := stats.ChiSquareHomogeneity(countWins, nodeWins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chi.IndistinguishableAt(stats.DefaultEquivalenceAlpha) {
+		t.Errorf("winner distributions differ count-based vs per-node: %v vs %v (p=%.2g)", countWins, nodeWins, chi.P)
+	}
+}
+
+// BenchmarkHMajorityStepRegimes contrasts the two regimes across n: the
+// count-based law must be flat in n, the per-node fallback linear.
+func BenchmarkHMajorityStepRegimes(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		perNode bool
+		n       int
+		k       int
+	}{
+		{"count-based/n=1e5", false, 100_000, 8},
+		{"count-based/n=1e6", false, 1_000_000, 8},
+		{"per-node/n=1e5", true, 100_000, 8},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := NewHMajority(5)
+			m.forcePerNode = tc.perNode
+			r := rng.New(1)
+			start := config.Balanced(tc.n, tc.k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := start.Clone()
+				m.Step(c, r)
+			}
+		})
+	}
+}

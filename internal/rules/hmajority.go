@@ -19,17 +19,37 @@ import (
 // collapses to Voter, as the paper notes below Conjecture 1.
 //
 // h-Majority is an AC-process, but its process function has no closed form
-// for h >= 4; the batch step therefore samples each node's h pulls directly
-// from the color distribution via an alias table — still the exact law,
-// at O(n·h) per round. AlphaExact exposes the enumerated process function
-// where the support is small enough (see analytic.HMajorityAlpha).
+// for h >= 4. Its batch step is count-based wherever the exact law is
+// affordable: the process function α(c) is enumerated exactly
+// (analytic.AlphaEnumerator, Eq. 2 generalizes to plurality-of-h) and the
+// round is one Mult(n, α) draw — O(k + terms), independent of n. The
+// enumeration has C(h+support-1, support-1) terms; beyond
+// StepEnumerationMaxTerms the step falls back to sampling each node's h
+// pulls from an alias table over the color distribution, the literal
+// O(n·h) law. AlphaExact exposes the enumerated process function
+// directly (see analytic.HMajorityAlpha).
 type HMajority struct {
 	h      int
 	next   []int
 	fracs  []float64
+	alpha  []float64
 	sample []int
 	alias  *rng.Alias
+	enum   analytic.AlphaEnumerator
+
+	// forcePerNode pins the O(n·h) fallback path; tests use it to
+	// cross-validate the count-based law against the per-node sampler.
+	forcePerNode bool
 }
+
+// StepEnumerationMaxTerms is the cutoff between the two batch-step regimes:
+// the count-based exact law enumerates at most this many sample-count
+// outcomes per round. C(h+s-1, s-1) grows fast — h=5 over 8 live colors is
+// 792 terms, over 16 colors 15 504 — so production-scale populations with
+// moderate color counts stay count-based (n-independent) and only wide
+// supports pay the per-node O(n·h) price. The bound is far below
+// analytic.MaxEnumerationTerms because Step pays it every round, not once.
+const StepEnumerationMaxTerms = 100_000
 
 var _ core.Rule = (*HMajority)(nil)
 var _ core.NodeRule = (*HMajority)(nil)
@@ -52,10 +72,30 @@ func (m *HMajority) H() int { return m.h }
 // Name implements core.Rule.
 func (m *HMajority) Name() string { return fmt.Sprintf("%d-majority", m.h) }
 
-// Step implements core.Rule by drawing every node's h samples from the
-// current color distribution (exact under Uniform Pull: a uniform node
-// sample is a categorical color sample with probabilities c_i/n).
+// Step implements core.Rule. When the live support is within the
+// enumeration bound it applies the count-based exact law — enumerate α(c),
+// draw Mult(n, α) — in time independent of n; otherwise it draws every
+// node's h samples from the current color distribution (exact under
+// Uniform Pull: a uniform node sample is a categorical color sample with
+// probabilities c_i/n).
 func (m *HMajority) Step(c *config.Config, r *rng.RNG) {
+	counts := c.CountsView()
+	if !m.forcePerNode && analytic.HMajorityTerms(m.h, c.Remaining(), StepEnumerationMaxTerms) > 0 {
+		m.fracs = resizeFloats(m.fracs, len(counts))
+		m.alpha = resizeFloats(m.alpha, len(counts))
+		c.Fractions(m.fracs)
+		if err := m.enum.Alpha(m.fracs, m.h, m.alpha); err == nil {
+			core.ACStep(c, r, m.alpha)
+			return
+		}
+	}
+	m.stepPerNode(c, r)
+}
+
+// stepPerNode is the O(n·h) fallback law: every node's h pulls are drawn
+// from an alias table over the color counts (rebuilt in place each round),
+// batched through DrawN.
+func (m *HMajority) stepPerNode(c *config.Config, r *rng.RNG) {
 	counts := c.CountsView()
 	n := c.N()
 	if m.alias == nil {
@@ -65,13 +105,9 @@ func (m *HMajority) Step(c *config.Config, r *rng.RNG) {
 	}
 	alias := m.alias
 	m.next = resizeInts(m.next, len(counts))
-	for i := range m.next {
-		m.next[i] = 0
-	}
+	clear(m.next)
 	for node := 0; node < n; node++ {
-		for j := 0; j < m.h; j++ {
-			m.sample[j] = alias.Draw(r)
-		}
+		alias.DrawN(r, m.sample)
 		m.next[m.plurality(m.sample, r)]++
 	}
 	copy(counts, m.next)

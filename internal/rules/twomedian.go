@@ -53,9 +53,7 @@ func (t *TwoMedian) Step(c *config.Config, r *rng.RNG) {
 		t.cdf[i] = run
 	}
 	counts := c.CountsView()
-	for i := range t.next {
-		t.next[i] = 0
-	}
+	clear(t.next)
 	for j, cj := range counts {
 		if cj == 0 {
 			continue

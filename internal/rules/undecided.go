@@ -71,9 +71,7 @@ func (u *Undecided) Step(c *config.Config, r *rng.RNG) {
 	u.probs = resizeFloats(u.probs, k)
 	u.dist = resizeInts(u.dist, k)
 	u.next = resizeInts(u.next, k)
-	for i := range u.next {
-		u.next[i] = 0
-	}
+	clear(u.next)
 
 	// Decided groups: keep with probability (c_j + u)/n, else go undecided.
 	newUndecided := 0

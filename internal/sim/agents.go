@@ -41,18 +41,20 @@ func RunAgents(rule core.NodeRule, start *config.Config, r *rng.RNG, opts ...Opt
 // agentsState is the engine room of one agents run: the population arrays,
 // the per-round alias table (rebuilt in place — zero steady-state
 // allocations), and, when sharded, the worker pool with per-shard rule
-// instances, random streams and sample scratch.
+// instances, random streams and strided sample buffers.
 type agentsState struct {
 	c     *config.Config
 	nodes []int // current per-node slot assignment
 	next  []int
 	alias *rng.Alias
+	h     int // samples per node
 
-	// Sequential path (p == 1): the run's own stream, bit-for-bit the
-	// pre-sharding engine.
-	rule    core.NodeRule
-	r       *rng.RNG
-	samples []int
+	// Sequential path (p == 1): the run's own stream, chunk buffer and
+	// next-count tally.
+	rule  core.NodeRule
+	r     *rng.RNG
+	buf   []int // sampleChunk·h strided sample buffer
+	tally []int
 
 	// Sharded path (p > 1).
 	pool *shardPool
@@ -67,12 +69,13 @@ func newAgentsState(rule core.NodeRule, factory core.Factory, start *config.Conf
 		nodes: c.Nodes(),
 		next:  make([]int, c.N()),
 		alias: rng.NewAliasCounts(c.CountsView()),
+		h:     rule.Samples(),
 		rule:  rule,
 		r:     r,
 	}
 	p := o.shardCount(c.N(), factory)
 	if p == 1 {
-		st.samples = make([]int, rule.Samples())
+		st.buf = make([]int, sampleChunk*st.h)
 		return st, nil
 	}
 
@@ -81,19 +84,32 @@ func newAgentsState(rule core.NodeRule, factory core.Factory, start *config.Conf
 		return nil, err
 	}
 	st.pool = newShardPool(c.N(), p, func(s, lo, hi int, tally []int) {
-		rr := su.streams[s]
-		ru := su.rules[s]
-		samples := su.samples[s]
-		for i := lo; i < hi; i++ {
-			for j := range samples {
-				samples[j] = st.alias.Draw(rr)
-			}
-			nxt := ru.Update(st.nodes[i], samples, rr)
+		agentsShardRound(st, su.rules[s], su.streams[s], su.bufs[s], lo, hi, tally)
+	})
+	return st, nil
+}
+
+// agentsShardRound runs one round over the node range [lo, hi): it fills
+// the strided sample buffer one chunk of nodes at a time (a uniform node
+// pull is a categorical color draw, so the batched alias fill is the whole
+// sampling step), applies the per-node updates, and tallies the next-state
+// counts in the same pass.
+func agentsShardRound(st *agentsState, rule core.NodeRule, r *rng.RNG, buf []int, lo, hi int, tally []int) {
+	h := st.h
+	for base := lo; base < hi; base += sampleChunk {
+		end := base + sampleChunk
+		if end > hi {
+			end = hi
+		}
+		chunk := buf[:(end-base)*h]
+		st.alias.DrawN(r, chunk)
+		for i := base; i < end; i++ {
+			samples := chunk[(i-base)*h : (i-base+1)*h]
+			nxt := rule.Update(st.nodes[i], samples, r)
 			st.next[i] = nxt
 			tally[nxt]++
 		}
-	})
-	return st, nil
+	}
 }
 
 // step advances the population by one synchronous round: a uniform node
@@ -104,19 +120,11 @@ func (st *agentsState) step(int) {
 	counts := st.c.CountsView()
 	st.alias.ResetCounts(counts)
 	if st.pool == nil {
-		for i, own := range st.nodes {
-			for j := range st.samples {
-				st.samples[j] = st.alias.Draw(st.r)
-			}
-			st.next[i] = st.rule.Update(own, st.samples, st.r)
-		}
+		st.tally = resizeInts(st.tally, len(counts))
+		clear(st.tally)
+		agentsShardRound(st, st.rule, st.r, st.buf, 0, len(st.nodes), st.tally)
 		st.nodes, st.next = st.next, st.nodes
-		for i := range counts {
-			counts[i] = 0
-		}
-		for _, s := range st.nodes {
-			counts[s]++
-		}
+		copy(counts, st.tally)
 		return
 	}
 	st.pool.step(len(counts))

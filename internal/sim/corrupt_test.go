@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/adversary"
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// recount tallies the node-state array into a fresh count vector.
+func recount(ns []int, k int) []int {
+	out := make([]int, k)
+	for _, s := range ns {
+		out[s]++
+	}
+	return out
+}
+
+// TestCorruptorReconcilesNodeStates: after every adversarial round the
+// node-state array must tally exactly to the (corrupted) configuration
+// counts — the reconciliation moves one concrete node per unit of
+// corruption.
+func TestCorruptorReconcilesNodeStates(t *testing.T) {
+	r := rng.New(71)
+	c := config.Balanced(500, 5)
+	ns := c.Nodes()
+	var co corruptor
+	adv := &adversary.BoostRunnerUp{F: 4}
+	for round := 0; round < 200; round++ {
+		co.apply(c, func() []int { return ns }, adv, r)
+		if err := c.CheckInvariant(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		got := recount(ns, c.Slots())
+		for s, v := range c.CountsView() {
+			if got[s] != v {
+				t.Fatalf("round %d: slot %d has %d nodes but count %d", round, s, got[s], v)
+			}
+		}
+	}
+}
+
+// TestCorruptorZeroSteadyStateAllocs: the reconciliation path must not
+// allocate once its scratch (before/deficit/surplus ledgers and the
+// partial-Fisher–Yates index pool) has reached steady state. Guards the
+// fix that replaced the full r.Perm(n) permutation — O(n) time and one
+// allocation per adversarial round — with a partial Fisher–Yates bounded
+// by the corruption deficit.
+func TestCorruptorZeroSteadyStateAllocs(t *testing.T) {
+	r := rng.New(72)
+	c := config.Balanced(4096, 8)
+	ns := c.Nodes()
+	nodes := func() []int { return ns }
+	var co corruptor
+	adv := &adversary.BoostRunnerUp{F: 3}
+	for i := 0; i < 5; i++ {
+		co.apply(c, nodes, adv, r) // reach steady state
+	}
+	if avg := testing.AllocsPerRun(100, func() { co.apply(c, nodes, adv, r) }); avg != 0 {
+		t.Errorf("corruptor round allocates %.2f times, want 0", avg)
+	}
+}
+
+// TestCorruptorAggregatePassThrough: aggregate engines (nodes == nil) hand
+// the configuration straight to the adversary.
+func TestCorruptorAggregatePassThrough(t *testing.T) {
+	r := rng.New(73)
+	c := config.Balanced(100, 4)
+	var co corruptor
+	did := co.apply(c, nil, &adversary.BoostRunnerUp{F: 2}, r)
+	if did != 2 {
+		t.Fatalf("corrupted %d nodes, want 2", did)
+	}
+	if err := c.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,18 +17,25 @@ import (
 //
 // The reproducibility contract is three-tiered:
 //
-//  1. WithParallelism(1) reproduces the pre-sharding sequential engine
-//     bit-for-bit — pinned below against golden values captured from the
-//     engine as it stood before the sharding change.
+//  1. WithParallelism(1) is bit-exact against the golden values below,
+//     captured from the sequential engine at the last intentional
+//     draw-stream change.
 //  2. Fixed seed + fixed p is bit-exact across repeated runs, regardless
 //     of goroutine scheduling: shard streams are derived deterministically
 //     up front and the count merge is ordered.
 //  3. Changing p reassigns nodes to streams, so results across different p
 //     values are equal in distribution only (crossvalidate_test.go).
+//
+// Golden regeneration policy (DESIGN.md §3): these pins guard against
+// *accidental* stream changes. A PR that changes the draw stream on
+// purpose (a sampler rework) regenerates them — but only together with
+// the statistical old-vs-new evidence in samplerchange_test.go, whose
+// fixture must be recorded from the pre-change engines first. Last
+// regenerated for the one-word batched alias draw (PR 3).
 
-// agentsGolden values were captured from the sequential agents engine
-// immediately before the sharded engine landed (same seeds, default
-// options). Any change to these is a break in the p=1 stream contract.
+// agentsGolden values were captured from the sequential agents engine at
+// the PR-3 sampler change (same seeds, default options). Any change to
+// these is a break in the p=1 stream contract.
 var agentsGolden = []struct {
 	name   string
 	rule   func() core.Rule
@@ -38,10 +45,10 @@ var agentsGolden = []struct {
 	winner int
 	counts []int
 }{
-	{"voter", func() core.Rule { return rules.NewVoter() }, 128, 8, 7, 186, 5, []int{0, 0, 0, 0, 0, 128, 0, 0}},
-	{"3-majority", func() core.Rule { return rules.NewThreeMajority() }, 200, 5, 11, 17, 3, []int{0, 0, 0, 200, 0}},
-	{"2-choices", func() core.Rule { return rules.NewTwoChoices() }, 150, 6, 13, 21, 1, []int{0, 150, 0, 0, 0, 0}},
-	{"5-majority", func() core.Rule { return rules.NewHMajority(5) }, 100, 4, 17, 9, 3, []int{0, 0, 0, 100}},
+	{"voter", func() core.Rule { return rules.NewVoter() }, 128, 8, 7, 173, 5, []int{0, 0, 0, 0, 0, 128, 0, 0}},
+	{"3-majority", func() core.Rule { return rules.NewThreeMajority() }, 200, 5, 11, 18, 2, []int{0, 0, 200, 0, 0}},
+	{"2-choices", func() core.Rule { return rules.NewTwoChoices() }, 150, 6, 13, 17, 3, []int{0, 0, 0, 150, 0, 0}},
+	{"5-majority", func() core.Rule { return rules.NewHMajority(5) }, 100, 4, 17, 8, 0, []int{100, 0, 0, 0}},
 }
 
 func TestAgentsSequentialGolden(t *testing.T) {
@@ -85,7 +92,7 @@ func TestGraphSequentialGolden(t *testing.T) {
 	if res.Converged {
 		t.Fatal("golden ring run converged inside the 500-round budget; stream changed")
 	}
-	checkGolden(t, "ring/voter", res, 500, 2, []int{0, 15, 30, 15})
+	checkGolden(t, "ring/voter", res, 500, 3, []int{12, 11, 18, 19})
 
 	torusColors := make([]int, 64)
 	for i := range torusColors {
@@ -96,7 +103,7 @@ func TestGraphSequentialGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "torus/3-majority", res, 500, 0, []int{32, 0, 32})
+	checkGolden(t, "torus/3-majority", res, 500, 0, []int{32, 32, 0})
 }
 
 // TestAgentsAdversarialGolden pins the p=1 stream through the §5
@@ -111,10 +118,10 @@ func TestAgentsAdversarialGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Stable || res.Corrupted != 33 {
-		t.Errorf("stable=%v corrupted=%d, want stable with 33 corruptions", res.Stable, res.Corrupted)
+	if !res.Stable || res.Corrupted != 29 {
+		t.Errorf("stable=%v corrupted=%d, want stable with 29 corruptions", res.Stable, res.Corrupted)
 	}
-	checkGolden(t, "agents+noise", res, 21, 0, []int{120, 0, 0, 0})
+	checkGolden(t, "agents+noise", res, 22, 3, []int{0, 0, 0, 120})
 }
 
 func checkGolden(t *testing.T, name string, res *Result, rounds, winner int, counts []int) {

@@ -48,11 +48,19 @@ type graphState struct {
 	g     graph.Graph
 	nodes []int
 	next  []int
+	h     int // samples per node
+
+	// regularDeg is the common vertex degree when g is regular, else 0.
+	// On a regular topology neighbor indices for a whole chunk of nodes
+	// are one batched uniform fill (rng.FillIntN); irregular graphs fall
+	// back to one draw per sample.
+	regularDeg int
 
 	// Sequential path (p == 1).
-	rule    core.NodeRule
-	r       *rng.RNG
-	samples []int
+	rule  core.NodeRule
+	r     *rng.RNG
+	buf   []int // sampleChunk·h strided sample buffer
+	tally []int
 
 	// Sharded path (p > 1).
 	pool *shardPool
@@ -60,16 +68,18 @@ type graphState struct {
 
 func newGraphState(rule core.NodeRule, factory core.Factory, g graph.Graph, c *config.Config, nodes []int, r *rng.RNG, o options) (*graphState, error) {
 	st := &graphState{
-		c:     c,
-		g:     g,
-		nodes: nodes,
-		next:  make([]int, len(nodes)),
-		rule:  rule,
-		r:     r,
+		c:          c,
+		g:          g,
+		nodes:      nodes,
+		next:       make([]int, len(nodes)),
+		h:          rule.Samples(),
+		regularDeg: regularDegree(g),
+		rule:       rule,
+		r:          r,
 	}
 	p := o.shardCount(len(nodes), factory)
 	if p == 1 {
-		st.samples = make([]int, rule.Samples())
+		st.buf = make([]int, sampleChunk*st.h)
 		return st, nil
 	}
 
@@ -78,37 +88,69 @@ func newGraphState(rule core.NodeRule, factory core.Factory, g graph.Graph, c *c
 		return nil, err
 	}
 	st.pool = newShardPool(len(nodes), p, func(s, lo, hi int, tally []int) {
-		rr := su.streams[s]
-		ru := su.rules[s]
-		samples := su.samples[s]
-		for u := lo; u < hi; u++ {
-			for j := range samples {
-				samples[j] = st.nodes[graph.RandomNeighbor(st.g, u, rr)]
-			}
-			nxt := ru.Update(st.nodes[u], samples, rr)
-			st.next[u] = nxt
-			tally[nxt]++
-		}
+		graphShardRound(st, su.rules[s], su.streams[s], su.bufs[s], lo, hi, tally)
 	})
 	return st, nil
+}
+
+// regularDegree returns the common degree of g when every vertex has the
+// same one (complete, ring, torus, random-regular), and 0 otherwise. One
+// O(n) scan at engine construction buys the batched fill on every round.
+func regularDegree(g graph.Graph) int {
+	d := g.Degree(0)
+	for u := 1; u < g.N(); u++ {
+		if g.Degree(u) != d {
+			return 0
+		}
+	}
+	return d
+}
+
+// graphShardRound runs one round over the vertex range [lo, hi), tallying
+// next-state counts in the same pass. On a regular topology the neighbor
+// indices for a chunk of nodes come from one batched uniform fill, then
+// are resolved index → neighbor → color in place.
+func graphShardRound(st *graphState, rule core.NodeRule, r *rng.RNG, buf []int, lo, hi int, tally []int) {
+	h := st.h
+	for base := lo; base < hi; base += sampleChunk {
+		end := base + sampleChunk
+		if end > hi {
+			end = hi
+		}
+		chunk := buf[:(end-base)*h]
+		if st.regularDeg > 0 {
+			r.FillIntN(st.regularDeg, chunk)
+			for i := base; i < end; i++ {
+				samples := chunk[(i-base)*h : (i-base+1)*h]
+				for j, idx := range samples {
+					samples[j] = st.nodes[st.g.Neighbor(i, idx)]
+				}
+				nxt := rule.Update(st.nodes[i], samples, r)
+				st.next[i] = nxt
+				tally[nxt]++
+			}
+			continue
+		}
+		for i := base; i < end; i++ {
+			samples := chunk[(i-base)*h : (i-base+1)*h]
+			for j := range samples {
+				samples[j] = st.nodes[graph.RandomNeighbor(st.g, i, r)]
+			}
+			nxt := rule.Update(st.nodes[i], samples, r)
+			st.next[i] = nxt
+			tally[nxt]++
+		}
+	}
 }
 
 func (st *graphState) step(int) {
 	counts := st.c.CountsView()
 	if st.pool == nil {
-		for u := range st.nodes {
-			for j := range st.samples {
-				st.samples[j] = st.nodes[graph.RandomNeighbor(st.g, u, st.r)]
-			}
-			st.next[u] = st.rule.Update(st.nodes[u], st.samples, st.r)
-		}
+		st.tally = resizeInts(st.tally, len(counts))
+		clear(st.tally)
+		graphShardRound(st, st.rule, st.r, st.buf, 0, len(st.nodes), st.tally)
 		st.nodes, st.next = st.next, st.nodes
-		for i := range counts {
-			counts[i] = 0
-		}
-		for _, s := range st.nodes {
-			counts[s]++
-		}
+		copy(counts, st.tally)
 		return
 	}
 	st.pool.step(len(counts))

@@ -7,12 +7,22 @@ import (
 	"github.com/ignorecomply/consensus/internal/rng"
 )
 
+// sampleChunk is the number of nodes whose samples are drawn per batched
+// fill: each engine walks its node range in chunks of this many nodes,
+// fills a strided sample buffer (node i's samples at [i·h, (i+1)·h)) with
+// one rng.Alias.DrawN / rng.RNG.FillIntN call, and then applies the
+// per-node updates, tallying next-state counts in the same pass. Large
+// enough to amortize the RNG dispatch, small enough to stay in L1.
+const sampleChunk = 256
+
 // shardSetup is the per-shard state both per-node engines share: one rule
-// instance, one derived random stream and one sample buffer per shard.
+// instance, one derived random stream and one strided sample buffer
+// (sampleChunk·h entries) per shard.
 type shardSetup struct {
 	rules   []core.NodeRule
 	streams []*rng.RNG
-	samples [][]int
+	bufs    [][]int
+	h       int
 }
 
 // newShardSetup resolves the per-shard state for p shards. Shard 0 runs the
@@ -24,7 +34,8 @@ func newShardSetup(rule core.NodeRule, factory core.Factory, p int, e Engine, r 
 	su := &shardSetup{
 		rules:   make([]core.NodeRule, p),
 		streams: make([]*rng.RNG, p),
-		samples: make([][]int, p),
+		bufs:    make([][]int, p),
+		h:       rule.Samples(),
 	}
 	su.rules[0] = rule
 	for s := 0; s < p; s++ {
@@ -40,7 +51,7 @@ func newShardSetup(rule core.NodeRule, factory core.Factory, p int, e Engine, r 
 			}
 		}
 		su.streams[s] = r.Derive(uint64(s))
-		su.samples[s] = make([]int, rule.Samples())
+		su.bufs[s] = make([]int, sampleChunk*su.h)
 	}
 	return su, nil
 }
@@ -105,9 +116,7 @@ func (sp *shardPool) step(k int) {
 			t = make([]int, k)
 		} else {
 			t = t[:k]
-			for i := range t {
-				t[i] = 0
-			}
+			clear(t)
 		}
 		sp.tally[s] = t
 	}
@@ -120,14 +129,20 @@ func (sp *shardPool) step(k int) {
 
 // merge folds the per-shard tallies of the last step into counts.
 func (sp *shardPool) merge(counts []int) {
-	for i := range counts {
-		counts[i] = 0
-	}
+	clear(counts)
 	for _, t := range sp.tally {
 		for i, v := range t {
 			counts[i] += v
 		}
 	}
+}
+
+// resizeInts returns buf with exactly n elements, reusing capacity.
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 // close releases the workers. The pool must not be stepped afterwards.

@@ -377,6 +377,7 @@ func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int), curr
 	}
 
 	var threshold int
+	var cor corruptor
 	if o.adv != nil {
 		threshold = adversary.Threshold(c.N(), o.epsilon)
 	}
@@ -446,7 +447,7 @@ func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int), curr
 		}
 		step(round)
 		if o.adv != nil {
-			res.Corrupted += corrupt(current(), nodes, o.adv, r)
+			res.Corrupted += cor.apply(current(), nodes, o.adv, r)
 		}
 		if record(round) {
 			res.Converged = true
@@ -464,58 +465,90 @@ func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int), curr
 	return res, nil
 }
 
-// corrupt applies one round of adversarial corruption. For aggregate
-// engines (nodes == nil) the adversary mutates the configuration counts
-// directly. For per-node engines the aggregate corruption is reconciled
-// onto the live node states: for every node the adversary moved from
-// color a to color b, one concrete node holding a — chosen uniformly at
-// random — is reassigned to b. Under Uniform Pull nodes of a color are
-// exchangeable and any choice would do; on a graph topology positions
-// matter, and the random choice keeps the corruption spatially unbiased.
-func corrupt(c *config.Config, nodes func() []int, adv adversary.Adversary, r *rng.RNG) int {
+// corruptor applies the per-round adversarial corruption. It owns the
+// reconciliation scratch — the before-counts snapshot, the deficit/surplus
+// ledgers, and the node-index pool for the partial Fisher–Yates — so a
+// steady-state adversarial round performs zero allocations.
+type corruptor struct {
+	before  []int
+	deficit []int
+	surplus []int
+	idx     []int // node-index pool for sampling without replacement
+}
+
+// apply runs one round of adversarial corruption. For aggregate engines
+// (nodes == nil) the adversary mutates the configuration counts directly.
+// For per-node engines the aggregate corruption is reconciled onto the
+// live node states: for every node the adversary moved from color a to
+// color b, one concrete node holding a — chosen uniformly at random — is
+// reassigned to b. Under Uniform Pull nodes of a color are exchangeable
+// and any choice would do; on a graph topology positions matter, and the
+// random choice keeps the corruption spatially unbiased.
+//
+// The uniform choice is a partial Fisher–Yates over the node-index pool:
+// visit a fresh uniform node, reassign it if its color still owes a
+// deficit, and stop as soon as the deficit is exhausted. The pool persists
+// across rounds as an arbitrary permutation — partial Fisher–Yates from
+// any starting permutation still samples uniformly without replacement —
+// so the walk is expected O(corrupted · n / |deficit colors|) visits per
+// round (a handful, for the §5 budgets) instead of the full O(n)
+// permutation the previous implementation allocated every round.
+func (co *corruptor) apply(c *config.Config, nodes func() []int, adv adversary.Adversary, r *rng.RNG) int {
 	if nodes == nil {
 		return adv.Corrupt(c, r)
 	}
-	before := c.CountsCopy()
+	co.before = resizeInts(co.before, c.Slots())
+	copy(co.before, c.CountsView())
 	did := adv.Corrupt(c, r)
 	// Re-fetch: InjectInvalid may have rebuilt the configuration with an
 	// extra slot (old slot indices are stable, new ones append).
 	after := c.CountsView()
-	deficit := make([]int, len(after))
-	surplus := make([]int, len(after))
-	changed := false
+	co.deficit = resizeInts(co.deficit, len(after))
+	clear(co.deficit)
+	co.surplus = resizeInts(co.surplus, len(after))
+	clear(co.surplus)
+	owed := 0
 	for s := range after {
 		b := 0
-		if s < len(before) {
-			b = before[s]
+		if s < len(co.before) {
+			b = co.before[s]
 		}
 		switch {
 		case after[s] < b:
-			deficit[s] = b - after[s]
-			changed = true
+			co.deficit[s] = b - after[s]
+			owed += co.deficit[s]
 		case after[s] > b:
-			surplus[s] = after[s] - b
-			changed = true
+			co.surplus[s] = after[s] - b
 		}
 	}
-	if !changed {
+	if owed == 0 {
 		return did
 	}
 	ns := nodes()
+	if len(co.idx) != len(ns) {
+		co.idx = resizeInts(co.idx, len(ns))
+		for i := range co.idx {
+			co.idx[i] = i
+		}
+	}
 	t := 0
-	for _, i := range r.Perm(len(ns)) {
+	for v := 0; v < len(ns) && owed > 0; v++ {
+		j := v + r.IntN(len(ns)-v)
+		co.idx[v], co.idx[j] = co.idx[j], co.idx[v]
+		i := co.idx[v]
 		s := ns[i]
-		if s >= len(deficit) || deficit[s] == 0 {
+		if s >= len(co.deficit) || co.deficit[s] == 0 {
 			continue
 		}
-		for t < len(surplus) && surplus[t] == 0 {
+		for t < len(co.surplus) && co.surplus[t] == 0 {
 			t++
 		}
-		if t == len(surplus) {
+		if t == len(co.surplus) {
 			break
 		}
-		deficit[s]--
-		surplus[t]--
+		co.deficit[s]--
+		co.surplus[t]--
+		owed--
 		ns[i] = t
 	}
 	return did
@@ -524,11 +557,10 @@ func corrupt(c *config.Config, nodes func() []int, adv adversary.Adversary, r *r
 func finish(res *Result, c *config.Config, rounds int, o options, valid map[int]struct{}) {
 	res.Rounds = rounds
 	res.Final = c
-	slot, _ := c.Max()
+	slot, maxSup := c.Max()
 	res.WinnerLabel = c.Label(slot)
 	_, res.WinnerValid = valid[res.WinnerLabel]
 	if o.traceEvery > 0 && (len(res.Trace) == 0 || res.Trace[len(res.Trace)-1].Round != rounds) {
-		_, maxSup := c.Max()
 		res.Trace = append(res.Trace, TracePoint{
 			Round:      rounds,
 			Colors:     c.Remaining(),
