@@ -12,6 +12,7 @@ package consensus_test
 // iteration and reports rows produced; EXPERIMENTS.md records the tables.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -96,13 +97,14 @@ func BenchmarkRoundBatch(b *testing.B) {
 // BenchmarkRoundAgents measures the literal per-node engine for contrast
 // with the O(k) batch laws above.
 func BenchmarkRoundAgents(b *testing.B) {
-	r := consensus.NewRNG(2)
+	runner := consensus.NewRunner(consensus.NewThreeMajority(),
+		consensus.WithEngine(consensus.EngineAgents),
+		consensus.WithMaxRounds(1), consensus.WithTargetColors(1),
+		consensus.WithRNG(consensus.NewRNG(2)))
 	cfg := consensus.BalancedConfig(10_000, 10)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, err := consensus.RunAgents(consensus.NewThreeMajority(), cfg, r,
-			consensus.WithMaxRounds(1), consensus.WithTargetColors(1))
-		if err != nil {
+		if _, err := runner.Run(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,11 +114,12 @@ func BenchmarkRoundAgents(b *testing.B) {
 func BenchmarkFullConsensus(b *testing.B) {
 	for _, n := range []int{1_000, 10_000, 100_000} {
 		b.Run(fmt.Sprintf("3-majority/n=%d", n), func(b *testing.B) {
-			r := consensus.NewRNG(3)
+			runner := consensus.NewRunner(consensus.NewThreeMajority(),
+				consensus.WithRNG(consensus.NewRNG(3)))
 			cfg := consensus.SingletonConfig(n)
 			rounds := 0
 			for i := 0; i < b.N; i++ {
-				res, err := consensus.Run(consensus.NewThreeMajority(), cfg, r)
+				res, err := runner.Run(context.Background(), cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -132,10 +135,12 @@ func BenchmarkClusterRound(b *testing.B) {
 	cfg := consensus.BalancedConfig(256, 8)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, err := consensus.RunCluster(
-			func() consensus.NodeRule { return consensus.NewThreeMajority() },
-			cfg, uint64(i), 1)
-		if err != nil {
+		runner := consensus.NewFactoryRunner(
+			func() consensus.Rule { return consensus.NewThreeMajority() },
+			consensus.WithEngine(consensus.EngineCluster),
+			consensus.WithSeed(uint64(i)),
+			consensus.WithMaxRounds(1))
+		if _, err := runner.Run(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -154,11 +159,13 @@ func BenchmarkAblationLaziness(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
-			r := consensus.NewRNG(5)
+			runner := consensus.NewFactoryRunner(v.mk,
+				consensus.WithTargetColors(8),
+				consensus.WithRNG(consensus.NewRNG(5)))
 			cfg := consensus.SingletonConfig(2048)
 			rounds := 0
 			for i := 0; i < b.N; i++ {
-				res, err := consensus.Run(v.mk(), cfg, r, consensus.WithTargetColors(8))
+				res, err := runner.Run(context.Background(), cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

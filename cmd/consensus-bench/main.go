@@ -85,14 +85,11 @@ func run(args []string) error {
 	}
 
 	params := expt.Params{Seed: *seed, Workers: *workers}
-	switch *scale {
-	case "quick":
-		params.Scale = expt.Quick
-	case "full":
-		params.Scale = expt.Full
-	default:
-		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+	sc, err := expt.ParseScale(*scale)
+	if err != nil {
+		return err
 	}
+	params.Scale = sc
 
 	var selected []expt.Experiment
 	if *runIDs == "all" {

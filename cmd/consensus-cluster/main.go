@@ -16,10 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	consensus "github.com/ignorecomply/consensus"
+	"github.com/ignorecomply/consensus/internal/rules"
 )
 
 func main() {
@@ -70,22 +69,8 @@ func run(args []string) error {
 	return nil
 }
 
+// ruleFactory resolves the rule through the shared named-rule registry
+// (the same one the scenario decoder uses).
 func ruleFactory(name string) (consensus.Factory, error) {
-	switch name {
-	case "voter":
-		return func() consensus.Rule { return consensus.NewVoter() }, nil
-	case "2-choices":
-		return func() consensus.Rule { return consensus.NewTwoChoices() }, nil
-	case "3-majority":
-		return func() consensus.Rule { return consensus.NewThreeMajority() }, nil
-	case "2-median":
-		return func() consensus.Rule { return consensus.NewTwoMedian() }, nil
-	}
-	if h, ok := strings.CutSuffix(name, "-majority"); ok {
-		hv, err := strconv.Atoi(h)
-		if err == nil && hv >= 1 {
-			return func() consensus.Rule { return consensus.NewHMajority(hv) }, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown rule %q", name)
+	return rules.Spec{Name: name}.Factory()
 }

@@ -1,31 +1,39 @@
-// Command consensus-sim runs a single consensus process on a single
-// configuration and prints a round trace — the quickest way to watch the
-// paper's dynamics happen. Every execution engine (exact batch law,
-// per-node agents, graph topology, message-passing cluster) and the §5
-// Byzantine adversary are available behind the same flags, because they
-// are all options on the same Runner.
+// Command consensus-sim runs consensus scenarios. With -scenario it
+// executes a declarative scenario file (a path, an embedded name like
+// e01-threemajority-upper, or an experiment ID like E1) through the
+// engine-agnostic suite executor and prints the reduced table — the same
+// path the E1..E12 reproduction harness uses. Without -scenario the
+// classic flags describe a single run; they are compiled into a generated
+// single-cell scenario and executed through the very same layer (print it
+// with -emit-scenario to start a new scenario file from flags).
 //
 // Usage:
 //
-//	consensus-sim [-rule voter|2-choices|3-majority|4-majority|...|2-median|undecided]
-//	              [-engine batch|agents|graph|cluster] [-parallel P]
-//	              [-topology complete|ring|torus|random-regular] [-degree D]
+//	consensus-sim -scenario FILE|NAME|ID [-scale quick|full] [-seed S]
+//	              [-workers W] [-verify-determinism] [-list-scenarios]
+//	consensus-sim [-rule voter|lazy-voter|2-choices|3-majority|4-majority|...|2-median|undecided]
+//	              [-beta B] [-engine batch|agents|graph|cluster] [-parallel P]
+//	              [-topology complete|ring|torus|star|random-regular] [-degree D]
 //	              [-adversary none|boost-runner-up|revive-weakest|inject-invalid|random-noise]
 //	              [-budget F] [-epsilon E] [-window W]
 //	              [-n N] [-k K] [-dist singleton|balanced|zipf|biased]
 //	              [-bias B] [-seed S] [-trace-every T] [-max-rounds M]
-//	              [-timeout D]
+//	              [-timeout D] [-emit-scenario]
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"runtime"
 	"strings"
 
-	consensus "github.com/ignorecomply/consensus"
+	"github.com/ignorecomply/consensus/internal/expt"
+	"github.com/ignorecomply/consensus/scenario"
+	"github.com/ignorecomply/consensus/scenarios"
 )
 
 func main() {
@@ -38,10 +46,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("consensus-sim", flag.ContinueOnError)
 	var (
-		ruleName   = fs.String("rule", "3-majority", "update rule (voter, 2-choices, 3-majority, H-majority, 2-median, undecided)")
+		scenarioArg = fs.String("scenario", "", "scenario file path, embedded scenario name, or experiment ID (E1..E12)")
+		scaleName   = fs.String("scale", "quick", "scenario scale: quick or full")
+		workers     = fs.Int("workers", 0, "suite worker pool (0 = GOMAXPROCS); never affects results")
+		verifyDet   = fs.Bool("verify-determinism", false, "run the scenario twice and fail unless the tables are bit-identical")
+		listScen    = fs.Bool("list-scenarios", false, "list the embedded scenario suite and exit")
+		emit        = fs.Bool("emit-scenario", false, "print the scenario generated from the classic flags and exit")
+
+		ruleName   = fs.String("rule", "3-majority", "update rule (voter, lazy-voter, 2-choices, 3-majority, H-majority, 2-median, undecided)")
+		beta       = fs.Float64("beta", 0, "idle probability for -rule lazy-voter")
 		engineName = fs.String("engine", "batch", "execution engine: batch, agents, graph, cluster")
-		parallel   = fs.Int("parallel", 0, "worker shards for the agents/graph engines (0 = GOMAXPROCS, 1 = sequential bit-exact)")
-		topology   = fs.String("topology", "complete", "interaction topology for -engine graph: complete, ring, torus, random-regular")
+		parallel   = fs.Int("parallel", 0, "worker shards for the agents/graph engines (0 = default, 1 = sequential bit-exact)")
+		topology   = fs.String("topology", "complete", "interaction topology for -engine graph: complete, ring, torus, star, random-regular")
 		degree     = fs.Int("degree", 4, "vertex degree for -topology random-regular")
 		advName    = fs.String("adversary", "none", "§5 adversary: none, boost-runner-up, revive-weakest, inject-invalid, random-noise")
 		budget     = fs.Int("budget", 8, "adversary per-round corruption budget F")
@@ -60,36 +76,32 @@ func run(args []string) error {
 		return err
 	}
 
-	factory, err := ruleFactory(*ruleName)
-	if err != nil {
-		return err
-	}
-	start, err := makeConfig(*dist, *n, *k, *bias, *seed)
-	if err != nil {
-		return err
+	if *listScen {
+		// List every embedded scenario, not just the experiment-bound
+		// ones — embed.go invites dropping new workload files in.
+		for _, name := range scenarios.Names() {
+			data, err := scenarios.Read(name)
+			if err != nil {
+				return err
+			}
+			s, err := scenario.DecodeBytes(data)
+			if err != nil {
+				return fmt.Errorf("embedded scenario %s: %w", name, err)
+			}
+			id, title := "-", ""
+			if s.Experiment != nil {
+				id, title = s.Experiment.ID, s.Experiment.Name
+			}
+			fmt.Printf("%-4s %-28s %s\n", id, s.Name, title)
+		}
+		return nil
 	}
 
-	opts := []consensus.Option{
-		consensus.WithSeed(*seed),
-		consensus.WithMaxRounds(*maxRounds),
-		consensus.WithParallelism(*parallel),
-	}
-	if *traceEvery > 0 {
-		opts = append(opts, consensus.WithTrace(*traceEvery))
-	}
-	engineOpts, err := engineOptions(*engineName, *topology, *degree, start.N(), *seed)
+	scale, err := expt.ParseScale(*scaleName)
 	if err != nil {
 		return err
 	}
-	opts = append(opts, engineOpts...)
-	adversarial := *advName != "none" && *advName != ""
-	if adversarial {
-		adv, err := adversaryByName(*advName, *budget)
-		if err != nil {
-			return err
-		}
-		opts = append(opts, consensus.WithAdversary(adv, *epsilon, *window))
-	}
+	params := scenario.Params{Seed: *seed, Scale: scale, Workers: *workers}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -98,17 +110,53 @@ func run(args []string) error {
 		defer cancel()
 	}
 
-	fmt.Printf("rule=%s engine=%s n=%d k=%d dist=%s adversary=%s seed=%d\n",
-		*ruleName, *engineName, start.N(), start.Remaining(), *dist, *advName, *seed)
+	if *scenarioArg != "" {
+		s, err := resolveScenario(*scenarioArg)
+		if err != nil {
+			return err
+		}
+		return runScenario(ctx, s, params, *verifyDet)
+	}
+	if *verifyDet {
+		// The classic path prints a single run's trace, and the cluster
+		// engine is distribution-reproducible only — refusing beats
+		// pretending the check ran.
+		return fmt.Errorf("-verify-determinism needs -scenario (generate one from these flags with -emit-scenario)")
+	}
 
-	res, err := consensus.NewFactoryRunner(factory, opts...).Run(ctx, start)
+	// Classic flags: compile them into a generated single-cell scenario
+	// and execute it through the same layer.
+	s, err := scenarioFromFlags(flagScenario{
+		rule: *ruleName, beta: *beta, engine: *engineName, parallel: *parallel,
+		topology: *topology, degree: *degree,
+		adversary: *advName, budget: *budget, epsilon: *epsilon, window: *window,
+		n: *n, k: *k, dist: *dist, bias: *bias,
+		traceEvery: *traceEvery, maxRounds: *maxRounds,
+	})
 	if err != nil {
 		return err
 	}
+	if *emit {
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	suite, err := scenario.ExecuteSuite(ctx, s, params)
+	if err != nil {
+		return err
+	}
+	res := suite.Cells[0].Groups[0].Results[0]
+	start := suite.Cells[0].Groups[0].Start
+	fmt.Printf("rule=%s engine=%s n=%d k=%d dist=%s adversary=%s seed=%d\n",
+		*ruleName, *engineName, start.N(), start.Remaining(), *dist, *advName, *seed)
 	for _, tp := range res.Trace {
 		fmt.Printf("round %8d  colors %8d  max-support %8d  bias %8d\n",
 			tp.Round, tp.Colors, tp.MaxSupport, tp.Bias)
 	}
+	adversarial := s.Adversary != nil
 	switch {
 	case adversarial && res.Stable:
 		validity := "valid"
@@ -131,98 +179,137 @@ func run(args []string) error {
 	return nil
 }
 
-func engineOptions(engine, topology string, degree, n int, seed uint64) ([]consensus.Option, error) {
-	switch engine {
-	case "batch":
-		return nil, nil
-	case "agents":
-		return []consensus.Option{consensus.WithEngine(consensus.EngineAgents)}, nil
-	case "cluster":
-		return []consensus.Option{consensus.WithEngine(consensus.EngineCluster)}, nil
-	case "graph":
-		g, err := makeGraph(topology, degree, n, seed)
+// runScenario executes a scenario file and prints its table; with verify
+// it executes twice and insists on bit-identical output — the determinism
+// contract the scenario layer promises.
+func runScenario(ctx context.Context, s *scenario.Scenario, p scenario.Params, verify bool) error {
+	tbl, err := scenario.Run(ctx, s, p)
+	if err != nil {
+		return err
+	}
+	var first bytes.Buffer
+	if err := tbl.Render(&first); err != nil {
+		return err
+	}
+	if verify {
+		tbl2, err := scenario.Run(ctx, s, p)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("determinism check re-run: %w", err)
 		}
-		return []consensus.Option{consensus.WithGraph(g)}, nil
-	default:
-		return nil, fmt.Errorf("unknown engine %q", engine)
-	}
-}
-
-func makeGraph(topology string, degree, n int, seed uint64) (consensus.Graph, error) {
-	switch topology {
-	case "complete":
-		return consensus.NewCompleteGraph(n), nil
-	case "ring":
-		return consensus.NewRingGraph(n), nil
-	case "torus":
-		side := 1
-		for side*side < n {
-			side++
+		var second bytes.Buffer
+		if err := tbl2.Render(&second); err != nil {
+			return err
 		}
-		if side*side != n {
-			return nil, fmt.Errorf("torus needs a square n, got %d", n)
-		}
-		return consensus.NewTorusGraph(side, side), nil
-	case "random-regular":
-		return consensus.NewRandomRegularGraph(n, degree, consensus.NewRNG(seed^0x9e3779b97f4a7c15))
-	default:
-		return nil, fmt.Errorf("unknown topology %q", topology)
-	}
-}
-
-func adversaryByName(name string, budget int) (consensus.Adversary, error) {
-	switch name {
-	case "boost-runner-up":
-		return &consensus.BoostRunnerUp{F: budget}, nil
-	case "revive-weakest":
-		return &consensus.ReviveWeakest{F: budget}, nil
-	case "inject-invalid":
-		return &consensus.InjectInvalid{F: budget}, nil
-	case "random-noise":
-		return &consensus.RandomNoise{F: budget}, nil
-	default:
-		return nil, fmt.Errorf("unknown adversary %q", name)
-	}
-}
-
-func ruleFactory(name string) (consensus.Factory, error) {
-	switch name {
-	case "voter":
-		return func() consensus.Rule { return consensus.NewVoter() }, nil
-	case "2-choices":
-		return func() consensus.Rule { return consensus.NewTwoChoices() }, nil
-	case "3-majority":
-		return func() consensus.Rule { return consensus.NewThreeMajority() }, nil
-	case "2-median":
-		return func() consensus.Rule { return consensus.NewTwoMedian() }, nil
-	case "undecided":
-		return func() consensus.Rule { return consensus.NewUndecided() }, nil
-	}
-	if h, ok := strings.CutSuffix(name, "-majority"); ok {
-		hv, err := strconv.Atoi(h)
-		if err == nil && hv >= 1 {
-			return func() consensus.Rule { return consensus.NewHMajority(hv) }, nil
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			return fmt.Errorf("scenario %q is not deterministic: two runs at seed %d differ", s.Name, p.Seed)
 		}
 	}
-	return nil, fmt.Errorf("unknown rule %q", name)
+	if _, err := os.Stdout.Write(first.Bytes()); err != nil {
+		return err
+	}
+	fmt.Printf("  (scenario=%s, scale=%s, seed=%d", s.Name, p.Scale, p.Seed)
+	if verify {
+		fmt.Printf(", determinism verified")
+	}
+	fmt.Println(")")
+	return nil
 }
 
-func makeConfig(dist string, n, k, bias int, seed uint64) (*consensus.Config, error) {
-	if k <= 0 {
-		k = n
+// resolveScenario loads a scenario from a file path, an embedded file
+// name, an embedded scenario name, or an experiment ID. Name/ID matching
+// decodes the embedded files directly, so scenarios without an experiment
+// binding resolve too.
+func resolveScenario(arg string) (*scenario.Scenario, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return scenario.Load(arg)
 	}
-	switch dist {
-	case "singleton":
-		return consensus.SingletonConfig(n), nil
-	case "balanced":
-		return consensus.BalancedConfig(n, k), nil
-	case "zipf":
-		return consensus.ZipfConfig(n, k, 1.0), nil
-	case "biased":
-		return consensus.BiasedConfig(n, k, bias), nil
+	for _, name := range []string{arg, arg + ".json"} {
+		if data, err := scenarios.Read(name); err == nil {
+			return scenario.DecodeBytes(data)
+		}
+	}
+	for _, name := range scenarios.Names() {
+		data, err := scenarios.Read(name)
+		if err != nil {
+			continue
+		}
+		s, err := scenario.DecodeBytes(data)
+		if err != nil {
+			return nil, fmt.Errorf("embedded scenario %s: %w", name, err)
+		}
+		if s.Name == arg || (s.Experiment != nil && strings.EqualFold(s.Experiment.ID, arg)) {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("no scenario %q: not a file, and the embedded suite has %s",
+		arg, strings.Join(scenarios.Names(), ", "))
+}
+
+type flagScenario struct {
+	rule, engine, topology, adversary, dist string
+	parallel, degree, budget, window        int
+	n, k, bias, traceEvery, maxRounds       int
+	epsilon, beta                           float64
+}
+
+// scenarioFromFlags compiles the classic single-run flags into a
+// single-cell scenario.
+func scenarioFromFlags(f flagScenario) (*scenario.Scenario, error) {
+	s := &scenario.Scenario{
+		Schema: scenario.CurrentSchema,
+		Name:   "cli-run",
+		Params: map[string]scenario.Quantity{"n": scenario.Num(float64(f.n))},
+	}
+	s.Rule = &scenario.RuleSpec{Name: f.rule}
+	if f.beta != 0 {
+		s.Rule.Beta = scenario.Num(f.beta)
+	}
+	switch f.engine {
+	case "batch", "agents", "cluster":
+		s.Engine = f.engine
+	case "graph":
+		topo := &scenario.TopologySpec{Name: f.topology}
+		if f.topology == "random-regular" {
+			topo.Degree = scenario.Num(float64(f.degree))
+		}
+		s.Topology = topo
 	default:
-		return nil, fmt.Errorf("unknown distribution %q", dist)
+		return nil, fmt.Errorf("unknown engine %q", f.engine)
 	}
+	// The suite executor defaults per-run engine sharding to sequential
+	// (its replica pool normally fills the cores), but this path runs a
+	// single replica — keep the flag's documented "0 = GOMAXPROCS"
+	// behavior for the sharded per-node engines.
+	par := f.parallel
+	if par == 0 && (f.engine == "agents" || f.engine == "graph") {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > 0 {
+		q := scenario.Num(float64(par))
+		s.Parallelism = &q
+	}
+	init := &scenario.InitSpec{Generator: f.dist}
+	if f.k > 0 {
+		init.K = scenario.Num(float64(f.k))
+	}
+	if f.bias > 0 {
+		init.Bias = scenario.Num(float64(f.bias))
+	}
+	s.Init = init
+	s.Stop = &scenario.StopSpec{MaxRounds: scenario.Num(float64(f.maxRounds))}
+	if f.traceEvery > 0 {
+		s.Metrics = &scenario.MetricsSpec{TraceEvery: scenario.Num(float64(f.traceEvery))}
+	}
+	if f.adversary != "none" && f.adversary != "" {
+		s.Adversary = &scenario.AdversarySpec{
+			Name:    f.adversary,
+			Budget:  scenario.Num(float64(f.budget)),
+			Epsilon: scenario.Num(f.epsilon),
+			Window:  scenario.Num(float64(f.window)),
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }

@@ -25,14 +25,17 @@
 //	    consensus.WithSeed(42))
 //	res, err := runner.Run(ctx, consensus.SingletonConfig(100_000))
 //
+// Whole experiments — sweeps, replicas, adversary schedules, metrics —
+// are described as data and executed through the declarative scenario
+// layer (the scenario sibling package); the twelve paper experiments ship
+// as checked-in specs under scenarios/ and are reachable here through
+// Experiments and ExperimentByID.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results; cmd/consensus-bench regenerates every table.
 package consensus
 
 import (
-	"context"
-	"errors"
-
 	"github.com/ignorecomply/consensus/internal/adversary"
 	"github.com/ignorecomply/consensus/internal/coalesce"
 	"github.com/ignorecomply/consensus/internal/config"
@@ -96,11 +99,6 @@ type (
 	TracePoint = sim.TracePoint
 	// Option configures a run.
 	Option = sim.Option
-
-	// ClusterResult describes a goroutine message-passing run.
-	//
-	// Deprecated: the cluster engine now reports the unified Result.
-	ClusterResult = sim.Result
 )
 
 // Execution engines (see DESIGN.md for the comparison table).
@@ -149,11 +147,7 @@ type (
 	DualityPoint = coalesce.DualityPoint
 	// Adversary corrupts a bounded set of nodes per round (§5).
 	Adversary = adversary.Adversary
-	// AdversaryResult describes a run under corruption.
-	//
-	// Deprecated: adversarial runs now report the unified Result.
-	AdversaryResult = sim.Result
-	// Experiment binds a paper artifact to the code regenerating it.
+	// Experiment binds a paper artifact to the scenario regenerating it.
 	Experiment = expt.Experiment
 	// ExperimentParams configures an experiment run.
 	ExperimentParams = expt.Params
@@ -208,65 +202,6 @@ var (
 	// NewUndecided returns the Undecided-State Dynamics rule.
 	NewUndecided = rules.NewUndecided
 )
-
-// Run executes a rule on a copy of start until consensus (or another
-// configured target); see the With* options.
-//
-// Deprecated: build a Runner with NewRunner and call Run(ctx, start).
-func Run(rule Rule, start *Config, r *RNG, opts ...Option) (*Result, error) {
-	return sim.Run(rule, start, r, opts...)
-}
-
-// RunAgents executes a per-node rule on an explicit population.
-//
-// Deprecated: build a Runner with WithEngine(EngineAgents).
-func RunAgents(rule NodeRule, start *Config, r *RNG, opts ...Option) (*Result, error) {
-	return sim.RunAgents(rule, start, r, opts...)
-}
-
-// RunReplicas executes independent replicas in parallel with derived
-// deterministic random streams.
-//
-// Deprecated: build a Runner with NewFactoryRunner and call
-// RunReplicas(ctx, start, replicas, workers).
-func RunReplicas(factory Factory, start *Config, base *RNG, replicas, workers int, opts ...Option) ([]*Result, error) {
-	return sim.RunReplicas(factory, start, base, replicas, workers, opts...)
-}
-
-// RunOnGraph executes a per-node rule on an arbitrary interaction graph:
-// samples are uniform neighbors instead of uniform nodes. colors assigns
-// each vertex its initial color.
-//
-// Deprecated: build a Runner with WithGraph(g); RunOnGraph remains for
-// explicit per-vertex color placement.
-func RunOnGraph(rule NodeRule, g Graph, colors []int, r *RNG, opts ...Option) (*Result, error) {
-	return sim.RunOnGraph(rule, g, colors, r, opts...)
-}
-
-// RunCluster executes a per-node rule as a real message-passing system
-// (one goroutine per node).
-//
-// Deprecated: build a Runner with NewFactoryRunner and
-// WithEngine(EngineCluster).
-func RunCluster(factory func() NodeRule, start *Config, seed uint64, maxRounds int) (*ClusterResult, error) {
-	return sim.RunCluster(factory, start, seed, maxRounds)
-}
-
-// RunWithAdversary executes a rule under per-round Byzantine corruption.
-//
-// Deprecated: build a Runner with WithAdversary(adv, epsilon, window) —
-// which additionally composes with every engine and option — and bound it
-// with WithMaxRounds(maxRounds).
-func RunWithAdversary(rule Rule, adv Adversary, start *Config, r *RNG, epsilon float64, window, maxRounds int) (*AdversaryResult, error) {
-	if r == nil {
-		return nil, errors.New("consensus: rng must be non-nil")
-	}
-	return sim.NewRunner(rule,
-		sim.WithAdversary(adv, epsilon, window),
-		sim.WithMaxRounds(maxRounds),
-		sim.WithRNG(r)).
-		Run(context.Background(), start)
-}
 
 // Run options.
 var (

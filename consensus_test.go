@@ -1,18 +1,20 @@
 package consensus_test
 
 import (
+	"context"
 	"testing"
 
 	consensus "github.com/ignorecomply/consensus"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
 // The facade tests exercise the whole public API end-to-end the way a
 // downstream user would.
 
 func TestQuickstartFlow(t *testing.T) {
-	r := consensus.NewRNG(1)
-	start := consensus.SingletonConfig(1000)
-	res, err := consensus.Run(consensus.NewThreeMajority(), start, r)
+	runner := consensus.NewRunner(consensus.NewThreeMajority(),
+		consensus.WithRNG(consensus.NewRNG(1)))
+	res, err := runner.Run(context.Background(), consensus.SingletonConfig(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,10 +24,10 @@ func TestQuickstartFlow(t *testing.T) {
 }
 
 func TestReplicaFlow(t *testing.T) {
-	base := consensus.NewRNG(2)
-	results, err := consensus.RunReplicas(
+	runner := consensus.NewFactoryRunner(
 		func() consensus.Rule { return consensus.NewVoter() },
-		consensus.BalancedConfig(500, 5), base, 8, 4)
+		consensus.WithRNG(consensus.NewRNG(2)))
+	results, err := runner.RunReplicas(context.Background(), consensus.BalancedConfig(500, 5), 8, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +65,11 @@ func TestDualityFlow(t *testing.T) {
 }
 
 func TestAdversaryFlow(t *testing.T) {
-	r := consensus.NewRNG(5)
-	res, err := consensus.RunWithAdversary(
-		consensus.NewThreeMajority(),
-		&consensus.BoostRunnerUp{F: 2},
-		consensus.BalancedConfig(2000, 4), r, 0.05, 20, 100000)
+	runner := consensus.NewRunner(consensus.NewThreeMajority(),
+		consensus.WithAdversary(&consensus.BoostRunnerUp{F: 2}, 0.05, 20),
+		consensus.WithMaxRounds(100000),
+		consensus.WithRNG(consensus.NewRNG(5)))
+	res, err := runner.Run(context.Background(), consensus.BalancedConfig(2000, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,9 +79,12 @@ func TestAdversaryFlow(t *testing.T) {
 }
 
 func TestClusterFlow(t *testing.T) {
-	res, err := consensus.RunCluster(
-		func() consensus.NodeRule { return consensus.NewVoter() },
-		consensus.BalancedConfig(40, 2), 6, 100000)
+	runner := consensus.NewFactoryRunner(
+		func() consensus.Rule { return consensus.NewVoter() },
+		consensus.WithEngine(consensus.EngineCluster),
+		consensus.WithSeed(6),
+		consensus.WithMaxRounds(100000))
+	res, err := runner.Run(context.Background(), consensus.BalancedConfig(40, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,9 +97,11 @@ func TestClusterFlow(t *testing.T) {
 }
 
 func TestAgentsFlow(t *testing.T) {
-	r := consensus.NewRNG(7)
-	res, err := consensus.RunAgents(consensus.NewTwoChoices(),
-		consensus.TwoBlockConfig(100, 30), r, consensus.WithMaxRounds(100000))
+	runner := consensus.NewRunner(consensus.NewTwoChoices(),
+		consensus.WithEngine(consensus.EngineAgents),
+		consensus.WithMaxRounds(100000),
+		consensus.WithRNG(consensus.NewRNG(7)))
+	res, err := runner.Run(context.Background(), consensus.TwoBlockConfig(100, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,9 +129,10 @@ func TestExperimentRegistryFlow(t *testing.T) {
 }
 
 func TestColorTimesFlow(t *testing.T) {
-	r := consensus.NewRNG(8)
-	res, err := consensus.Run(consensus.NewVoter(), consensus.SingletonConfig(300), r,
-		consensus.WithColorTimes(50, 1), consensus.WithTrace(10))
+	runner := consensus.NewRunner(consensus.NewVoter(),
+		consensus.WithColorTimes(50, 1), consensus.WithTrace(10),
+		consensus.WithRNG(consensus.NewRNG(8)))
+	res, err := runner.Run(context.Background(), consensus.SingletonConfig(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,5 +141,32 @@ func TestColorTimesFlow(t *testing.T) {
 	}
 	if len(res.Trace) == 0 {
 		t.Fatal("no trace")
+	}
+}
+
+// TestScenarioFlow exercises the declarative layer the way a downstream
+// user would: author a spec as JSON, decode strictly, execute the suite
+// through the default summary reducer.
+func TestScenarioFlow(t *testing.T) {
+	spec := []byte(`{
+		"schema": 1,
+		"name": "facade-smoke",
+		"params": {"n": 400},
+		"sweep": [{"name": "k", "values": [2, 4]}],
+		"replicas": 3,
+		"rule": {"name": "3-majority"},
+		"init": {"generator": "balanced", "k": "k"},
+		"stop": {"max_rounds": "50 * n"}
+	}`)
+	s, err := scenario.DecodeBytes(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := scenario.Run(context.Background(), s, scenario.Params{Seed: 9, Scale: scenario.Quick, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("summary rows = %d, want one per cell", len(tbl.Rows))
 	}
 }

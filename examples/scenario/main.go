@@ -1,0 +1,71 @@
+// Scenario: describe a whole experiment as data — a bias sweep comparing
+// 2-Choices and 3-Majority (the paper's §1.1 biased regime) — and execute
+// it through the engine-agnostic suite executor. No run loop, no replica
+// plumbing: the JSON says what to run, the executor fans the
+// cells × groups × replicas out deterministically, and the default
+// summary reducer tabulates per-cell round statistics.
+//
+// The same spec could live in a .json file and run via
+//
+//	consensus-sim -scenario bias-sweep.json -scale quick -seed 7
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/ignorecomply/consensus/scenario"
+)
+
+const biasSweep = `{
+	"schema": 1,
+	"name": "bias-sweep",
+	"table": {
+		"title": "Does an initial bias rescue 2-Choices?",
+		"claim": "§1.1: with bias ≥ √(n·ln n) both processes are O(k·log n)"
+	},
+	"params": {"n": {"quick": 8192, "full": 65536}, "k": 16},
+	"sweep": [
+		{"name": "bias", "values": [
+			0,
+			"ceil(sqrt(n * log(n)) / 4)",
+			"ceil(sqrt(n * log(n)))",
+			"4 * ceil(sqrt(n * log(n)))"
+		]}
+	],
+	"replicas": 6,
+	"init": {"generator": "biased", "k": "k", "bias": "bias"},
+	"stop": {"max_rounds": "200 * n"},
+	"runs": [
+		{"id": "2-choices", "rule": {"name": "2-choices"}},
+		{"id": "3-majority", "rule": {"name": "3-majority"}}
+	]
+}`
+
+func main() {
+	s, err := scenario.DecodeBytes([]byte(biasSweep))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Expansion is a pure function of (spec, params): inspect what would
+	// run before running it.
+	params := scenario.Params{Seed: 7, Scale: scenario.Quick}
+	specs, err := s.Expand(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %q expands to %d runs (%d cells × 2 groups × %d replicas)\n\n",
+		s.Name, len(specs), len(specs)/(2*specs[0].Replicas), specs[0].Replicas)
+
+	tbl, err := scenario.Run(context.Background(), s, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("the 2-Choices/3-Majority gap shrinks toward 1 as the bias approaches √(n·ln n)")
+}

@@ -1,0 +1,34 @@
+package adversary
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ByName constructs a fresh adversary with the given per-round budget from
+// its registered name. Every constructed value is independent: the §5
+// strategies may carry run-local state (InjectInvalid caches its injected
+// slot), so callers must construct one adversary per run.
+func ByName(name string, budget int) (Adversary, error) {
+	if budget < 0 {
+		return nil, fmt.Errorf("adversary: budget must be >= 0, got %d", budget)
+	}
+	switch name {
+	case "boost-runner-up":
+		return &BoostRunnerUp{F: budget}, nil
+	case "revive-weakest":
+		return &ReviveWeakest{F: budget}, nil
+	case "inject-invalid":
+		return &InjectInvalid{F: budget}, nil
+	case "random-noise":
+		return &RandomNoise{F: budget}, nil
+	default:
+		return nil, fmt.Errorf("adversary: unknown adversary %q (want one of %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}
+
+// Names returns the registered adversary names.
+func Names() []string {
+	return []string{"boost-runner-up", "revive-weakest", "inject-invalid", "random-noise"}
+}

@@ -1,0 +1,42 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		adv, err := ByName(name, 3)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+			continue
+		}
+		if adv.Name() != name {
+			t.Errorf("ByName(%s).Name() = %q", name, adv.Name())
+		}
+		if adv.Budget() != 3 {
+			t.Errorf("ByName(%s).Budget() = %d, want 3", name, adv.Budget())
+		}
+		// Each call must construct a fresh instance: the strategies may
+		// carry run-local state.
+		other, err := ByName(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adv == other {
+			t.Errorf("ByName(%s) reuses instances", name)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("saboteur", 1); err == nil ||
+		!strings.Contains(err.Error(), `unknown adversary "saboteur"`) {
+		t.Errorf("unknown adversary error = %v", err)
+	}
+	if _, err := ByName("random-noise", -1); err == nil ||
+		!strings.Contains(err.Error(), "budget must be >= 0") {
+		t.Errorf("negative budget error = %v", err)
+	}
+}

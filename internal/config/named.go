@@ -1,0 +1,93 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// GenArgs carries the union of the workload-generator parameters; each
+// named generator reads the fields it needs and ignores the rest.
+type GenArgs struct {
+	// N is the population size (every generator).
+	N int
+	// K is the number of colors (balanced, biased, zipf,
+	// random-composition, random-assignment).
+	K int
+	// Bias is the leader head start (biased).
+	Bias int
+	// A is the first block size (two-block).
+	A int
+	// MaxSupport caps every color's support (max-bounded).
+	MaxSupport int
+	// S is the Zipf exponent (zipf).
+	S float64
+	// RNG drives the randomized generators (random-composition,
+	// random-assignment); required for those, ignored otherwise.
+	RNG *rng.RNG
+}
+
+// Generate builds the named workload configuration. Unlike the typed
+// generators — which panic on invalid arguments, a programmer error — it
+// reports invalid names and parameters as errors, the contract scenario
+// decoding needs.
+func Generate(name string, a GenArgs) (c *Config, err error) {
+	gen, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("config: unknown generator %q (want one of %s)",
+			name, strings.Join(GeneratorNames(), ", "))
+	}
+	if gen.needsRNG && a.RNG == nil {
+		return nil, fmt.Errorf("config: generator %q needs a random source", name)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("config: generator %q: %v", name, r)
+		}
+	}()
+	return gen.build(a), nil
+}
+
+// NeedsRNG reports whether the named generator consumes randomness.
+func NeedsRNG(name string) bool { return generators[name].needsRNG }
+
+// KnownGenerator reports whether name is a registered generator.
+func KnownGenerator(name string) bool {
+	_, ok := generators[name]
+	return ok
+}
+
+// GeneratorNames returns the registered generator names, sorted.
+func GeneratorNames() []string {
+	names := make([]string, 0, len(generators))
+	for name := range generators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+type namedGenerator struct {
+	build    func(a GenArgs) *Config
+	needsRNG bool
+}
+
+var generators = map[string]namedGenerator{
+	"singleton": {build: func(a GenArgs) *Config { return Singleton(a.N) }},
+	"consensus": {build: func(a GenArgs) *Config { return Consensus(a.N) }},
+	"balanced":  {build: func(a GenArgs) *Config { return Balanced(a.N, a.K) }},
+	"biased":    {build: func(a GenArgs) *Config { return Biased(a.N, a.K, a.Bias) }},
+	"two-block": {build: func(a GenArgs) *Config { return TwoBlock(a.N, a.A) }},
+	"zipf":      {build: func(a GenArgs) *Config { return Zipf(a.N, a.K, a.S) }},
+	"max-bounded": {build: func(a GenArgs) *Config {
+		return MaxBounded(a.N, a.MaxSupport)
+	}},
+	"random-composition": {build: func(a GenArgs) *Config {
+		return RandomComposition(a.N, a.K, a.RNG)
+	}, needsRNG: true},
+	"random-assignment": {build: func(a GenArgs) *Config {
+		return RandomAssignment(a.N, a.K, a.RNG)
+	}, needsRNG: true},
+}

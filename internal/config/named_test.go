@@ -1,0 +1,74 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+func TestGenerateByName(t *testing.T) {
+	r := rng.New(1)
+	cases := []struct {
+		name string
+		args GenArgs
+	}{
+		{name: "singleton", args: GenArgs{N: 10}},
+		{name: "consensus", args: GenArgs{N: 10}},
+		{name: "balanced", args: GenArgs{N: 10, K: 3}},
+		{name: "biased", args: GenArgs{N: 20, K: 4, Bias: 4}},
+		{name: "two-block", args: GenArgs{N: 10, A: 3}},
+		{name: "zipf", args: GenArgs{N: 50, K: 5, S: 1}},
+		{name: "max-bounded", args: GenArgs{N: 10, MaxSupport: 3}},
+		{name: "random-composition", args: GenArgs{N: 20, K: 4, RNG: r}},
+		{name: "random-assignment", args: GenArgs{N: 20, K: 4, RNG: r}},
+	}
+	for _, tt := range cases {
+		c, err := Generate(tt.name, tt.args)
+		if err != nil {
+			t.Errorf("Generate(%s): %v", tt.name, err)
+			continue
+		}
+		if c.N() != tt.args.N {
+			t.Errorf("Generate(%s): n = %d, want %d", tt.name, c.N(), tt.args.N)
+		}
+		if !KnownGenerator(tt.name) {
+			t.Errorf("KnownGenerator(%s) = false", tt.name)
+		}
+	}
+	if len(cases) != len(GeneratorNames()) {
+		t.Errorf("test covers %d generators, registry has %d (%v)", len(cases), len(GeneratorNames()), GeneratorNames())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate("bimodal", GenArgs{N: 10}); err == nil ||
+		!strings.Contains(err.Error(), `unknown generator "bimodal"`) {
+		t.Errorf("unknown generator error = %v", err)
+	}
+	// Invalid arguments surface as errors, not panics.
+	if _, err := Generate("balanced", GenArgs{N: 10, K: 0}); err == nil {
+		t.Error("balanced with k=0 must error")
+	}
+	if _, err := Generate("biased", GenArgs{N: 10, K: 5, Bias: 100}); err == nil {
+		t.Error("infeasible bias must error")
+	}
+	// Randomized generators demand a source.
+	if _, err := Generate("random-composition", GenArgs{N: 10, K: 2}); err == nil ||
+		!strings.Contains(err.Error(), "random source") {
+		t.Errorf("missing RNG error = %v", err)
+	}
+}
+
+func TestNeedsRNG(t *testing.T) {
+	for name, want := range map[string]bool{
+		"singleton":          false,
+		"balanced":           false,
+		"random-composition": true,
+		"random-assignment":  true,
+	} {
+		if got := NeedsRNG(name); got != want {
+			t.Errorf("NeedsRNG(%s) = %v, want %v", name, got, want)
+		}
+	}
+}

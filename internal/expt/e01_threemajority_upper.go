@@ -1,59 +1,37 @@
 package expt
 
 import (
-	"context"
 	"math"
 
-	"github.com/ignorecomply/consensus/internal/config"
-	"github.com/ignorecomply/consensus/internal/core"
-	"github.com/ignorecomply/consensus/internal/rng"
-	"github.com/ignorecomply/consensus/internal/rules"
 	"github.com/ignorecomply/consensus/internal/sim"
 	"github.com/ignorecomply/consensus/internal/stats"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
-// e1 reproduces Theorem 4: starting from the hardest (n-color)
+// E1 reproduces Theorem 4: starting from the hardest (n-color)
 // configuration, 3-Majority reaches consensus w.h.p. in
-// O(n^{3/4} log^{7/8} n) rounds — the paper's unconditional sublinear upper
-// bound. The table sweeps n and reports consensus-round statistics plus the
-// rounds normalized by n^{3/4} log^{7/8} n, which should stay bounded; the
-// log-log slope across the sweep estimates the growth exponent, which must
-// come out well below 1.
-func e1() Experiment {
-	return Experiment{
-		ID:    "E1",
-		Name:  "3-Majority unconditional sublinear upper bound",
-		Claim: "Theorem 4 / Theorem 1 (upper): consensus from any configuration in O(n^{3/4} log^{7/8} n) rounds w.h.p.",
-		Run:   runE1,
-	}
+// O(n^{3/4} log^{7/8} n) rounds — the paper's unconditional sublinear
+// upper bound. The runs live in scenarios/e01_threemajority_upper.json (a
+// 3-Majority replica sweep over n from the singleton configuration); this
+// reducer reports consensus-round statistics plus the rounds normalized by
+// n^{3/4} log^{7/8} n, which should stay bounded, and fits the log-log
+// slope across the sweep, which must come out well below 1.
+func init() {
+	scenario.RegisterReducer("e1", reduceE1)
 }
 
-func runE1(p Params) (*Table, error) {
-	sizes := []int{256, 512, 1024, 2048, 4096, 8192}
-	reps := 12
-	if p.Scale == Full {
-		sizes = append(sizes, 16384, 32768, 65536, 131072)
-		reps = 24
-	}
-	base := rng.New(p.Seed)
-	tbl := &Table{
-		ID:      "E1",
-		Title:   "3-Majority consensus time from the n-color configuration",
-		Claim:   "rounds grow as ~n^{3/4} (polylog factors), strictly sublinear",
-		Columns: []string{"n", "replicas", "mean rounds", "std", "q95", "rounds / n^{3/4}·log^{7/8}n"},
-	}
+func reduceE1(suite *scenario.SuiteResult) (*Table, error) {
+	tbl := suite.Scenario.NewTable()
 	var xs, ys []float64
-	for _, n := range sizes {
-		results, err := sim.NewFactoryRunner(
-			func() core.Rule { return rules.NewThreeMajority() },
-			sim.WithRNG(base)).
-			RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
+	for _, cell := range suite.Cells {
+		n, err := cellInt(cell, "n")
 		if err != nil {
 			return nil, err
 		}
+		results := cell.Groups[0].Results
 		s := stats.Summarize(sim.Rounds(results))
 		norm := s.Mean / (math.Pow(float64(n), 0.75) * math.Pow(math.Log(float64(n)), 7.0/8))
-		tbl.AddRow(n, reps, s.Mean, s.Std, s.Q95, norm)
+		tbl.AddRow(n, len(results), s.Mean, s.Std, s.Q95, norm)
 		xs = append(xs, float64(n))
 		ys = append(ys, s.Mean)
 	}

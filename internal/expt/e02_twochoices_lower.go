@@ -1,89 +1,65 @@
 package expt
 
 import (
-	"context"
+	"fmt"
 
 	"github.com/ignorecomply/consensus/internal/analytic"
-	"github.com/ignorecomply/consensus/internal/config"
-	"github.com/ignorecomply/consensus/internal/core"
-	"github.com/ignorecomply/consensus/internal/rng"
-	"github.com/ignorecomply/consensus/internal/rules"
 	"github.com/ignorecomply/consensus/internal/sim"
 	"github.com/ignorecomply/consensus/internal/stats"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
-// e2 reproduces Theorem 5: from the n-color configuration, with high
+// E2 reproduces Theorem 5: from the n-color configuration, with high
 // probability no color of 2-Choices exceeds support ℓ' = max{2ℓ, γ log n}
 // for n/(γℓ') rounds, making the total consensus time Ω(n / log n). The
-// table measures the escape time (first round some color exceeds ℓ') and
-// the full consensus time per n, against the theorem's round floor t₀ =
-// n/(γℓ'); the log-log slope of the consensus time should be near 1
-// (almost linear), in contrast to E1's ~0.75 for 3-Majority.
-func e2() Experiment {
-	return Experiment{
-		ID:    "E2",
-		Name:  "2-Choices almost-linear lower bound",
-		Claim: "Theorem 5 / Theorem 1 (lower): Ω(n/log n) rounds w.h.p. from max-support-O(log n) configurations",
-		Run:   runE2,
-	}
+// runs live in scenarios/e02_twochoices_lower.json: per n, an "escape"
+// group stopping at the max-support-exceeds-ℓ' predicate and a
+// "consensus" group running to agreement. The reducer compares escape
+// times against the theorem's round floor t₀ = n/(γℓ') and fits the
+// consensus log-log slope, which should be near 1 (almost linear), in
+// contrast to E1's ~0.75 for 3-Majority.
+func init() {
+	scenario.RegisterReducer("e2", reduceE2)
 }
 
-func runE2(p Params) (*Table, error) {
-	sizes := []int{256, 512, 1024, 2048}
-	reps := 6
-	if p.Scale == Full {
-		sizes = append(sizes, 4096, 8192)
-		reps = 12
-	}
-	const gamma = 2.0 // smaller than the proof's γ so ℓ' is reachable at these n
-	base := rng.New(p.Seed)
-	tbl := &Table{
-		ID:    "E2",
-		Title: "2-Choices escape and consensus times from the n-color configuration",
-		Claim: "no color exceeds ℓ' for ≥ t₀ = n/(γℓ') rounds; consensus needs ~n/polylog rounds",
-		Columns: []string{
-			"n", "ℓ'", "t₀=n/(γℓ')", "mean escape rounds",
-			"escape ≥ t₀", "mean consensus rounds",
-		},
+func reduceE2(suite *scenario.SuiteResult) (*Table, error) {
+	tbl := suite.Scenario.NewTable()
+	gamma, err := suite.Scenario.ParamFloat("gamma", suite.Params.Scale)
+	if err != nil {
+		return nil, err
 	}
 	var xs, ys []float64
-	for _, n := range sizes {
-		params := analytic.NewTheorem5Params(n, gamma, 1)
-		lp := params.LPrime
-
-		// Escape time: first round some color exceeds ℓ'.
-		escape, err := sim.NewFactoryRunner(
-			func() core.Rule { return rules.NewTwoChoices() },
-			sim.WithStopWhen(func(_ int, c *config.Config) bool {
-				_, maxSup := c.Max()
-				return maxSup > lp
-			}),
-			sim.WithMaxRounds(100*n),
-			sim.WithRNG(base),
-		).RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
+	for _, cell := range suite.Cells {
+		n, err := cellInt(cell, "n")
 		if err != nil {
 			return nil, err
 		}
-		escStats := stats.Summarize(sim.Rounds(escape))
+		params := analytic.NewTheorem5Params(n, gamma, 1)
+		// The spec's derived "lprime" drives the escape stop predicate;
+		// the theorem quantities in this reducer must describe the same
+		// threshold, or the table silently reports bounds the runs never
+		// used.
+		if lp := int(cell.Vars["lprime"]); lp != params.LPrime {
+			return nil, fmt.Errorf("expt: e02 spec lprime %d disagrees with analytic ℓ' %d at n=%d — keep the derived expression and NewTheorem5Params in sync", lp, params.LPrime, n)
+		}
+		escapeGroup, err := groupByID(cell, "escape")
+		if err != nil {
+			return nil, err
+		}
+		fullGroup, err := groupByID(cell, "consensus")
+		if err != nil {
+			return nil, err
+		}
+		escStats := stats.Summarize(sim.Rounds(escapeGroup.Results))
 		held := 0
-		for _, res := range escape {
+		for _, res := range escapeGroup.Results {
 			if res.Rounds >= params.T0 {
 				held++
 			}
 		}
-
-		// Full consensus time.
-		full, err := sim.NewFactoryRunner(
-			func() core.Rule { return rules.NewTwoChoices() },
-			sim.WithMaxRounds(1000*n),
-			sim.WithRNG(base),
-		).RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
-		if err != nil {
-			return nil, err
-		}
-		conStats := stats.Summarize(sim.Rounds(full))
-		tbl.AddRow(n, lp, params.T0, escStats.Mean,
-			ratioString(held, reps), conStats.Mean)
+		conStats := stats.Summarize(sim.Rounds(fullGroup.Results))
+		tbl.AddRow(n, params.LPrime, params.T0, escStats.Mean,
+			ratioString(held, len(escapeGroup.Results)), conStats.Mean)
 		xs = append(xs, float64(n))
 		ys = append(ys, conStats.Mean)
 	}
@@ -95,8 +71,4 @@ func runE2(p Params) (*Table, error) {
 		fit.Slope, fit.R2)
 	tbl.AddNote("γ = %.0f (the proof needs a large constant; the shape is what matters at these n)", gamma)
 	return tbl, nil
-}
-
-func ratioString(num, den int) string {
-	return formatFloat(float64(num)) + "/" + formatFloat(float64(den))
 }

@@ -1,72 +1,48 @@
 package expt
 
 import (
-	"context"
 	"math"
 
-	"github.com/ignorecomply/consensus/internal/config"
-	"github.com/ignorecomply/consensus/internal/core"
-	"github.com/ignorecomply/consensus/internal/rng"
-	"github.com/ignorecomply/consensus/internal/rules"
 	"github.com/ignorecomply/consensus/internal/sim"
 	"github.com/ignorecomply/consensus/internal/stats"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
-// e3 reproduces Theorem 2 + Lemma 2: because 3-Majority dominates Voter,
+// E3 reproduces Theorem 2 + Lemma 2: because 3-Majority dominates Voter,
 // the time 3-Majority needs to reduce to κ colors is stochastically
-// dominated by Voter's: T^κ_{3M} ≤st T^κ_V for every κ. The experiment runs
-// both processes from the same n-color configuration, collects the
-// empirical distributions of T^κ on a κ grid, and verifies the ECDF
-// dominance (the 3-Majority ECDF must lie on or above Voter's everywhere,
-// up to sampling slack).
-func e3() Experiment {
-	return Experiment{
-		ID:    "E3",
-		Name:  "Stochastic dominance of reduction times (3-Majority vs Voter)",
-		Claim: "Theorem 2 + Lemma 2: T^κ_{3M}(c) ≤st T^κ_V(c) for all κ",
-		Run:   runE3,
-	}
+// dominated by Voter's: T^κ_{3M} ≤st T^κ_V for every κ. The runs live in
+// scenarios/e03_dominance.json (both processes from the same n-color
+// configuration, T^κ recorded on a κ grid); this reducer verifies the
+// ECDF dominance — the 3-Majority ECDF must lie on or above Voter's
+// everywhere, up to sampling slack.
+func init() {
+	scenario.RegisterReducer("e3", reduceE3)
 }
 
-func runE3(p Params) (*Table, error) {
-	n := 2048
-	reps := 40
-	if p.Scale == Full {
-		n = 8192
-		reps = 100
-	}
-	kappas := []int{n / 8, n / 32, n / 128, 4, 1}
-	base := rng.New(p.Seed)
-
-	collect := func(factory core.Factory) ([]*sim.Result, error) {
-		return sim.NewFactoryRunner(factory,
-			sim.WithColorTimes(kappas...),
-			sim.WithRNG(base)).
-			RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
-	}
-	resV, err := collect(func() core.Rule { return rules.NewVoter() })
+func reduceE3(suite *scenario.SuiteResult) (*Table, error) {
+	tbl := suite.Scenario.NewTable()
+	cell := suite.Cells[0]
+	n, err := cellInt(cell, "n")
 	if err != nil {
 		return nil, err
 	}
-	res3M, err := collect(func() core.Rule { return rules.NewThreeMajority() })
+	voter, err := groupByID(cell, "voter")
 	if err != nil {
 		return nil, err
 	}
-
-	tbl := &Table{
-		ID:    "E3",
-		Title: "Reduction times to κ colors from the n-color configuration",
-		Claim: "the 3-Majority T^κ distribution is dominated by Voter's at every κ",
-		Columns: []string{
-			"κ", "mean T^κ (3M)", "mean T^κ (Voter)", "KS distance", "3M ≤st Voter",
-		},
+	threeM, err := groupByID(cell, "3-majority")
+	if err != nil {
+		return nil, err
 	}
+	kappas := voter.Spec.ColorTimes
+	reps := cell.Replicas
+
 	// Sampling slack for the ECDF comparison: a 95% KS-style band.
 	slack := 1.36 * math.Sqrt(2/float64(reps))
 	allDominated := true
 	for _, kappa := range kappas {
-		t3, ok3 := sim.ColorTimes(res3M, kappa)
-		tv, okV := sim.ColorTimes(resV, kappa)
+		t3, ok3 := sim.ColorTimes(threeM.Results, kappa)
+		tv, okV := sim.ColorTimes(voter.Results, kappa)
 		if !ok3 || !okV {
 			tbl.AddRow(kappa, "-", "-", "-", "unreached")
 			continue

@@ -1,62 +1,36 @@
 package expt
 
 import (
-	"context"
 	"math"
 
-	"github.com/ignorecomply/consensus/internal/config"
-	"github.com/ignorecomply/consensus/internal/core"
 	"github.com/ignorecomply/consensus/internal/drift"
-	"github.com/ignorecomply/consensus/internal/rng"
-	"github.com/ignorecomply/consensus/internal/rules"
 	"github.com/ignorecomply/consensus/internal/sim"
 	"github.com/ignorecomply/consensus/internal/stats"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
-// e4 reproduces Lemma 3 and its drift analysis (Eq. 18–19): Voter reduces
+// E4 reproduces Lemma 3 and its drift analysis (Eq. 18–19): Voter reduces
 // the number of colors from n to κ in O((n/κ)·log n) rounds w.h.p., and in
 // expectation within the variable-drift bound E[T^κ] ≤ 20n/κ derived via
-// the coalescing-random-walk duality. The table compares measured mean
+// the coalescing-random-walk duality. The runs live in
+// scenarios/e04_voter_reduction.json; this reducer compares measured mean
 // reduction times against both the drift bound and the (n/κ)·ln n
 // w.h.p. scale.
-func e4() Experiment {
-	return Experiment{
-		ID:    "E4",
-		Name:  "Voter color-reduction times vs drift bound",
-		Claim: "Lemma 3: T^κ_V = O((n/κ)·log n) w.h.p.; Eq. 18: E[T^κ_C] = E[T^κ_V] ≤ 20n/κ",
-		Run:   runE4,
-	}
+func init() {
+	scenario.RegisterReducer("e4", reduceE4)
 }
 
-func runE4(p Params) (*Table, error) {
-	sizes := []int{1024, 4096}
-	reps := 20
-	if p.Scale == Full {
-		sizes = append(sizes, 16384)
-		reps = 40
-	}
-	base := rng.New(p.Seed)
-	tbl := &Table{
-		ID:    "E4",
-		Title: "Voter reduction time from n colors to κ colors",
-		Claim: "measured means stay below 20n/κ and track (n/κ)·log n",
-		Columns: []string{
-			"n", "κ", "mean T^κ", "q95 T^κ", "20n/κ", "(n/κ)·ln n", "mean ≤ bound",
-		},
-	}
+func reduceE4(suite *scenario.SuiteResult) (*Table, error) {
+	tbl := suite.Scenario.NewTable()
 	ok := true
-	for _, n := range sizes {
-		kappas := []int{n / 4, n / 16, n / 64, 8, 1}
-		results, err := sim.NewFactoryRunner(
-			func() core.Rule { return rules.NewVoter() },
-			sim.WithColorTimes(kappas...),
-			sim.WithRNG(base)).
-			RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
+	for _, cell := range suite.Cells {
+		n, err := cellInt(cell, "n")
 		if err != nil {
 			return nil, err
 		}
-		for _, kappa := range kappas {
-			times, all := sim.ColorTimes(results, kappa)
+		group := cell.Groups[0]
+		for _, kappa := range group.Spec.ColorTimes {
+			times, all := sim.ColorTimes(group.Results, kappa)
 			if !all {
 				tbl.AddRow(n, kappa, "-", "-", "-", "-", "unreached")
 				ok = false
@@ -72,6 +46,6 @@ func runE4(p Params) (*Table, error) {
 			tbl.AddRow(n, kappa, s.Mean, s.Q95, bound, whp, within)
 		}
 	}
-	tbl.AddNote("%d replicas per n; all means within the drift bound: %v", reps, ok)
+	tbl.AddNote("%d replicas per n; all means within the drift bound: %v", suite.Cells[0].Replicas, ok)
 	return tbl, nil
 }

@@ -1,37 +1,40 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ignorecomply/consensus/internal/coalesce"
 	"github.com/ignorecomply/consensus/internal/graph"
 	"github.com/ignorecomply/consensus/internal/rng"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
-// e5 reproduces Lemma 4 and Figure 1: for any graph there is a
+// E5 reproduces Lemma 4 and Figure 1: for any graph there is a
 // shared-randomness coupling under which the Voter process run backward
 // over the pull arrows has exactly as many remaining opinions as the
 // coalescing random walks have remaining walks, at every horizon:
-// T^k_V = T^k_C. The experiment builds the arrow table Y_t(u) on several
-// topologies, runs both processes over it, and verifies the identity at
-// every horizon.
-func e5() Experiment {
-	return Experiment{
-		ID:    "E5",
-		Name:  "Voter / coalescing-random-walk duality coupling",
-		Claim: "Lemma 4 (Figure 1): T^k_V = T^k_C under shared randomness, on any graph",
-		Run:   runE5,
-	}
+// T^k_V = T^k_C. This is a custom-kind scenario
+// (scenarios/e05_duality.json): the measurement is an exact coupling
+// identity, not a round-loop run, so the adapter builds the arrow table
+// Y_t(u) on several topologies itself and verifies the identity at every
+// horizon.
+func init() {
+	scenario.RegisterAdapter("e5", adaptE5)
 }
 
-func runE5(p Params) (*Table, error) {
-	n := 64
-	horizon := 160
-	trials := 3
-	if p.Scale == Full {
-		n = 256
-		horizon = 640
-		trials = 5
+func adaptE5(ctx context.Context, s *scenario.Scenario, p scenario.Params) (*Table, error) {
+	n, err := s.ParamInt("n", p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	horizon, err := s.ParamInt("horizon", p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	trials, err := s.ParamInt("trials", p.Scale)
+	if err != nil {
+		return nil, err
 	}
 	base := rng.New(p.Seed)
 
@@ -45,23 +48,23 @@ func runE5(p Params) (*Table, error) {
 		{name: "torus", g: graph.NewTorus(8, n/8)},
 		{name: "star", g: graph.NewStar(n)},
 	}
-	if rr, err := graph.NewRandomRegular(n, 3, base); err == nil {
-		graphs = append(graphs, namedGraph{name: "random-3-regular", g: rr})
+	// The claim is "on any graph": every listed topology must actually be
+	// checked, so a failed construction is an error, not a silent skip.
+	rr, err := graph.NewRandomRegular(n, 3, base)
+	if err != nil {
+		return nil, fmt.Errorf("expt: e05 random-3-regular graph at n=%d: %w", n, err)
 	}
+	graphs = append(graphs, namedGraph{name: "random-3-regular", g: rr})
 
-	tbl := &Table{
-		ID:    "E5",
-		Title: "Shared-randomness duality on multiple graphs",
-		Claim: "walks(T) == opinions(T) for every horizon T, every trial",
-		Columns: []string{
-			"graph", "n", "trials", "horizon", "walks at horizon", "identity holds",
-		},
-	}
+	tbl := s.NewTable()
 	allHold := true
 	for _, ng := range graphs {
 		holds := true
 		lastWalks := -1
 		for trial := 0; trial < trials; trial++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			tb, err := coalesce.NewTable(ng.g, horizon, base)
 			if err != nil {
 				return nil, err

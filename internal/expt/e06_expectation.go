@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"math"
 
 	"github.com/ignorecomply/consensus/internal/analytic"
@@ -8,36 +9,47 @@ import (
 	"github.com/ignorecomply/consensus/internal/core"
 	"github.com/ignorecomply/consensus/internal/rng"
 	"github.com/ignorecomply/consensus/internal/rules"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
-// e6 reproduces footnote 2: 2-Choices and 3-Majority behave identically in
+// E6 reproduces footnote 2: 2-Choices and 3-Majority behave identically in
 // expectation — after one round, the expected fraction of nodes with color
-// i is x_i² + (1 − Σ_j x_j²)·x_i for both. The experiment measures the
-// one-round mean fractions of both processes on a skewed configuration and
-// compares them to the closed form and to each other.
-func e6() Experiment {
-	return Experiment{
-		ID:    "E6",
-		Name:  "One-round expectation identity of 2-Choices and 3-Majority",
-		Claim: "footnote 2: E[next fraction of color i] = x_i² + (1−‖x‖₂²)·x_i for both processes",
-		Run:   runE6,
-	}
+// i is x_i² + (1 − Σ_j x_j²)·x_i for both. This is a custom-kind scenario
+// (scenarios/e06_expectation.json): the measurement is a sequential
+// one-round mean over a shared random stream, not a run to convergence, so
+// the adapter steps both processes itself on a skewed configuration and
+// compares the means to the closed form and to each other.
+func init() {
+	scenario.RegisterAdapter("e6", adaptE6)
 }
 
-func runE6(p Params) (*Table, error) {
-	n := 2000
-	reps := 4000
-	if p.Scale == Full {
-		n = 10000
-		reps = 20000
+func adaptE6(ctx context.Context, s *scenario.Scenario, p scenario.Params) (*Table, error) {
+	n, err := s.ParamInt("n", p.Scale)
+	if err != nil {
+		return nil, err
 	}
-	cfg := config.Zipf(n, 5, 1.0)
+	reps, err := s.ParamInt("reps", p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	k, err := s.ParamInt("k", p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	zipfS, err := s.ParamFloat("s", p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg := config.Zipf(n, k, zipfS)
 	want := analytic.ExpectedNextFraction(cfg.Fractions(nil), nil)
 	base := rng.New(p.Seed)
 
 	mean := func(factory core.Factory) ([]float64, error) {
 		sums := make([]float64, cfg.Slots())
 		for i := 0; i < reps; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			c := cfg.Clone()
 			factory().Step(c, base)
 			for s := 0; s < c.Slots(); s++ {
@@ -58,14 +70,7 @@ func runE6(p Params) (*Table, error) {
 		return nil, err
 	}
 
-	tbl := &Table{
-		ID:    "E6",
-		Title: "One-round mean fractions vs the shared closed form",
-		Claim: "both processes match x_i² + (1−‖x‖²)·x_i per color",
-		Columns: []string{
-			"color", "x_i", "closed form", "2-Choices mean", "3-Majority mean", "|2C−3M|",
-		},
-	}
+	tbl := s.NewTable()
 	x := cfg.Fractions(nil)
 	maxDev := 0.0
 	for s := range want {

@@ -1,75 +1,54 @@
 package expt
 
 import (
-	"context"
-	"math"
-
-	"github.com/ignorecomply/consensus/internal/config"
-	"github.com/ignorecomply/consensus/internal/core"
-	"github.com/ignorecomply/consensus/internal/rng"
-	"github.com/ignorecomply/consensus/internal/rules"
 	"github.com/ignorecomply/consensus/internal/sim"
 	"github.com/ignorecomply/consensus/internal/stats"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
-// e8 reproduces the §1.1 biased regime: with an initial bias of
+// E8 reproduces the §1.1 biased regime: with an initial bias of
 // Ω(√(n log n)), both 2-Choices and 3-Majority exploit the drift and reach
 // consensus in O(k·log n) rounds — their times are asymptotically the
 // same, in sharp contrast to the unbiased many-color regime of E11. The
-// table sweeps k at fixed n with bias ⌈√(n ln n)⌉ and reports the round
-// ratio, which should hover near 1.
-func e8() Experiment {
-	return Experiment{
-		ID:    "E8",
-		Name:  "Biased regime: 2-Choices ≈ 3-Majority",
-		Claim: "§1.1: with bias Ω(√(n log n)) both processes take O(k·log n) rounds",
-		Run:   runE8,
-	}
+// runs live in scenarios/e08_biased.json (a k sweep at fixed n with
+// derived bias ⌈√(n ln n)⌉); this reducer reports the round ratio, which
+// should hover near 1, and how often 2-Choices converges to the leader.
+func init() {
+	scenario.RegisterReducer("e8", reduceE8)
 }
 
-func runE8(p Params) (*Table, error) {
-	n := 16384
-	reps := 8
-	if p.Scale == Full {
-		n = 65536
-		reps = 16
-	}
-	bias := int(math.Ceil(math.Sqrt(float64(n) * math.Log(float64(n)))))
-	ks := []int{2, 8, 32}
-	base := rng.New(p.Seed)
-
-	tbl := &Table{
-		ID:    "E8",
-		Title: "Consensus rounds with initial bias √(n·ln n)",
-		Claim: "round ratio 2-Choices / 3-Majority stays near 1",
-		Columns: []string{
-			"k", "bias", "mean rounds (2C)", "mean rounds (3M)", "ratio", "winner=leader (2C)",
-		},
-	}
-	for _, k := range ks {
-		start := config.Biased(n, k, bias)
+func reduceE8(suite *scenario.SuiteResult) (*Table, error) {
+	tbl := suite.Scenario.NewTable()
+	n := 0
+	reps := 0
+	for _, cell := range suite.Cells {
+		var err error
+		if n, err = cellInt(cell, "n"); err != nil {
+			return nil, err
+		}
+		k, err := cellInt(cell, "k")
+		if err != nil {
+			return nil, err
+		}
+		twoC, err := groupByID(cell, "2-choices")
+		if err != nil {
+			return nil, err
+		}
+		threeM, err := groupByID(cell, "3-majority")
+		if err != nil {
+			return nil, err
+		}
+		start := twoC.Start
 		leaderLabel := start.Label(0)
-
-		r2, err := sim.NewFactoryRunner(func() core.Rule { return rules.NewTwoChoices() },
-			sim.WithMaxRounds(100*n), sim.WithRNG(base)).
-			RunReplicas(context.Background(), start, reps, p.Workers)
-		if err != nil {
-			return nil, err
-		}
-		r3, err := sim.NewFactoryRunner(func() core.Rule { return rules.NewThreeMajority() },
-			sim.WithMaxRounds(100*n), sim.WithRNG(base)).
-			RunReplicas(context.Background(), start, reps, p.Workers)
-		if err != nil {
-			return nil, err
-		}
-		m2 := stats.Mean(sim.Rounds(r2))
-		m3 := stats.Mean(sim.Rounds(r3))
+		m2 := stats.Mean(sim.Rounds(twoC.Results))
+		m3 := stats.Mean(sim.Rounds(threeM.Results))
 		winners := 0
-		for _, res := range r2 {
+		for _, res := range twoC.Results {
 			if res.WinnerLabel == leaderLabel {
 				winners++
 			}
 		}
+		reps = cell.Replicas
 		tbl.AddRow(k, start.Bias(), m2, m3, m2/m3, ratioString(winners, reps))
 	}
 	tbl.AddNote("n = %d, %d replicas; [BGKMT16]: 2-Choices converges to the majority color at this bias", n, reps)

@@ -1,63 +1,40 @@
 package expt
 
 import (
-	"context"
-
-	"github.com/ignorecomply/consensus/internal/config"
-	"github.com/ignorecomply/consensus/internal/core"
-	"github.com/ignorecomply/consensus/internal/rng"
-	"github.com/ignorecomply/consensus/internal/rules"
 	"github.com/ignorecomply/consensus/internal/sim"
 	"github.com/ignorecomply/consensus/internal/stats"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
-// e9 probes Conjecture 1: (h+1)-Majority should be stochastically faster
+// E9 probes Conjecture 1: (h+1)-Majority should be stochastically faster
 // than h-Majority. The paper proves it for h ∈ {1, 2, 3} (Voter =
 // 1-Majority = 2-Majority is dominated by 3-Majority, Lemma 2) and shows
 // in Appendix B that its majorization machinery cannot settle larger h.
-// The experiment measures mean consensus times for h = 1..6 from the
-// n-color configuration; the conjecture predicts a non-increasing column.
-func e9() Experiment {
-	return Experiment{
-		ID:    "E9",
-		Name:  "h-Majority hierarchy (Conjecture 1)",
-		Claim: "Conjecture 1: consensus time is non-increasing in h; h = 1, 2 coincide with Voter",
-		Run:   runE9,
-	}
+// The runs live in scenarios/e09_hierarchy.json (an h sweep from the
+// n-color configuration; the replicas expression triples the heavy-tailed
+// h ≤ 2 cells); this reducer checks the non-increasing trend.
+func init() {
+	scenario.RegisterReducer("e9", reduceE9)
 }
 
-func runE9(p Params) (*Table, error) {
-	n := 1024
-	reps := 12
-	if p.Scale == Full {
-		n = 4096
-		reps = 24
-	}
-	hs := []int{1, 2, 3, 4, 5, 6}
-	base := rng.New(p.Seed)
-	tbl := &Table{
-		ID:      "E9",
-		Title:   "Mean consensus rounds of h-Majority from the n-color configuration",
-		Claim:   "rounds shrink as h grows; h=1 and h=2 match",
-		Columns: []string{"h", "mean rounds", "std", "q95"},
-	}
+func reduceE9(suite *scenario.SuiteResult) (*Table, error) {
+	tbl := suite.Scenario.NewTable()
+	n := 0
+	baseReps := 0
 	var means []float64
-	for _, h := range hs {
-		h := h
-		// Voter's consensus time (h = 1, 2) is heavy-tailed; triple the
-		// replicas there so the h=1 ≈ h=2 comparison has power.
-		hReps := reps
-		if h <= 2 {
-			hReps *= 3
+	for _, cell := range suite.Cells {
+		var err error
+		if n, err = cellInt(cell, "n"); err != nil {
+			return nil, err
 		}
-		results, err := sim.NewFactoryRunner(
-			func() core.Rule { return rules.NewHMajority(h) },
-			sim.WithRNG(base)).
-			RunReplicas(context.Background(), config.Singleton(n), hReps, p.Workers)
+		h, err := cellInt(cell, "h")
 		if err != nil {
 			return nil, err
 		}
-		s := stats.Summarize(sim.Rounds(results))
+		if h > 2 {
+			baseReps = cell.Replicas
+		}
+		s := stats.Summarize(sim.Rounds(cell.Groups[0].Results))
 		tbl.AddRow(h, s.Mean, s.Std, s.Q95)
 		means = append(means, s.Mean)
 	}
@@ -74,7 +51,7 @@ func runE9(p Params) (*Table, error) {
 			monotone = false
 		}
 	}
-	tbl.AddNote("n = %d, %d replicas per h (3x for h ≤ 2); non-increasing within noise: %v", n, reps, monotone)
+	tbl.AddNote("n = %d, %d replicas per h (3x for h ≤ 2); non-increasing within noise: %v", n, baseReps, monotone)
 	tbl.AddNote("h=1 vs h=2 mean ratio %.3f (both are Voter in distribution)", means[0]/means[1])
 	return tbl, nil
 }

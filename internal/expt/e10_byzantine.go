@@ -1,89 +1,65 @@
 package expt
 
 import (
-	"context"
+	"fmt"
 
-	"github.com/ignorecomply/consensus/internal/adversary"
-	"github.com/ignorecomply/consensus/internal/config"
-	"github.com/ignorecomply/consensus/internal/rng"
-	"github.com/ignorecomply/consensus/internal/rules"
-	"github.com/ignorecomply/consensus/internal/sim"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
-// e10 exercises the §5 fault-tolerance regime: 3-Majority with k = o(n^{1/3})
-// colors against a dynamic adversary corrupting F nodes per round. For
-// small F the process reaches a stable almost-consensus on a *valid* color
-// ([BCN+16] tolerates F = O(√(n / (k^{5/2} log n)))); as F grows toward n
-// the adversary wins. The table sweeps F for two worst-case strategies and
-// records stability, validity and rounds to stabilize.
-func e10() Experiment {
-	return Experiment{
-		ID:    "E10",
-		Name:  "3-Majority under dynamic Byzantine corruption",
-		Claim: "§5: stable valid almost-consensus under bounded per-round corruption; breakdown as F grows",
-		Run:   runE10,
-	}
+// E10 exercises the §5 fault-tolerance regime: 3-Majority with
+// k = o(n^{1/3}) colors against a dynamic adversary corrupting F nodes per
+// round. For small F the process reaches a stable almost-consensus on a
+// *valid* color ([BCN+16] tolerates F = O(√(n / (k^{5/2} log n)))); as F
+// grows toward n the adversary wins. The runs live in
+// scenarios/e10_byzantine.json (a strategy × budget sweep with the
+// adversary name drawn from a string axis); this reducer tabulates
+// stability, validity and rounds to stabilize.
+func init() {
+	scenario.RegisterReducer("e10", reduceE10)
 }
 
-func runE10(p Params) (*Table, error) {
-	n := 4096
-	reps := 4
-	budgets := []int{0, 4, 16, 64, 512}
-	if p.Scale == Full {
-		n = 16384
-		reps = 8
-		budgets = append(budgets, 2048)
-	}
-	const (
-		k       = 8
-		epsilon = 0.05
-		window  = 30
-	)
-	base := rng.New(p.Seed)
-	start := config.Balanced(n, k)
-
-	tbl := &Table{
-		ID:    "E10",
-		Title: "Stability and validity vs per-round corruption budget F",
-		Claim: "small F: stable + valid; large F: stability lost",
-		Columns: []string{
-			"adversary", "F", "stable", "valid winner", "mean rounds to stable",
-		},
-	}
-	strategies := []func(f int) adversary.Adversary{
-		func(f int) adversary.Adversary { return &adversary.BoostRunnerUp{F: f} },
-		func(f int) adversary.Adversary { return &adversary.InjectInvalid{F: f} },
-	}
-	for _, mk := range strategies {
-		for _, f := range budgets {
-			stable, valid := 0, 0
-			totalRounds := 0
-			name := ""
-			for rep := 0; rep < reps; rep++ {
-				adv := mk(f)
-				name = adv.Name()
-				res, err := sim.NewRunner(rules.NewThreeMajority(),
-					sim.WithAdversary(adv, epsilon, window),
-					sim.WithMaxRounds(30*n),
-					sim.WithRNG(base.Derive(uint64(rep)))).
-					Run(context.Background(), start)
-				if err != nil {
-					return nil, err
-				}
-				if res.Stable {
-					stable++
-					totalRounds += res.Rounds
-				}
-				if res.WinnerValid {
-					valid++
-				}
-			}
-			meanRounds := "-"
-			if stable > 0 {
-				meanRounds = formatFloat(float64(totalRounds) / float64(stable))
-			}
-			tbl.AddRow(name, f, ratioString(stable, reps), ratioString(valid, reps), meanRounds)
+func reduceE10(suite *scenario.SuiteResult) (*Table, error) {
+	tbl := suite.Scenario.NewTable()
+	var n, k, window, reps int
+	var epsilon float64
+	for _, cell := range suite.Cells {
+		var err error
+		if n, err = cellInt(cell, "n"); err != nil {
+			return nil, err
 		}
+		if k, err = cellInt(cell, "k"); err != nil {
+			return nil, err
+		}
+		if window, err = cellInt(cell, "window"); err != nil {
+			return nil, err
+		}
+		var ok bool
+		if epsilon, ok = cell.Vars["epsilon"]; !ok {
+			return nil, fmt.Errorf("expt: cell %d has no binding %q", cell.Index, "epsilon")
+		}
+		f, err := cellInt(cell, "f")
+		if err != nil {
+			return nil, err
+		}
+		name := cell.Strings["adversary"]
+		reps = cell.Replicas
+
+		stable, valid := 0, 0
+		totalRounds := 0
+		for _, res := range cell.Groups[0].Results {
+			if res.Stable {
+				stable++
+				totalRounds += res.Rounds
+			}
+			if res.WinnerValid {
+				valid++
+			}
+		}
+		meanRounds := "-"
+		if stable > 0 {
+			meanRounds = formatFloat(float64(totalRounds) / float64(stable))
+		}
+		tbl.AddRow(name, f, ratioString(stable, reps), ratioString(valid, reps), meanRounds)
 	}
 	tbl.AddNote("n = %d, k = %d, ε = %.2f, stability window %d rounds, %d replicas", n, k, epsilon, window, reps)
 	return tbl, nil

@@ -1,68 +1,49 @@
 package expt
 
 import (
-	"context"
-
-	"github.com/ignorecomply/consensus/internal/config"
-	"github.com/ignorecomply/consensus/internal/core"
-	"github.com/ignorecomply/consensus/internal/rng"
-	"github.com/ignorecomply/consensus/internal/rules"
 	"github.com/ignorecomply/consensus/internal/sim"
 	"github.com/ignorecomply/consensus/internal/stats"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
-// e11 is the paper's headline (Theorem 1): 2-Choices and 3-Majority have
+// E11 is the paper's headline (Theorem 1): 2-Choices and 3-Majority have
 // identical expected one-round behavior (E6), yet from unbiased
 // configurations with many colors their consensus times separate
-// polynomially — Õ(n^{3/4}) vs Ω(n/log n). The table fixes n and sweeps
-// the number of initial colors k from 2 to n, reporting the round ratio
-// 2-Choices / 3-Majority, which should rise from ≈1 toward a polynomial
-// gap as k grows.
-func e11() Experiment {
-	return Experiment{
-		ID:    "E11",
-		Name:  "The 2-Choices / 3-Majority separation (headline)",
-		Claim: "Theorem 1: polynomial gap for large k, parity for small k",
-		Run:   runE11,
-	}
+// polynomially — Õ(n^{3/4}) vs Ω(n/log n). The runs live in
+// scenarios/e11_separation.json (a k sweep at fixed n); this reducer
+// reports the round ratio 2-Choices / 3-Majority, which should rise from
+// ≈1 toward a polynomial gap as k grows.
+func init() {
+	scenario.RegisterReducer("e11", reduceE11)
 }
 
-func runE11(p Params) (*Table, error) {
-	n := 4096
-	reps := 6
-	if p.Scale == Full {
-		n = 16384
-		reps = 12
-	}
-	ks := []int{2, 16, 128, n / 4, n}
-	base := rng.New(p.Seed)
-	tbl := &Table{
-		ID:    "E11",
-		Title: "Unbiased consensus rounds vs number of initial colors",
-		Claim: "ratio ≈ 1 at small k, polynomially large at k = n",
-		Columns: []string{
-			"k", "mean rounds (2C)", "mean rounds (3M)", "ratio 2C/3M",
-		},
-	}
+func reduceE11(suite *scenario.SuiteResult) (*Table, error) {
+	tbl := suite.Scenario.NewTable()
+	n := 0
+	reps := 0
 	var ratios []float64
-	for _, k := range ks {
-		start := config.Balanced(n, k)
-		r2, err := sim.NewFactoryRunner(func() core.Rule { return rules.NewTwoChoices() },
-			sim.WithMaxRounds(1000*n), sim.WithRNG(base)).
-			RunReplicas(context.Background(), start, reps, p.Workers)
+	for _, cell := range suite.Cells {
+		var err error
+		if n, err = cellInt(cell, "n"); err != nil {
+			return nil, err
+		}
+		k, err := cellInt(cell, "k")
 		if err != nil {
 			return nil, err
 		}
-		r3, err := sim.NewFactoryRunner(func() core.Rule { return rules.NewThreeMajority() },
-			sim.WithMaxRounds(1000*n), sim.WithRNG(base)).
-			RunReplicas(context.Background(), start, reps, p.Workers)
+		twoC, err := groupByID(cell, "2-choices")
 		if err != nil {
 			return nil, err
 		}
-		m2 := stats.Mean(sim.Rounds(r2))
-		m3 := stats.Mean(sim.Rounds(r3))
+		threeM, err := groupByID(cell, "3-majority")
+		if err != nil {
+			return nil, err
+		}
+		m2 := stats.Mean(sim.Rounds(twoC.Results))
+		m3 := stats.Mean(sim.Rounds(threeM.Results))
 		ratio := m2 / m3
 		ratios = append(ratios, ratio)
+		reps = cell.Replicas
 		tbl.AddRow(k, m2, m3, ratio)
 	}
 	tbl.AddNote("n = %d, %d replicas per cell; the ratio at k=n over k=2 is %.1fx", n, reps,

@@ -1,68 +1,47 @@
 package expt
 
 import (
-	"context"
-	"math"
-
-	"github.com/ignorecomply/consensus/internal/config"
-	"github.com/ignorecomply/consensus/internal/core"
-	"github.com/ignorecomply/consensus/internal/rng"
-	"github.com/ignorecomply/consensus/internal/rules"
 	"github.com/ignorecomply/consensus/internal/sim"
 	"github.com/ignorecomply/consensus/internal/stats"
+	"github.com/ignorecomply/consensus/scenario"
 )
 
-// e12 instruments the two-phase structure of Theorem 4's proof: phase 1
+// E12 instruments the two-phase structure of Theorem 4's proof: phase 1
 // takes 3-Majority from up to n colors down to κ* = n^{1/4}·log^{1/8} n
 // colors (bounded by Voter via the Lemma 2 coupling), and phase 2 finishes
-// from κ* colors via [BCN+16, Theorem 3.1]. The table reports both phase
-// lengths for 3-Majority and Voter's phase-1 time, checking that
-// 3-Majority's phase 1 is (stochastically) below Voter's.
-func e12() Experiment {
-	return Experiment{
-		ID:    "E12",
-		Name:  "Phase split of the Theorem 4 analysis",
-		Claim: "phase 1 (n → κ* colors) dominated by Voter; both phases Õ(n^{3/4})",
-		Run:   runE12,
-	}
+// from κ* colors via [BCN+16, Theorem 3.1]. The runs live in
+// scenarios/e12_phases.json (κ* is a derived per-cell value feeding the
+// T^κ metrics); this reducer reports both phase lengths for 3-Majority
+// and Voter's phase-1 time, checking that 3-Majority's phase 1 is
+// (stochastically) below Voter's.
+func init() {
+	scenario.RegisterReducer("e12", reduceE12)
 }
 
-func runE12(p Params) (*Table, error) {
-	sizes := []int{4096, 16384}
-	reps := 10
-	if p.Scale == Full {
-		sizes = append(sizes, 65536)
-		reps = 20
-	}
-	base := rng.New(p.Seed)
-	tbl := &Table{
-		ID:    "E12",
-		Title: "3-Majority phase lengths (n → κ* and κ* → 1)",
-		Claim: "phase-1 mean (3M) ≤ phase-1 mean (Voter); total matches E1",
-		Columns: []string{
-			"n", "κ*", "phase 1 (3M)", "phase 2 (3M)", "phase 1 (Voter)", "3M ≤ Voter",
-		},
-	}
-	for _, n := range sizes {
-		kStar := int(math.Ceil(math.Pow(float64(n), 0.25) * math.Pow(math.Log(float64(n)), 0.125)))
-		run := func(factory core.Factory) ([]*sim.Result, error) {
-			return sim.NewFactoryRunner(factory,
-				sim.WithColorTimes(kStar, 1),
-				sim.WithRNG(base)).
-				RunReplicas(context.Background(), config.Singleton(n), reps, p.Workers)
-		}
-		res3, err := run(func() core.Rule { return rules.NewThreeMajority() })
+func reduceE12(suite *scenario.SuiteResult) (*Table, error) {
+	tbl := suite.Scenario.NewTable()
+	reps := 0
+	for _, cell := range suite.Cells {
+		n, err := cellInt(cell, "n")
 		if err != nil {
 			return nil, err
 		}
-		resV, err := run(func() core.Rule { return rules.NewVoter() })
+		kStar, err := cellInt(cell, "kstar")
 		if err != nil {
 			return nil, err
 		}
-		p13, _ := sim.ColorTimes(res3, kStar)
-		p1v, _ := sim.ColorTimes(resV, kStar)
+		threeM, err := groupByID(cell, "3-majority")
+		if err != nil {
+			return nil, err
+		}
+		voter, err := groupByID(cell, "voter")
+		if err != nil {
+			return nil, err
+		}
+		p13, _ := sim.ColorTimes(threeM.Results, kStar)
+		p1v, _ := sim.ColorTimes(voter.Results, kStar)
 		var phase2 []float64
-		for _, r := range res3 {
+		for _, r := range threeM.Results {
 			t1, ok1 := r.ColorTimes[1]
 			tk, okk := r.ColorTimes[kStar]
 			if ok1 && okk {
@@ -71,6 +50,7 @@ func runE12(p Params) (*Table, error) {
 		}
 		m13 := stats.Mean(p13)
 		m1v := stats.Mean(p1v)
+		reps = cell.Replicas
 		tbl.AddRow(n, kStar, m13, stats.Mean(phase2), m1v, m13 <= m1v*1.05)
 	}
 	tbl.AddNote("%d replicas per n; κ* = ⌈n^{1/4}·ln^{1/8} n⌉ as in the Theorem 4 proof", reps)

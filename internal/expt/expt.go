@@ -1,55 +1,52 @@
 // Package expt is the reproduction harness: one registered experiment per
 // paper artifact (theorem, lemma, figure, or numeric example), each
-// producing a table in the shape the paper's claim speaks about. See
-// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
-// results.
+// producing a table in the shape the paper's claim speaks about. Since the
+// scenario redesign the experiments are data: every E1..E12 lives as a
+// checked-in spec under scenarios/ and executes through the
+// engine-agnostic scenario.Suite executor; this package contributes only
+// the per-experiment metric reducers (and, for the non-round-loop
+// measurements E5–E7, custom adapters). See DESIGN.md §4 for the
+// experiment index and §6 for the scenario layer.
 package expt
 
 import (
+	"context"
 	"fmt"
-	"runtime"
+	"math"
 	"sort"
+	"strings"
+	"sync"
+
+	"github.com/ignorecomply/consensus/scenario"
+	"github.com/ignorecomply/consensus/scenarios"
 )
 
 // Scale selects the experiment budget.
-type Scale int
+type Scale = scenario.Scale
 
 // Experiment budgets. Quick keeps the full suite in CI-sized time; Full is
 // the scale EXPERIMENTS.md reports.
 const (
-	Quick Scale = iota + 1
-	Full
+	Quick = scenario.Quick
+	Full  = scenario.Full
 )
 
-// String implements fmt.Stringer.
-func (s Scale) String() string {
-	switch s {
-	case Quick:
-		return "quick"
-	case Full:
-		return "full"
-	default:
-		return fmt.Sprintf("Scale(%d)", int(s))
-	}
-}
+// ParseScale parses a scale name ("quick" or "full").
+func ParseScale(name string) (Scale, error) { return scenario.ParseScale(name) }
 
 // Params configures an experiment run.
-type Params struct {
-	// Seed drives all randomness; identical Params reproduce identical
-	// tables.
-	Seed uint64
-	// Scale selects Quick or Full budgets.
-	Scale Scale
-	// Workers bounds replica parallelism (0 = GOMAXPROCS).
-	Workers int
-}
+type Params = scenario.Params
 
 // DefaultParams returns quick-scale parameters with a fixed seed.
-func DefaultParams() Params {
-	return Params{Seed: 1, Scale: Quick, Workers: runtime.GOMAXPROCS(0)}
-}
+func DefaultParams() Params { return scenario.DefaultParams() }
 
-// Experiment binds a paper artifact to the code that regenerates it.
+// Table is an experiment's tabular output.
+type Table = scenario.Table
+
+// formatFloat renders floats the way tables do.
+func formatFloat(x float64) string { return scenario.FormatFloat(x) }
+
+// Experiment binds a paper artifact to the scenario regenerating it.
 type Experiment struct {
 	// ID is the experiment identifier (E1..E12).
 	ID string
@@ -57,18 +54,53 @@ type Experiment struct {
 	Name string
 	// Claim cites the paper artifact being reproduced.
 	Claim string
+	// File is the scenario file name under scenarios/.
+	File string
+	// Scenario is the decoded spec.
+	Scenario *scenario.Scenario
 	// Run executes the experiment.
 	Run func(p Params) (*Table, error)
 }
 
-// Registry returns all experiments in ID order.
-func Registry() []Experiment {
-	exps := []Experiment{
-		e1(), e2(), e3(), e4(), e5(), e6(),
-		e7(), e8(), e9(), e10(), e11(), e12(),
+var loadRegistry = sync.OnceValues(func() ([]Experiment, error) {
+	var exps []Experiment
+	for _, file := range scenarios.Names() {
+		data, err := scenarios.Read(file)
+		if err != nil {
+			return nil, fmt.Errorf("expt: embedded scenario %s: %w", file, err)
+		}
+		s, err := scenario.DecodeBytes(data)
+		if err != nil {
+			return nil, fmt.Errorf("expt: embedded scenario %s: %w", file, err)
+		}
+		if s.Experiment == nil {
+			continue
+		}
+		exps = append(exps, Experiment{
+			ID:       s.Experiment.ID,
+			Name:     s.Experiment.Name,
+			Claim:    s.Experiment.Claim,
+			File:     file,
+			Scenario: s,
+			Run: func(p Params) (*Table, error) {
+				return scenario.Run(context.Background(), s, p)
+			},
+		})
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
-	return exps
+	return exps, nil
+})
+
+// Registry returns all experiments in ID order, decoded from the embedded
+// scenario suite (a fresh slice per call — callers may reorder it). It
+// panics if an embedded spec fails to decode — a build corruption the
+// scenario tests catch long before.
+func Registry() []Experiment {
+	exps, err := loadRegistry()
+	if err != nil {
+		panic(err)
+	}
+	return append([]Experiment(nil), exps...)
 }
 
 // ByID returns the experiment with the given ID.
@@ -87,4 +119,39 @@ func idOrder(id string) int {
 		return 1 << 30
 	}
 	return n
+}
+
+// ratioString renders "num/den" counts the way the tables always have.
+func ratioString(num, den int) string {
+	return formatFloat(float64(num)) + "/" + formatFloat(float64(den))
+}
+
+// groupByID returns the named group of a cell.
+func groupByID(cell *scenario.CellResult, id string) (*scenario.GroupResult, error) {
+	for _, g := range cell.Groups {
+		if g.ID == id {
+			return g, nil
+		}
+	}
+	var have []string
+	for _, g := range cell.Groups {
+		have = append(have, g.ID)
+	}
+	return nil, fmt.Errorf("expt: cell %d has no run group %q (groups: %s)",
+		cell.Index, id, strings.Join(have, ", "))
+}
+
+// cellInt reads a required integer cell binding, rejecting non-integral
+// values the way scenario quantities do — a truncated binding would
+// silently mislabel table rows.
+func cellInt(cell *scenario.CellResult, name string) (int, error) {
+	v, ok := cell.Vars[name]
+	if !ok {
+		return 0, fmt.Errorf("expt: cell %d has no binding %q", cell.Index, name)
+	}
+	r := math.Round(v)
+	if math.Abs(v-r) > 1e-9 {
+		return 0, fmt.Errorf("expt: cell %d binding %q = %v is not an integer", cell.Index, name, v)
+	}
+	return int(r), nil
 }

@@ -1,0 +1,63 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/ignorecomply/consensus/internal/core"
+)
+
+// Spec names an update rule with its parameters, the form scenario files
+// and command-line flags construct rules from.
+type Spec struct {
+	// Name is the canonical rule name: voter, lazy-voter, 2-choices,
+	// 3-majority, h-majority, 2-median, undecided. The shorthand
+	// "<h>-majority" (e.g. "5-majority") is accepted and sets H.
+	Name string
+	// H is the sample count for h-majority (ignored otherwise).
+	H int
+	// Beta is the idle probability for lazy-voter (ignored otherwise).
+	Beta float64
+}
+
+// Factory returns a fresh-instance factory for the named rule, or an error
+// describing the valid names and parameter ranges.
+func (s Spec) Factory() (core.Factory, error) {
+	switch s.Name {
+	case "voter":
+		return func() core.Rule { return NewVoter() }, nil
+	case "lazy-voter":
+		if s.Beta < 0 || s.Beta >= 1 {
+			return nil, fmt.Errorf("rules: lazy-voter beta must be in [0, 1), got %v", s.Beta)
+		}
+		beta := s.Beta
+		return func() core.Rule { return NewLazyVoter(beta) }, nil
+	case "2-choices":
+		return func() core.Rule { return NewTwoChoices() }, nil
+	case "3-majority":
+		return func() core.Rule { return NewThreeMajority() }, nil
+	case "2-median":
+		return func() core.Rule { return NewTwoMedian() }, nil
+	case "undecided":
+		return func() core.Rule { return NewUndecided() }, nil
+	case "h-majority":
+		if s.H < 1 {
+			return nil, fmt.Errorf("rules: h-majority needs h >= 1, got %d", s.H)
+		}
+		h := s.H
+		return func() core.Rule { return NewHMajority(h) }, nil
+	}
+	if hs, ok := strings.CutSuffix(s.Name, "-majority"); ok {
+		if h, err := strconv.Atoi(hs); err == nil && h >= 1 {
+			return func() core.Rule { return NewHMajority(h) }, nil
+		}
+	}
+	return nil, fmt.Errorf("rules: unknown rule %q (want one of %s, or \"<h>-majority\")",
+		s.Name, strings.Join(Names(), ", "))
+}
+
+// Names returns the canonical rule names.
+func Names() []string {
+	return []string{"voter", "lazy-voter", "2-choices", "3-majority", "h-majority", "2-median", "undecided"}
+}

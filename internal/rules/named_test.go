@@ -1,0 +1,59 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecFactory(t *testing.T) {
+	cases := []struct {
+		spec     Spec
+		wantRule string
+	}{
+		{spec: Spec{Name: "voter"}, wantRule: "voter"},
+		{spec: Spec{Name: "lazy-voter", Beta: 0.5}, wantRule: "lazy-voter(0.50)"},
+		{spec: Spec{Name: "2-choices"}, wantRule: "2-choices"},
+		{spec: Spec{Name: "3-majority"}, wantRule: "3-majority"},
+		{spec: Spec{Name: "2-median"}, wantRule: "2-median"},
+		{spec: Spec{Name: "undecided"}, wantRule: "undecided"},
+		{spec: Spec{Name: "h-majority", H: 5}, wantRule: "5-majority"},
+		{spec: Spec{Name: "7-majority"}, wantRule: "7-majority"},
+	}
+	for _, tt := range cases {
+		factory, err := tt.spec.Factory()
+		if err != nil {
+			t.Errorf("Factory(%+v): %v", tt.spec, err)
+			continue
+		}
+		rule := factory()
+		if rule == nil {
+			t.Errorf("Factory(%+v) built a nil rule", tt.spec)
+			continue
+		}
+		if got := rule.Name(); !strings.HasPrefix(got, strings.SplitN(tt.wantRule, "(", 2)[0]) {
+			t.Errorf("Factory(%+v).Name() = %q, want prefix of %q", tt.spec, got, tt.wantRule)
+		}
+		// Every call must construct a fresh instance.
+		if factory() == rule {
+			t.Errorf("Factory(%+v) reuses instances", tt.spec)
+		}
+	}
+}
+
+func TestSpecFactoryErrors(t *testing.T) {
+	for _, spec := range []Spec{
+		{Name: "majority-of-none"},
+		{Name: "h-majority"},          // missing h
+		{Name: "h-majority", H: 0},    // bad h
+		{Name: "0-majority"},          // bad shorthand
+		{Name: "lazy-voter", Beta: 1}, // beta out of range
+	} {
+		if _, err := spec.Factory(); err == nil {
+			t.Errorf("Factory(%+v) succeeded, want error", spec)
+		}
+	}
+	if _, err := (Spec{Name: "nope"}).Factory(); err == nil ||
+		!strings.Contains(err.Error(), "unknown rule") {
+		t.Errorf("unknown rule error = %v", err)
+	}
+}

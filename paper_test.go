@@ -6,6 +6,7 @@ package consensus_test
 // results.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -23,8 +24,10 @@ func TestTheorem1Separation(t *testing.T) {
 	base := consensus.NewRNG(161)
 	start := consensus.SingletonConfig(n)
 	mean := func(f consensus.Factory) float64 {
-		results, err := consensus.RunReplicas(f, start, base, reps, 4,
-			consensus.WithMaxRounds(1000*n))
+		results, err := consensus.NewFactoryRunner(f,
+			consensus.WithMaxRounds(1000*n),
+			consensus.WithRNG(base)).
+			RunReplicas(context.Background(), start, reps, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -47,9 +50,10 @@ func TestTheorem1Separation(t *testing.T) {
 func TestTheorem4Sublinear(t *testing.T) {
 	base := consensus.NewRNG(162)
 	mean := func(n int) float64 {
-		results, err := consensus.RunReplicas(
+		results, err := consensus.NewFactoryRunner(
 			func() consensus.Rule { return consensus.NewThreeMajority() },
-			consensus.SingletonConfig(n), base, 8, 4)
+			consensus.WithRNG(base)).
+			RunReplicas(context.Background(), consensus.SingletonConfig(n), 8, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,14 +87,15 @@ func TestTheorem5EscapeFromMaxBounded(t *testing.T) {
 	lPrime := 2 * l
 	t0 := int(float64(n) / (gamma * float64(lPrime)))
 	start := consensus.MaxBoundedConfig(n, l)
-	r := consensus.NewRNG(163)
+	runner := consensus.NewRunner(consensus.NewTwoChoices(),
+		consensus.WithStopWhen(func(_ int, c *consensus.Config) bool {
+			_, maxSup := c.Max()
+			return maxSup > lPrime
+		}),
+		consensus.WithMaxRounds(100*n),
+		consensus.WithRNG(consensus.NewRNG(163)))
 	for rep := 0; rep < 5; rep++ {
-		res, err := consensus.Run(consensus.NewTwoChoices(), start, r,
-			consensus.WithStopWhen(func(_ int, c *consensus.Config) bool {
-				_, maxSup := c.Max()
-				return maxSup > lPrime
-			}),
-			consensus.WithMaxRounds(100*n))
+		res, err := runner.Run(context.Background(), start)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,8 +116,10 @@ func TestLemma2ReductionOrdering(t *testing.T) {
 	base := consensus.NewRNG(164)
 	kappas := []int{256, 64, 16, 1}
 	collect := func(f consensus.Factory) map[int]float64 {
-		results, err := consensus.RunReplicas(f, consensus.SingletonConfig(n), base, reps, 4,
-			consensus.WithColorTimes(kappas...))
+		results, err := consensus.NewFactoryRunner(f,
+			consensus.WithColorTimes(kappas...),
+			consensus.WithRNG(base)).
+			RunReplicas(context.Background(), consensus.SingletonConfig(n), reps, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,11 +146,11 @@ func TestLemma2ReductionOrdering(t *testing.T) {
 // TestSection5ValidityUnderInjection: a small invalid-color adversary must
 // not steal the win.
 func TestSection5ValidityUnderInjection(t *testing.T) {
-	r := consensus.NewRNG(165)
-	res, err := consensus.RunWithAdversary(
-		consensus.NewThreeMajority(),
-		&consensus.InjectInvalid{F: 4},
-		consensus.BalancedConfig(4096, 8), r, 0.05, 25, 200000)
+	runner := consensus.NewRunner(consensus.NewThreeMajority(),
+		consensus.WithAdversary(&consensus.InjectInvalid{F: 4}, 0.05, 25),
+		consensus.WithMaxRounds(200000),
+		consensus.WithRNG(consensus.NewRNG(165)))
+	res, err := runner.Run(context.Background(), consensus.BalancedConfig(4096, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,10 +166,12 @@ func TestFootnote2AtThePublicAPI(t *testing.T) {
 	start := consensus.ZipfConfig(1000, 4, 1.0)
 	const reps = 3000
 	meanLeader := func(f consensus.Factory) float64 {
+		runner := consensus.NewFactoryRunner(f,
+			consensus.WithMaxRounds(1), consensus.WithTargetColors(1),
+			consensus.WithRNG(r))
 		sum := 0.0
 		for i := 0; i < reps; i++ {
-			res, err := consensus.Run(f(), start, r,
-				consensus.WithMaxRounds(1), consensus.WithTargetColors(1))
+			res, err := runner.Run(context.Background(), start)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -93,28 +93,20 @@ func TestRunnerFacadeCancellation(t *testing.T) {
 	}
 }
 
-// TestDeprecatedShimsStillWork pins the compatibility contract: the old
-// top-level entry points keep working on top of the Runner.
-func TestDeprecatedShimsStillWork(t *testing.T) {
-	r := consensus.NewRNG(6)
-	res, err := consensus.RunWithAdversary(
-		consensus.NewThreeMajority(),
-		&consensus.BoostRunnerUp{F: 2},
-		consensus.BalancedConfig(2000, 4), r, 0.05, 20, 100000)
+// TestRunnerFacadeAdversaryBatch pins the §5 regime on the default
+// engine: stability and validity under a small boost-runner-up budget.
+// (The pre-scenario Run* shims were removed once everything migrated to
+// the Runner; this covers what their last compatibility test covered.)
+func TestRunnerFacadeAdversaryBatch(t *testing.T) {
+	runner := consensus.NewRunner(consensus.NewThreeMajority(),
+		consensus.WithAdversary(&consensus.BoostRunnerUp{F: 2}, 0.05, 20),
+		consensus.WithMaxRounds(100000),
+		consensus.WithRNG(consensus.NewRNG(6)))
+	res, err := runner.Run(context.Background(), consensus.BalancedConfig(2000, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Stable || !res.WinnerValid {
-		t.Fatalf("adversary shim: stable=%v valid=%v", res.Stable, res.WinnerValid)
-	}
-
-	cres, err := consensus.RunCluster(
-		func() consensus.NodeRule { return consensus.NewVoter() },
-		consensus.BalancedConfig(40, 2), 6, 100000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !cres.Converged || cres.Messages == 0 {
-		t.Fatalf("cluster shim: %+v", cres)
+		t.Fatalf("adversarial batch run: stable=%v valid=%v", res.Stable, res.WinnerValid)
 	}
 }

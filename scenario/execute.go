@@ -1,0 +1,313 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/ignorecomply/consensus/internal/adversary"
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/graph"
+	"github.com/ignorecomply/consensus/internal/rng"
+	"github.com/ignorecomply/consensus/internal/rules"
+	"github.com/ignorecomply/consensus/internal/sim"
+)
+
+// Engine values, re-exported for RunSpec consumers.
+const (
+	EngineBatch   = sim.EngineBatch
+	EngineAgents  = sim.EngineAgents
+	EngineGraph   = sim.EngineGraph
+	EngineCluster = sim.EngineCluster
+)
+
+// SuiteResult is an executed suite: every run's Result, grouped by sweep
+// cell and run group in expansion order.
+type SuiteResult struct {
+	// Scenario is the executed spec.
+	Scenario *Scenario
+	// Params are the execution parameters.
+	Params Params
+	// Cells hold the per-cell results in expansion order.
+	Cells []*CellResult
+}
+
+// CellResult is one sweep cell's executed runs.
+type CellResult struct {
+	// Index is the cell's expansion position.
+	Index int
+	// Vars are the cell's numeric bindings (params, axes, derived).
+	Vars map[string]float64
+	// Strings are the cell's string-axis bindings.
+	Strings map[string]string
+	// Replicas is the per-group replica count of this cell.
+	Replicas int
+	// Groups hold the run groups in spec order.
+	Groups []*GroupResult
+}
+
+// GroupResult is one run group's executed replicas within a cell.
+type GroupResult struct {
+	// ID is the group's display id.
+	ID string
+	// Spec is the resolved run (replica 0's RunSpec).
+	Spec *RunSpec
+	// Start is the start configuration every replica ran from.
+	Start *Config
+	// Results are the replica results in replica order.
+	Results []*Result
+
+	// graph is the group's interaction topology (graph engine only).
+	graph graph.Graph
+}
+
+// ExecuteSuite expands the scenario and runs every cell × group × replica
+// over a bounded worker pool, aggregating the unified Results.
+//
+// Determinism: all random streams are derived from rng.New(p.Seed) on the
+// calling goroutine in expansion order — for each cell, for each group:
+// first the start-configuration stream (only when the generator or
+// topology is randomized), then one stream per replica via Derive(0),
+// Derive(1), …, Derive(R-1). Workers only change scheduling, never
+// results. This derive order is exactly the order the hand-coded
+// reproduction harness used, which is why a scenario file reproduces a
+// pre-scenario experiment bit-identically at a fixed seed.
+func ExecuteSuite(ctx context.Context, s *Scenario, p Params) (*SuiteResult, error) {
+	if s.Kind == KindCustom {
+		return nil, fmt.Errorf("scenario %q: custom scenarios have no suite; call Run", s.Name)
+	}
+	specs, err := s.Expand(p)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Assemble the result skeleton and derive every stream in order.
+	base := rng.New(p.Seed)
+	suite := &SuiteResult{Scenario: s, Params: p}
+	type job struct {
+		spec    *RunSpec
+		stream  *rng.RNG
+		start   *config.Config
+		g       graph.Graph
+		slot    **Result
+		runName string
+	}
+	jobs := make([]job, 0, len(specs))
+	var cur *CellResult
+	var curGroup *GroupResult
+	for i := range specs {
+		spec := &specs[i]
+		if cur == nil || cur.Index != spec.Cell {
+			cur = &CellResult{Index: spec.Cell, Vars: spec.Vars, Strings: spec.Strings, Replicas: spec.Replicas}
+			suite.Cells = append(suite.Cells, cur)
+			curGroup = nil
+		}
+		if curGroup == nil || len(cur.Groups) <= spec.Group {
+			curGroup = &GroupResult{ID: spec.GroupID, Spec: spec}
+			// Build the start configuration (and topology) once per cell ×
+			// group; randomized generators draw from their own stream,
+			// derived before the group's replica streams.
+			var genRNG *rng.RNG
+			if config.NeedsRNG(spec.Init.Generator) || (spec.Topology != nil && spec.Topology.Name == "random-regular") {
+				genRNG = base.Derive(^uint64(0))
+			}
+			start, err := buildStart(spec, genRNG)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q: cell %d, group %q: %w", s.Name, spec.Cell, spec.GroupID, err)
+			}
+			curGroup.Start = start
+			curGroup.Results = make([]*Result, spec.Replicas)
+			cur.Groups = append(cur.Groups, curGroup)
+			if spec.Topology != nil {
+				g, err := buildTopology(spec, genRNG)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %q: cell %d, group %q: %w", s.Name, spec.Cell, spec.GroupID, err)
+				}
+				curGroup.graph = g
+			}
+		}
+		jobs = append(jobs, job{
+			spec:    spec,
+			stream:  base.Derive(uint64(spec.Replica)),
+			start:   curGroup.Start,
+			g:       curGroup.graph,
+			slot:    &curGroup.Results[spec.Replica],
+			runName: fmt.Sprintf("cell %d, group %q, replica %d", spec.Cell, spec.GroupID, spec.Replica),
+		})
+	}
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	errs := make([]error, len(jobs))
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range queue {
+				j := &jobs[idx]
+				res, err := executeRun(ctx, j.spec, j.start, j.g, j.stream)
+				*j.slot = res
+				errs[idx] = err
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case queue <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(queue)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %s: %w", s.Name, jobs[i].runName, err)
+		}
+	}
+	return suite, nil
+}
+
+// executeRun performs one replica through the Runner.
+func executeRun(ctx context.Context, spec *RunSpec, start *config.Config, g graph.Graph, stream *rng.RNG) (*Result, error) {
+	factory, err := rules.Spec{Name: spec.Rule.Name, H: spec.Rule.H, Beta: spec.Rule.Beta}.Factory()
+	if err != nil {
+		return nil, err
+	}
+	opts := []sim.Option{sim.WithRNG(stream)}
+	// Mirror Runner.RunReplicas: each replica's engine defaults to
+	// sequential — the suite's worker pool already saturates the cores.
+	par := spec.Parallelism
+	if par == 0 {
+		par = 1
+	}
+	opts = append(opts, sim.WithParallelism(par))
+	if spec.MaxRounds > 0 {
+		opts = append(opts, sim.WithMaxRounds(spec.MaxRounds))
+	}
+	if spec.TargetColors > 0 {
+		opts = append(opts, sim.WithTargetColors(spec.TargetColors))
+	}
+	if len(spec.ColorTimes) > 0 {
+		opts = append(opts, sim.WithColorTimes(spec.ColorTimes...))
+	}
+	if spec.TraceEvery > 0 {
+		opts = append(opts, sim.WithTrace(spec.TraceEvery))
+	}
+	if g != nil {
+		opts = append(opts, sim.WithGraph(g))
+	} else if spec.Engine != sim.EngineBatch {
+		opts = append(opts, sim.WithEngine(spec.Engine))
+	}
+	if spec.StopWhen != nil {
+		pred, ok := lookupStopPredicate(spec.StopWhen.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown stop predicate %q", spec.StopWhen.Name)
+		}
+		opts = append(opts, sim.WithStopWhen(pred(spec.StopWhen.Value)))
+	}
+	if spec.Adversary != nil {
+		// Fresh instance per replica: §5 strategies may carry run-local
+		// state (InjectInvalid caches its injected slot).
+		adv, err := adversary.ByName(spec.Adversary.Name, spec.Adversary.Budget)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, sim.WithAdversary(adv, spec.Adversary.Epsilon, spec.Adversary.Window))
+	}
+	return sim.NewFactoryRunner(factory, opts...).Run(ctx, start)
+}
+
+// buildStart generates the group's start configuration.
+func buildStart(spec *RunSpec, genRNG *rng.RNG) (*config.Config, error) {
+	return config.Generate(spec.Init.Generator, config.GenArgs{
+		N: spec.N, K: spec.Init.K, Bias: spec.Init.Bias, A: spec.Init.A,
+		MaxSupport: spec.Init.MaxSupport, S: spec.Init.S, RNG: genRNG,
+	})
+}
+
+// buildTopology constructs the group's interaction graph.
+func buildTopology(spec *RunSpec, genRNG *rng.RNG) (graph.Graph, error) {
+	n := spec.N
+	switch spec.Topology.Name {
+	case "complete":
+		return graph.NewComplete(n), nil
+	case "ring":
+		return graph.NewRing(n), nil
+	case "star":
+		return graph.NewStar(n), nil
+	case "torus":
+		rows := spec.Topology.Rows
+		if rows == 0 {
+			for rows*rows < n {
+				rows++
+			}
+			if rows*rows != n {
+				return nil, fmt.Errorf("topology torus: n=%d is not a perfect square; set topology.rows", n)
+			}
+		}
+		if rows < 1 || n%rows != 0 {
+			return nil, fmt.Errorf("topology torus: rows=%d does not divide n=%d", rows, n)
+		}
+		return graph.NewTorus(rows, n/rows), nil
+	case "random-regular":
+		g, err := graph.NewRandomRegular(n, spec.Topology.Degree, genRNG)
+		if err != nil {
+			return nil, fmt.Errorf("topology random-regular: %w", err)
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", spec.Topology.Name)
+	}
+}
+
+// Run executes the scenario end to end and reduces it to its table: custom
+// scenarios dispatch to their registered adapter, suites execute through
+// ExecuteSuite and aggregate through the spec's reducer (default
+// "summary").
+func Run(ctx context.Context, s *Scenario, p Params) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.Kind == KindCustom {
+		adapter, ok := lookupAdapter(s.Adapter)
+		if !ok {
+			return nil, fmt.Errorf("scenario %q: no adapter %q registered (registered: %v)",
+				s.Name, s.Adapter, adapterNames())
+		}
+		return adapter(ctx, s, p)
+	}
+	suite, err := ExecuteSuite(ctx, s, p)
+	if err != nil {
+		return nil, err
+	}
+	name := s.Reducer
+	if name == "" {
+		name = "summary"
+	}
+	reducer, ok := lookupReducer(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario %q: no reducer %q registered (registered: %v)",
+			s.Name, name, reducerNames())
+	}
+	return reducer(suite)
+}

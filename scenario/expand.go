@@ -1,0 +1,397 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Params configures one execution of a scenario.
+type Params struct {
+	// Seed drives all randomness; identical spec + Params reproduce
+	// identical tables.
+	Seed uint64
+	// Scale selects the Quick or Full budgets of every scale-dependent
+	// quantity.
+	Scale Scale
+	// Workers bounds the executor's worker pool (0 = GOMAXPROCS). Workers
+	// never affects results, only wall-clock time.
+	Workers int
+}
+
+// DefaultParams returns quick-scale parameters with a fixed seed.
+func DefaultParams() Params {
+	return Params{Seed: 1, Scale: Quick, Workers: runtime.GOMAXPROCS(0)}
+}
+
+// RunSpec is one fully resolved run: a single replica of one run group in
+// one sweep cell. Expand returns them in execution order — cells
+// row-major (first axis slowest), groups in spec order, replicas 0..R-1 —
+// and the executor derives one random stream per spec in exactly this
+// order, which is what makes a suite reproducible regardless of
+// scheduling.
+type RunSpec struct {
+	// Cell, Group and Replica locate the run in the suite.
+	Cell, Group, Replica int
+	// GroupID is the run group's display id.
+	GroupID string
+	// Replicas is the total replica count of this cell × group.
+	Replicas int
+	// Vars are the cell's numeric bindings (params, axes, derived).
+	Vars map[string]float64
+	// Strings are the cell's string-axis bindings.
+	Strings map[string]string
+
+	// N is the population size (the required "n" binding).
+	N int
+	// Rule is the resolved update rule.
+	Rule ResolvedRule
+	// Engine is the resolved execution backend.
+	Engine Engine
+	// Parallelism is the per-run engine sharding (0 = executor default,
+	// which is 1: the replica pool already saturates the cores).
+	Parallelism int
+	// Topology is the resolved interaction graph (graph engine only).
+	Topology *ResolvedTopology
+	// Init is the resolved start-configuration generator.
+	Init ResolvedInit
+	// MaxRounds bounds the run (0 = the Runner default).
+	MaxRounds int
+	// TargetColors stops at ≤ this many colors (0 = the Runner default).
+	TargetColors int
+	// StopWhen is the resolved stop predicate, if any.
+	StopWhen *ResolvedPredicate
+	// Adversary is the resolved §5 adversary, if any.
+	Adversary *ResolvedAdversary
+	// ColorTimes are the κ targets to record T^κ for, in spec order.
+	ColorTimes []int
+	// TraceEvery samples a trace point every this many rounds (0 = off).
+	TraceEvery int
+}
+
+// ResolvedRule is a rule with concrete parameters.
+type ResolvedRule struct {
+	Name string
+	H    int
+	Beta float64
+}
+
+// ResolvedTopology is a topology with concrete parameters.
+type ResolvedTopology struct {
+	Name   string
+	Rows   int // torus (0 = square)
+	Degree int // random-regular
+}
+
+// ResolvedInit is a start-configuration generator with concrete
+// parameters.
+type ResolvedInit struct {
+	Generator  string
+	K          int
+	Bias       int
+	A          int
+	MaxSupport int
+	S          float64
+}
+
+// ResolvedPredicate is a stop predicate with its concrete threshold.
+type ResolvedPredicate struct {
+	Name  string
+	Value int
+}
+
+// ResolvedAdversary is a §5 adversary schedule with concrete parameters.
+type ResolvedAdversary struct {
+	Name    string
+	Budget  int
+	Epsilon float64
+	Window  int
+}
+
+// Expand resolves the scenario into the ordered list of concrete runs for
+// the given parameters. Expansion is pure: identical (spec, Params) yield
+// identical RunSpecs.
+func (s *Scenario) Expand(p Params) ([]RunSpec, error) {
+	if s.Kind == KindCustom {
+		return nil, fmt.Errorf("scenario %q: custom scenarios have no runs to expand; call Run", s.Name)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Scale != Quick && p.Scale != Full {
+		return nil, fmt.Errorf("scenario %q: params scale must be Quick or Full", s.Name)
+	}
+
+	// Constants first: parameters may not reference other variables.
+	baseEnv := make(map[string]float64, len(s.Params))
+	for _, name := range paramNames(s.Params) {
+		q := s.Params[name]
+		v, err := q.Eval(p.Scale, nil)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: params.%s: %w", s.Name, name, err)
+		}
+		baseEnv[name] = v
+	}
+
+	groups := s.effectiveGroups()
+	var specs []RunSpec
+	cellIndex := 0
+	var walk func(axis int, env map[string]float64, strs map[string]string) error
+	walk = func(axis int, env map[string]float64, strs map[string]string) error {
+		if axis < len(s.Sweep) {
+			ax := &s.Sweep[axis]
+			if len(ax.Strings) > 0 {
+				for _, sv := range ax.Strings {
+					strs[ax.Name] = sv
+					if err := walk(axis+1, env, strs); err != nil {
+						return err
+					}
+				}
+				delete(strs, ax.Name)
+				return nil
+			}
+			values := ax.Values
+			if p.Scale == Full {
+				values = append(append([]Quantity{}, ax.Values...), ax.FullValues...)
+			}
+			for vi := range values {
+				// The axis's own binding from the previous lattice point
+				// must not leak into its value expressions.
+				delete(env, ax.Name)
+				v, err := values[vi].Eval(p.Scale, env)
+				if err != nil {
+					return fmt.Errorf("scenario %q: sweep axis %q value %d: %w", s.Name, ax.Name, vi, err)
+				}
+				env[ax.Name] = v
+				if err := walk(axis+1, env, strs); err != nil {
+					return err
+				}
+			}
+			delete(env, ax.Name)
+			return nil
+		}
+
+		// One cell: snapshot the bindings, add derived values, resolve
+		// every group.
+		cellEnv := make(map[string]float64, len(env)+len(s.Derived))
+		for k, v := range env {
+			cellEnv[k] = v
+		}
+		cellStrs := make(map[string]string, len(strs))
+		for k, v := range strs {
+			cellStrs[k] = v
+		}
+		for i := range s.Derived {
+			d := &s.Derived[i]
+			v, err := d.Value.Eval(p.Scale, cellEnv)
+			if err != nil {
+				return fmt.Errorf("scenario %q: derived.%s: %w", s.Name, d.Name, err)
+			}
+			cellEnv[d.Name] = v
+		}
+		n, err := requiredN(cellEnv)
+		if err != nil {
+			return fmt.Errorf("scenario %q: cell %d: %w", s.Name, cellIndex, err)
+		}
+		replicas := 1
+		if s.Replicas.IsSet() {
+			replicas, err = s.Replicas.EvalInt(p.Scale, cellEnv)
+			if err != nil {
+				return fmt.Errorf("scenario %q: replicas: %w", s.Name, err)
+			}
+		}
+		if replicas < 1 {
+			return fmt.Errorf("scenario %q: cell %d: replicas must be >= 1, got %d", s.Name, cellIndex, replicas)
+		}
+		for gi := range groups {
+			rg, err := s.resolveGroup(&groups[gi], p.Scale, n, cellEnv, cellStrs)
+			if err != nil {
+				return fmt.Errorf("scenario %q: cell %d, group %q: %w", s.Name, cellIndex, groups[gi].ID, err)
+			}
+			for rep := 0; rep < replicas; rep++ {
+				spec := rg
+				spec.Cell = cellIndex
+				spec.Group = gi
+				spec.GroupID = groups[gi].ID
+				spec.Replica = rep
+				spec.Replicas = replicas
+				spec.Vars = cellEnv
+				spec.Strings = cellStrs
+				specs = append(specs, spec)
+			}
+		}
+		cellIndex++
+		return nil
+	}
+	if err := walk(0, baseEnv, map[string]string{}); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("scenario %q: expansion produced no runs (empty sweep axis?)", s.Name)
+	}
+	return specs, nil
+}
+
+// requiredN extracts the mandatory population binding.
+func requiredN(env map[string]float64) (int, error) {
+	v, ok := env["n"]
+	if !ok {
+		return 0, fmt.Errorf("no binding for \"n\": define the population size as a param, sweep axis or derived value")
+	}
+	n := int(v)
+	if float64(n) != v || n < 1 {
+		return 0, fmt.Errorf("\"n\" must be a positive integer, got %v", v)
+	}
+	return n, nil
+}
+
+// resolveGroup evaluates one run group's quantities against a cell's
+// bindings.
+func (s *Scenario) resolveGroup(g *RunGroup, scale Scale, n int, env map[string]float64, strs map[string]string) (RunSpec, error) {
+	var spec RunSpec
+	spec.N = n
+
+	// Rule.
+	spec.Rule.Name = g.Rule.Name
+	if g.Rule.H.IsSet() {
+		h, err := g.Rule.H.EvalInt(scale, env)
+		if err != nil {
+			return spec, fmt.Errorf("rule.h: %w", err)
+		}
+		spec.Rule.H = h
+	}
+	if g.Rule.Beta.IsSet() {
+		beta, err := g.Rule.Beta.Eval(scale, env)
+		if err != nil {
+			return spec, fmt.Errorf("rule.beta: %w", err)
+		}
+		spec.Rule.Beta = beta
+	}
+	if g.Rule.Name == "h-majority" && spec.Rule.H < 1 {
+		return spec, fmt.Errorf("rule.h: h-majority needs h >= 1 (set rule.h)")
+	}
+
+	// Engine and topology.
+	switch {
+	case g.Topology != nil:
+		if g.Engine != "" && g.Engine != "graph" {
+			return spec, fmt.Errorf("engine: topology implies the graph engine, got %q", g.Engine)
+		}
+		spec.Engine = EngineGraph
+		topo := &ResolvedTopology{Name: g.Topology.Name}
+		var err error
+		if topo.Rows, err = evalIntOr(&g.Topology.Rows, scale, env, 0, "topology.rows"); err != nil {
+			return spec, err
+		}
+		if topo.Degree, err = evalIntOr(&g.Topology.Degree, scale, env, 4, "topology.degree"); err != nil {
+			return spec, err
+		}
+		spec.Topology = topo
+	case g.Engine == "" || g.Engine == "batch":
+		spec.Engine = EngineBatch
+	case g.Engine == "agents":
+		spec.Engine = EngineAgents
+	case g.Engine == "cluster":
+		spec.Engine = EngineCluster
+	case g.Engine == "graph":
+		return spec, fmt.Errorf("engine: the graph engine needs a topology section")
+	default:
+		return spec, fmt.Errorf("engine: unknown engine %q", g.Engine)
+	}
+
+	var err error
+	if spec.Parallelism, err = evalIntOr(g.Parallelism, scale, env, 0, "parallelism"); err != nil {
+		return spec, err
+	}
+	if spec.Parallelism < 0 {
+		return spec, fmt.Errorf("parallelism: must be >= 0, got %d", spec.Parallelism)
+	}
+
+	// Init (default: the singleton/leader-election configuration).
+	spec.Init = ResolvedInit{Generator: "singleton", K: n, S: 1}
+	if g.Init != nil {
+		spec.Init.Generator = g.Init.Generator
+		if spec.Init.K, err = evalIntOr(&g.Init.K, scale, env, n, "init.k"); err != nil {
+			return spec, err
+		}
+		if spec.Init.Bias, err = evalIntOr(&g.Init.Bias, scale, env, 0, "init.bias"); err != nil {
+			return spec, err
+		}
+		if spec.Init.A, err = evalIntOr(&g.Init.A, scale, env, 0, "init.a"); err != nil {
+			return spec, err
+		}
+		if spec.Init.MaxSupport, err = evalIntOr(&g.Init.MaxSupport, scale, env, 0, "init.max_support"); err != nil {
+			return spec, err
+		}
+		if spec.Init.S, err = evalFloatOr(&g.Init.S, scale, env, 1, "init.s"); err != nil {
+			return spec, err
+		}
+	}
+
+	// Stop.
+	if g.Stop != nil {
+		if spec.MaxRounds, err = evalIntOr(&g.Stop.MaxRounds, scale, env, 0, "stop.max_rounds"); err != nil {
+			return spec, err
+		}
+		if spec.TargetColors, err = evalIntOr(&g.Stop.TargetColors, scale, env, 0, "stop.target_colors"); err != nil {
+			return spec, err
+		}
+		if g.Stop.When != nil {
+			value, err := g.Stop.When.Value.EvalInt(scale, env)
+			if err != nil {
+				return spec, fmt.Errorf("stop.when.value: %w", err)
+			}
+			spec.StopWhen = &ResolvedPredicate{Name: g.Stop.When.Name, Value: value}
+		}
+	}
+
+	// Adversary.
+	if g.Adversary != nil {
+		name := g.Adversary.Name
+		if axis, ok := strings.CutPrefix(name, "$"); ok {
+			sv, bound := strs[axis]
+			if !bound {
+				return spec, fmt.Errorf("adversary.name: %q is not bound by a string axis in this cell", name)
+			}
+			name = sv
+		}
+		adv := &ResolvedAdversary{Name: name}
+		if adv.Budget, err = evalIntOr(&g.Adversary.Budget, scale, env, 0, "adversary.budget"); err != nil {
+			return spec, err
+		}
+		if adv.Epsilon, err = evalFloatOr(&g.Adversary.Epsilon, scale, env, 0, "adversary.epsilon"); err != nil {
+			return spec, err
+		}
+		if adv.Window, err = evalIntOr(&g.Adversary.Window, scale, env, 0, "adversary.window"); err != nil {
+			return spec, err
+		}
+		spec.Adversary = adv
+	}
+
+	// Metrics.
+	if g.Metrics != nil {
+		for j := range g.Metrics.ColorTimes {
+			kappa, err := g.Metrics.ColorTimes[j].EvalInt(scale, env)
+			if err != nil {
+				return spec, fmt.Errorf("metrics.color_times[%d]: %w", j, err)
+			}
+			spec.ColorTimes = append(spec.ColorTimes, kappa)
+		}
+		if spec.TraceEvery, err = evalIntOr(&g.Metrics.TraceEvery, scale, env, 0, "metrics.trace_every"); err != nil {
+			return spec, err
+		}
+	}
+	return spec, nil
+}
+
+// VarNames returns the sorted numeric variable names a cell binds —
+// handy for diagnostics.
+func (r *RunSpec) VarNames() []string {
+	names := make([]string, 0, len(r.Vars))
+	for k := range r.Vars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

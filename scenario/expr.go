@@ -1,0 +1,476 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The scenario expression language: arithmetic over the variables a spec
+// binds (constants, sweep axes, derived values), so a file can say
+// "100*n" for a round budget or "ceil(sqrt(n*log(n)))" for the §1.1 bias
+// without a code change. The language is deliberately tiny:
+//
+//   - numbers (float64 literals) and variables bound by the spec;
+//   - + - * / % and ^ (math.Pow, right-associative), unary minus;
+//   - comparisons < <= > >= == != evaluating to 1 or 0;
+//   - functions: log (natural), log2, exp, sqrt, pow, ceil, floor, round,
+//     abs, min, max, and if(cond, then, else);
+//   - parentheses.
+//
+// Evaluation is float64 throughout with the same math-package calls a
+// hand-written experiment would make (x^y is math.Pow(x, y), log is
+// math.Log), which is what makes a scenario file reproduce a hand-coded
+// sweep bit-identically. Integer contexts (replicas, round budgets, κ
+// targets) reject non-integral results instead of rounding silently; specs
+// say ceil(...)/floor(...)/round(...) explicitly.
+
+// Expr is a parsed scenario expression.
+type Expr struct {
+	src  string
+	root exprNode
+}
+
+// ParseExpr parses src into an evaluable expression.
+func ParseExpr(src string) (*Expr, error) {
+	p := &exprParser{src: src}
+	p.next()
+	root, err := p.parseComparison()
+	if err != nil {
+		return nil, fmt.Errorf("expression %q: %w", src, err)
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("expression %q: unexpected %q at offset %d", src, p.tok.text, p.tok.off)
+	}
+	return &Expr{src: src, root: root}, nil
+}
+
+// String returns the source the expression was parsed from.
+func (e *Expr) String() string { return e.src }
+
+// Eval evaluates the expression with the given variable bindings.
+func (e *Expr) Eval(env map[string]float64) (float64, error) {
+	v, err := e.root.eval(env)
+	if err != nil {
+		return 0, fmt.Errorf("expression %q: %w", e.src, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("expression %q: result is %v", e.src, v)
+	}
+	return v, nil
+}
+
+// maxExactInt bounds EvalInt results to the range where float64 holds
+// integers exactly (2^53); beyond it integrality is meaningless and a
+// plain int conversion would silently wrap.
+const maxExactInt = 1 << 53
+
+// EvalInt evaluates the expression and requires an integral result (within
+// 1e-9); fractional values must be made integral explicitly with
+// ceil/floor/round in the spec.
+func (e *Expr) EvalInt(env map[string]float64) (int, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r := math.Round(v)
+	if math.Abs(v-r) > 1e-9 {
+		return 0, fmt.Errorf("expression %q: value %v is not an integer (wrap it in ceil(), floor() or round())", e.src, v)
+	}
+	if math.Abs(r) > maxExactInt {
+		return 0, fmt.Errorf("expression %q: value %v is outside the exactly-representable integer range (±2^53)", e.src, v)
+	}
+	return int(r), nil
+}
+
+// --- AST ---
+
+type exprNode interface {
+	eval(env map[string]float64) (float64, error)
+}
+
+type numNode float64
+
+func (n numNode) eval(map[string]float64) (float64, error) { return float64(n), nil }
+
+type varNode string
+
+func (n varNode) eval(env map[string]float64) (float64, error) {
+	v, ok := env[string(n)]
+	if !ok {
+		return 0, fmt.Errorf("unknown variable %q (bound variables: %s)", string(n), boundNames(env))
+	}
+	return v, nil
+}
+
+type binNode struct {
+	op   string
+	l, r exprNode
+}
+
+func (n *binNode) eval(env map[string]float64) (float64, error) {
+	l, err := n.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := n.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch n.op {
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return l / r, nil
+	case "%":
+		if r == 0 {
+			return 0, fmt.Errorf("modulo by zero")
+		}
+		return math.Mod(l, r), nil
+	case "^":
+		return math.Pow(l, r), nil
+	case "<":
+		return boolVal(l < r), nil
+	case "<=":
+		return boolVal(l <= r), nil
+	case ">":
+		return boolVal(l > r), nil
+	case ">=":
+		return boolVal(l >= r), nil
+	case "==":
+		return boolVal(l == r), nil
+	case "!=":
+		return boolVal(l != r), nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", n.op)
+}
+
+type negNode struct{ x exprNode }
+
+func (n *negNode) eval(env map[string]float64) (float64, error) {
+	v, err := n.x.eval(env)
+	return -v, err
+}
+
+type callNode struct {
+	name string
+	args []exprNode
+}
+
+func (n *callNode) eval(env map[string]float64) (float64, error) {
+	// if() is lazy: only the selected branch evaluates, so a condition
+	// can guard a partial operation ("if(k > 2, n/(k-2), 1)").
+	if n.name == "if" {
+		cond, err := n.args[0].eval(env)
+		if err != nil {
+			return 0, err
+		}
+		if cond != 0 {
+			return n.args[1].eval(env)
+		}
+		return n.args[2].eval(env)
+	}
+	args := make([]float64, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	switch n.name {
+	case "log":
+		return math.Log(args[0]), nil
+	case "log2":
+		return math.Log2(args[0]), nil
+	case "exp":
+		return math.Exp(args[0]), nil
+	case "sqrt":
+		return math.Sqrt(args[0]), nil
+	case "ceil":
+		return math.Ceil(args[0]), nil
+	case "floor":
+		return math.Floor(args[0]), nil
+	case "round":
+		return math.Round(args[0]), nil
+	case "abs":
+		return math.Abs(args[0]), nil
+	case "pow":
+		return math.Pow(args[0], args[1]), nil
+	case "min":
+		return math.Min(args[0], args[1]), nil
+	case "max":
+		return math.Max(args[0], args[1]), nil
+	}
+	return 0, fmt.Errorf("unknown function %q", n.name)
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func boundNames(env map[string]float64) string {
+	if len(env) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(env))
+	for k := range env {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// funcArity maps the built-in functions to their argument counts.
+var funcArity = map[string]int{
+	"log": 1, "log2": 1, "exp": 1, "sqrt": 1, "ceil": 1, "floor": 1,
+	"round": 1, "abs": 1, "pow": 2, "min": 2, "max": 2, "if": 3,
+}
+
+// --- lexer + parser ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokIdent
+	tokOp
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	off  int
+}
+
+type exprParser struct {
+	src string
+	pos int
+	tok token
+	err error
+}
+
+func (p *exprParser) next() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.src) {
+		p.tok = token{kind: tokEOF, off: start}
+		return
+	}
+	c := p.src[p.pos]
+	switch {
+	case c >= '0' && c <= '9' || c == '.':
+		j := p.pos
+		for j < len(p.src) && (p.src[j] >= '0' && p.src[j] <= '9' || p.src[j] == '.' ||
+			p.src[j] == 'e' || p.src[j] == 'E' ||
+			((p.src[j] == '+' || p.src[j] == '-') && j > p.pos && (p.src[j-1] == 'e' || p.src[j-1] == 'E'))) {
+			j++
+		}
+		text := p.src[p.pos:j]
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			p.err = fmt.Errorf("bad number %q at offset %d", text, start)
+		}
+		p.pos = j
+		p.tok = token{kind: tokNum, text: text, num: v, off: start}
+	case isIdentStart(c):
+		j := p.pos
+		for j < len(p.src) && isIdentPart(p.src[j]) {
+			j++
+		}
+		p.tok = token{kind: tokIdent, text: p.src[p.pos:j], off: start}
+		p.pos = j
+	case c == '(':
+		p.pos++
+		p.tok = token{kind: tokLParen, text: "(", off: start}
+	case c == ')':
+		p.pos++
+		p.tok = token{kind: tokRParen, text: ")", off: start}
+	case c == ',':
+		p.pos++
+		p.tok = token{kind: tokComma, text: ",", off: start}
+	case strings.ContainsRune("+-*/%^<>=!", rune(c)):
+		j := p.pos + 1
+		if j < len(p.src) && p.src[j] == '=' && (c == '<' || c == '>' || c == '=' || c == '!') {
+			j++
+		}
+		op := p.src[p.pos:j]
+		if op == "=" || op == "!" {
+			p.err = fmt.Errorf("bad operator %q at offset %d (comparisons are <=, >=, ==, !=)", op, start)
+		}
+		p.pos = j
+		p.tok = token{kind: tokOp, text: op, off: start}
+	default:
+		p.err = fmt.Errorf("unexpected character %q at offset %d", string(c), start)
+		p.pos++
+		p.tok = token{kind: tokOp, text: string(c), off: start}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func (p *exprParser) parseComparison() (exprNode, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp {
+		switch p.tok.text {
+		case "<", "<=", ">", ">=", "==", "!=":
+			op := p.tok.text
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &binNode{op: op, l: l, r: r}
+		}
+	}
+	return l, p.err
+}
+
+func (p *exprParser) parseAdd() (exprNode, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &binNode{op: op, l: l, r: r}
+	}
+	return l, p.err
+}
+
+func (p *exprParser) parseMul() (exprNode, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/" || p.tok.text == "%") {
+		op := p.tok.text
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &binNode{op: op, l: l, r: r}
+	}
+	return l, p.err
+}
+
+func (p *exprParser) parseUnary() (exprNode, error) {
+	if p.tok.kind == tokOp && p.tok.text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &negNode{x: x}, nil
+	}
+	return p.parsePow()
+}
+
+func (p *exprParser) parsePow() (exprNode, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp && p.tok.text == "^" {
+		p.next()
+		// Right-associative: 2^3^2 is 2^(3^2).
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &binNode{op: "^", l: l, r: r}
+	}
+	return l, p.err
+}
+
+func (p *exprParser) parsePrimary() (exprNode, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	switch p.tok.kind {
+	case tokNum:
+		v := p.tok.num
+		p.next()
+		return numNode(v), p.err
+	case tokIdent:
+		name := p.tok.text
+		p.next()
+		if p.tok.kind != tokLParen {
+			return varNode(name), p.err
+		}
+		arity, ok := funcArity[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown function %q at offset %d", name, p.tok.off)
+		}
+		p.next()
+		var args []exprNode
+		if p.tok.kind != tokRParen {
+			for {
+				a, err := p.parseComparison()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.tok.kind != tokComma {
+					break
+				}
+				p.next()
+			}
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("missing ) in call to %q", name)
+		}
+		p.next()
+		if len(args) != arity {
+			return nil, fmt.Errorf("%s() takes %d argument(s), got %d", name, arity, len(args))
+		}
+		return &callNode{name: name, args: args}, p.err
+	case tokLParen:
+		p.next()
+		inner, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("missing closing parenthesis")
+		}
+		p.next()
+		return inner, p.err
+	case tokEOF:
+		return nil, fmt.Errorf("unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("unexpected %q at offset %d", p.tok.text, p.tok.off)
+	}
+}

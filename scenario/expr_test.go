@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestExprEval(t *testing.T) {
+	env := map[string]float64{"n": 4096, "k": 8, "h": 2, "gamma": 2}
+	tests := []struct {
+		src  string
+		want float64
+	}{
+		{src: "42", want: 42},
+		{src: "1.5e2", want: 150},
+		{src: "n", want: 4096},
+		{src: "2 + 3 * 4", want: 14},
+		{src: "(2 + 3) * 4", want: 20},
+		{src: "100 * n", want: 409600},
+		{src: "n / 8", want: 512},
+		{src: "-n + 1", want: -4095},
+		{src: "10 % 3", want: 1},
+		{src: "2 ^ 10", want: 1024},
+		{src: "2 ^ 3 ^ 2", want: 512}, // right-associative
+		{src: "n ^ 0.5", want: 64},
+		{src: "sqrt(n)", want: 64},
+		{src: "log(exp(1))", want: 1},
+		{src: "log2(8)", want: 3},
+		{src: "ceil(1.2)", want: 2},
+		{src: "floor(1.8)", want: 1},
+		{src: "round(1.5)", want: 2},
+		{src: "abs(-3)", want: 3},
+		{src: "min(3, 5)", want: 3},
+		{src: "max(3, 5)", want: 5},
+		{src: "pow(2, 8)", want: 256},
+		{src: "h <= 2", want: 1},
+		{src: "h < 2", want: 0},
+		{src: "h == 2", want: 1},
+		{src: "h != 2", want: 0},
+		{src: "if(h <= 2, 36, 12)", want: 36},
+		{src: "if(h > 2, 36, 12)", want: 12},
+		// if() is lazy: the unselected branch must not evaluate, so a
+		// condition can guard a division.
+		{src: "if(h == 2, h, 10 / (h - 2))", want: 2},
+		{src: "if(h != 2, 10 / (h - 2), -1)", want: -1},
+		{src: "max(2, ceil(gamma * log(n)))", want: math.Max(2, math.Ceil(2*math.Log(4096)))},
+	}
+	for _, tt := range tests {
+		got, err := mustParse(t, tt.src).Eval(env)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", tt.src, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+// TestExprMatchesHandWrittenMath pins the bit-identity contract: the
+// expressions the checked-in scenarios use must evaluate to exactly the
+// float64 the hand-coded experiments computed.
+func TestExprMatchesHandWrittenMath(t *testing.T) {
+	for _, n := range []int{256, 4096, 16384, 65536} {
+		env := map[string]float64{"n": float64(n)}
+		// E8's bias: int(math.Ceil(math.Sqrt(float64(n) * math.Log(float64(n))))).
+		bias, err := mustParse(t, "ceil(sqrt(n * log(n)))").EvalInt(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int(math.Ceil(math.Sqrt(float64(n) * math.Log(float64(n))))); bias != want {
+			t.Errorf("n=%d: bias expr = %d, hand-written = %d", n, bias, want)
+		}
+		// E12's κ*: int(math.Ceil(math.Pow(n, 0.25) * math.Pow(math.Log(n), 0.125))).
+		kstar, err := mustParse(t, "ceil(n^0.25 * log(n)^0.125)").EvalInt(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int(math.Ceil(math.Pow(float64(n), 0.25) * math.Pow(math.Log(float64(n)), 0.125))); kstar != want {
+			t.Errorf("n=%d: kstar expr = %d, hand-written = %d", n, kstar, want)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	bad := []struct {
+		src, wantSub string
+	}{
+		{src: "", wantSub: "unexpected end"},
+		{src: "1 +", wantSub: "unexpected end"},
+		{src: "(1", wantSub: "missing closing parenthesis"},
+		{src: "nope(1)", wantSub: "unknown function"},
+		{src: "min(1)", wantSub: "takes 2 argument"},
+		{src: "1 = 2", wantSub: "comparisons are"},
+		{src: "a $ b", wantSub: "unexpected character"},
+		{src: "1 2", wantSub: "unexpected"},
+	}
+	for _, tt := range bad {
+		if _, err := ParseExpr(tt.src); err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want error containing %q", tt.src, tt.wantSub)
+		} else if !strings.Contains(err.Error(), tt.wantSub) {
+			t.Errorf("ParseExpr(%q) error %q, want substring %q", tt.src, err, tt.wantSub)
+		}
+	}
+
+	if _, err := mustParse(t, "x + 1").Eval(map[string]float64{"n": 1}); err == nil ||
+		!strings.Contains(err.Error(), `unknown variable "x"`) {
+		t.Errorf("unknown variable error = %v", err)
+	}
+	if _, err := mustParse(t, "1 / 0").Eval(nil); err == nil ||
+		!strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("division by zero error = %v", err)
+	}
+	if _, err := mustParse(t, "n / 3").EvalInt(map[string]float64{"n": 10}); err == nil ||
+		!strings.Contains(err.Error(), "not an integer") {
+		t.Errorf("EvalInt fractional error = %v", err)
+	}
+	if _, err := mustParse(t, "n ^ 4").EvalInt(map[string]float64{"n": 100000}); err == nil ||
+		!strings.Contains(err.Error(), "exactly-representable") {
+		t.Errorf("EvalInt overflow error = %v", err)
+	}
+	if _, err := mustParse(t, "log(-1)").Eval(nil); err == nil {
+		t.Error("log(-1) should report a NaN result")
+	}
+}

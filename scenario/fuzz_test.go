@@ -1,0 +1,59 @@
+package scenario_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/ignorecomply/consensus/scenario"
+	"github.com/ignorecomply/consensus/scenarios"
+)
+
+// FuzzScenarioDecode throws arbitrary bytes at the strict decoder: it must
+// never panic, and everything it accepts must re-encode and decode to a
+// stable representation (the golden round-trip property, fuzzed).
+func FuzzScenarioDecode(f *testing.F) {
+	f.Add([]byte(validSpecFuzzSeed))
+	for _, name := range scenarios.Names() {
+		data, err := scenarios.Read(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"schema": 1, "name": "x", "rule": {"name": "voter"}, "params": {"n": "2^4"}}`))
+	f.Add([]byte(`{"schema": 1}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := scenario.DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		enc1, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		s2, err := scenario.DecodeBytes(enc1)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-decode: %v\nencoding: %s", err, enc1)
+		}
+		enc2, err := json.Marshal(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc1) != string(enc2) {
+			t.Fatalf("unstable round trip:\nfirst  %s\nsecond %s", enc1, enc2)
+		}
+	})
+}
+
+const validSpecFuzzSeed = `{
+	"schema": 1,
+	"name": "fuzz-seed",
+	"params": {"n": {"quick": 64, "full": 256}},
+	"sweep": [{"name": "k", "values": [2, "n/4"]}],
+	"replicas": "if(k <= 2, 2, 1)",
+	"rule": {"name": "h-majority", "h": 3},
+	"init": {"generator": "balanced", "k": "k"},
+	"stop": {"max_rounds": "10 * n", "when": {"name": "colors-at-most", "value": 1}},
+	"metrics": {"color_times": [4, 1], "trace_every": 5}
+}`

@@ -1,4 +1,4 @@
-package expt
+package scenario
 
 import (
 	"encoding/csv"
@@ -8,8 +8,10 @@ import (
 	"text/tabwriter"
 )
 
-// Table is an experiment's output: the rows/series the paper's claim is
-// about, plus free-form notes (fit slopes, verdicts).
+// Table is a suite's reduced output: the rows/series a paper claim (or any
+// user-defined aggregate) is about, plus free-form notes (fit slopes,
+// verdicts). It is the shape the reproduction harness has always produced;
+// reducers aggregate executed scenarios into it.
 type Table struct {
 	ID      string
 	Title   string
@@ -27,7 +29,7 @@ func (t *Table) AddRow(values ...any) {
 		case string:
 			row[i] = x
 		case float64:
-			row[i] = formatFloat(x)
+			row[i] = FormatFloat(x)
 		case int:
 			row[i] = strconv.Itoa(x)
 		case bool:
@@ -95,9 +97,9 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// formatFloat renders floats compactly: integers without decimals, small
-// magnitudes with enough precision to be meaningful.
-func formatFloat(x float64) string {
+// FormatFloat renders floats the way tables do: integers without decimals,
+// small magnitudes with enough precision to be meaningful.
+func FormatFloat(x float64) string {
 	if x == float64(int64(x)) && x < 1e15 && x > -1e15 {
 		return strconv.FormatInt(int64(x), 10)
 	}
