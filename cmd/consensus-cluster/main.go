@@ -1,14 +1,17 @@
 // Command consensus-cluster runs a consensus process as a real
-// message-passing system: one goroutine per node exchanging pull
-// requests/responses over channels in synchronized rounds, with message
-// accounting (each message carries one O(log k)-bit color id). It is the
-// Runner's cluster engine behind dedicated flags; consensus-sim exposes
-// the same engine alongside the others.
+// message-passing system on the deterministic discrete-event network
+// engine: every pull request/response is a message (carrying one
+// O(log k)-bit color id) shaped by a configurable network model —
+// zero-latency lockstep by default, or seeded latency, i.i.d. loss with
+// pull retry, and scheduled partitions. It is the Runner's cluster engine
+// behind dedicated flags; consensus-sim exposes the same engine alongside
+// the others. Fixed -seed and -workers reproduce a run bit for bit.
 //
 // Usage:
 //
 //	consensus-cluster [-rule voter|2-choices|3-majority|H-majority|2-median]
-//	                  [-n N] [-k K] [-seed S] [-max-rounds M]
+//	                  [-n N] [-k K] [-seed S] [-max-rounds M] [-workers W]
+//	                  [-delay D] [-jitter J] [-loss P] [-retry T]
 package main
 
 import (
@@ -32,10 +35,15 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("consensus-cluster", flag.ContinueOnError)
 	var (
 		ruleName  = fs.String("rule", "3-majority", "node rule (voter, 2-choices, 3-majority, H-majority, 2-median)")
-		n         = fs.Int("n", 500, "number of node goroutines")
+		n         = fs.Int("n", 500, "number of nodes")
 		k         = fs.Int("k", 0, "number of initial colors (0 = n)")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		maxRounds = fs.Int("max-rounds", 1_000_000, "round budget")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); fixed (seed, workers) is bit-reproducible")
+		delay     = fs.Int("delay", 0, "fixed per-leg delivery delay in ticks")
+		jitter    = fs.Int("jitter", 0, "uniform extra per-leg delay in [0, J] ticks")
+		loss      = fs.Float64("loss", 0, "i.i.d. per-leg message loss probability in [0, 1); lost pulls retry")
+		retry     = fs.Int("retry", 1, "pull-retry timeout in ticks")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,10 +57,17 @@ func run(args []string) error {
 		kk = *n
 	}
 	start := consensus.BalancedConfig(*n, kk)
-	fmt.Printf("cluster: %d node goroutines, %d colors, rule %s\n", *n, kk, *ruleName)
+	fmt.Printf("cluster: %d nodes, %d colors, rule %s (delay=%d jitter=%d loss=%g)\n",
+		*n, kk, *ruleName, *delay, *jitter, *loss)
 
 	runner := consensus.NewFactoryRunner(factory,
-		consensus.WithEngine(consensus.EngineCluster),
+		consensus.WithNetwork(&consensus.Network{
+			Delay:  int64(*delay),
+			Jitter: int64(*jitter),
+			Loss:   *loss,
+			Retry:  int64(*retry),
+		}),
+		consensus.WithParallelism(*workers),
 		consensus.WithSeed(*seed),
 		consensus.WithMaxRounds(*maxRounds))
 	res, err := runner.Run(context.Background(), start)

@@ -14,6 +14,7 @@
 //	consensus-sim [-rule voter|lazy-voter|2-choices|3-majority|4-majority|...|2-median|undecided]
 //	              [-beta B] [-engine batch|agents|graph|cluster] [-parallel P]
 //	              [-topology complete|ring|torus|star|random-regular] [-degree D]
+//	              [-net-delay D] [-net-jitter J] [-net-loss P] [-net-retry T]
 //	              [-adversary none|boost-runner-up|revive-weakest|inject-invalid|random-noise]
 //	              [-budget F] [-epsilon E] [-window W]
 //	              [-n N] [-k K] [-dist singleton|balanced|zipf|biased]
@@ -59,6 +60,10 @@ func run(args []string) error {
 		parallel   = fs.Int("parallel", 0, "worker shards for the agents/graph engines (0 = default, 1 = sequential bit-exact)")
 		topology   = fs.String("topology", "complete", "interaction topology for -engine graph: complete, ring, torus, star, random-regular")
 		degree     = fs.Int("degree", 4, "vertex degree for -topology random-regular")
+		netDelay   = fs.Int("net-delay", 0, "fixed per-leg delivery delay in ticks for -engine cluster")
+		netJitter  = fs.Int("net-jitter", 0, "uniform extra per-leg delay in [0, J] ticks for -engine cluster")
+		netLoss    = fs.Float64("net-loss", 0, "i.i.d. per-leg message loss probability in [0, 1) for -engine cluster (lost pulls retry)")
+		netRetry   = fs.Int("net-retry", 1, "pull-retry timeout in ticks for -engine cluster")
 		advName    = fs.String("adversary", "none", "§5 adversary: none, boost-runner-up, revive-weakest, inject-invalid, random-noise")
 		budget     = fs.Int("budget", 8, "adversary per-round corruption budget F")
 		epsilon    = fs.Float64("epsilon", 0.05, "almost-consensus threshold parameter ε")
@@ -118,9 +123,8 @@ func run(args []string) error {
 		return runScenario(ctx, s, params, *verifyDet)
 	}
 	if *verifyDet {
-		// The classic path prints a single run's trace, and the cluster
-		// engine is distribution-reproducible only — refusing beats
-		// pretending the check ran.
+		// The classic path prints a single run's trace, not a reduced
+		// table to compare; generate a scenario from the flags instead.
 		return fmt.Errorf("-verify-determinism needs -scenario (generate one from these flags with -emit-scenario)")
 	}
 
@@ -129,6 +133,7 @@ func run(args []string) error {
 	s, err := scenarioFromFlags(flagScenario{
 		rule: *ruleName, beta: *beta, engine: *engineName, parallel: *parallel,
 		topology: *topology, degree: *degree,
+		netDelay: *netDelay, netJitter: *netJitter, netLoss: *netLoss, netRetry: *netRetry,
 		adversary: *advName, budget: *budget, epsilon: *epsilon, window: *window,
 		n: *n, k: *k, dist: *dist, bias: *bias,
 		traceEvery: *traceEvery, maxRounds: *maxRounds,
@@ -248,8 +253,15 @@ func resolveScenario(arg string) (*scenario.Scenario, error) {
 type flagScenario struct {
 	rule, engine, topology, adversary, dist string
 	parallel, degree, budget, window        int
+	netDelay, netJitter, netRetry           int
 	n, k, bias, traceEvery, maxRounds       int
-	epsilon, beta                           float64
+	epsilon, beta, netLoss                  float64
+}
+
+// hasNetwork reports whether any network-shaping flag departs from the
+// zero-latency lockstep default.
+func (f *flagScenario) hasNetwork() bool {
+	return f.netDelay != 0 || f.netJitter != 0 || f.netLoss != 0 || f.netRetry != 1
 }
 
 // scenarioFromFlags compiles the classic single-run flags into a
@@ -275,6 +287,25 @@ func scenarioFromFlags(f flagScenario) (*scenario.Scenario, error) {
 		s.Topology = topo
 	default:
 		return nil, fmt.Errorf("unknown engine %q", f.engine)
+	}
+	if f.hasNetwork() {
+		if f.engine != "cluster" {
+			return nil, fmt.Errorf("the network flags (-net-delay, -net-jitter, -net-loss, -net-retry) need -engine cluster, got %q", f.engine)
+		}
+		net := &scenario.NetworkSpec{}
+		if f.netDelay != 0 {
+			net.Delay = scenario.Num(float64(f.netDelay))
+		}
+		if f.netJitter != 0 {
+			net.Jitter = scenario.Num(float64(f.netJitter))
+		}
+		if f.netLoss != 0 {
+			net.Loss = scenario.Num(f.netLoss)
+		}
+		if f.netRetry != 1 {
+			net.RetryAfter = scenario.Num(float64(f.netRetry))
+		}
+		s.Network = net
 	}
 	// The suite executor defaults per-run engine sharding to sequential
 	// (its replica pool normally fills the cores), but this path runs a

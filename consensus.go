@@ -37,6 +37,7 @@ package consensus
 
 import (
 	"github.com/ignorecomply/consensus/internal/adversary"
+	"github.com/ignorecomply/consensus/internal/cluster"
 	"github.com/ignorecomply/consensus/internal/coalesce"
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/core"
@@ -110,17 +111,34 @@ const (
 	EngineAgents = sim.EngineAgents
 	// EngineGraph runs per-node on an interaction topology (WithGraph).
 	EngineGraph = sim.EngineGraph
-	// EngineCluster runs one goroutine per node with real message passing.
+	// EngineCluster runs real message passing on the deterministic
+	// discrete-event network engine (see WithNetwork).
 	EngineCluster = sim.EngineCluster
+)
+
+// Network modeling (cluster engine).
+type (
+	// NetworkModel shapes message delivery on the cluster engine: per-leg
+	// latency, loss, and retry timing. Implementations must be pure
+	// functions of their inputs and the stream they draw from.
+	NetworkModel = cluster.Model
+	// ZeroNetwork is the zero-latency, lossless lockstep model (the
+	// default): the paper's synchronous rounds.
+	ZeroNetwork = cluster.Zero
+	// Network is the configurable model: fixed delay + uniform jitter,
+	// i.i.d. loss with pull retry, scheduled partitions.
+	Network = cluster.Net
+	// NetworkPartition is one scheduled communication split.
+	NetworkPartition = cluster.Partition
 )
 
 // NewRunner builds a Runner around a single rule instance. It drives the
 // batch, agents and graph engines; the cluster engine and RunReplicas
-// need one rule instance per goroutine and therefore a NewFactoryRunner.
+// need one rule instance per worker and therefore a NewFactoryRunner.
 func NewRunner(rule Rule, opts ...Option) *Runner { return sim.NewRunner(rule, opts...) }
 
 // NewFactoryRunner builds a Runner that creates a fresh rule instance per
-// run, per replica, and (on the cluster engine) per node.
+// run, per replica, and (on the cluster engine) per worker lane.
 func NewFactoryRunner(factory Factory, opts ...Option) *Runner {
 	return sim.NewFactoryRunner(factory, opts...)
 }
@@ -229,6 +247,10 @@ var (
 	// WithGraph runs the process on an interaction topology (implies
 	// EngineGraph).
 	WithGraph = sim.WithGraph
+	// WithNetwork runs the process on the event-driven message-passing
+	// engine under a network model (implies EngineCluster): latency,
+	// loss with pull retry, scheduled partitions.
+	WithNetwork = sim.WithNetwork
 	// WithAdversary runs the §5 fault-tolerance regime on any engine:
 	// per-round corruption, almost-consensus threshold ⌈(1-ε)·n⌉ and a
 	// stability window.

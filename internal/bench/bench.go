@@ -100,6 +100,7 @@ func plan(scale string, maxParallel int) ([]workload, error) {
 			{consensus.EngineBatch, "5-majority", 100_000, 8, []int{1}, 400},
 			{consensus.EngineAgents, "3-majority", 10_000, 8, caps([]int{1, 2, 4}), 60},
 			{consensus.EngineGraph, "3-majority", 10_000, 8, caps([]int{1}), 60},
+			{consensus.EngineCluster, "3-majority", 10_000, 8, caps([]int{1}), 60},
 		}
 	case "quick":
 		w = []workload{
@@ -108,6 +109,7 @@ func plan(scale string, maxParallel int) ([]workload, error) {
 			{consensus.EngineAgents, "3-majority", 10_000, 8, caps(sweep), 200},
 			{consensus.EngineAgents, "3-majority", 100_000, 8, caps(sweep), 60},
 			{consensus.EngineGraph, "3-majority", 100_000, 8, caps(sweep), 60},
+			{consensus.EngineCluster, "3-majority", 100_000, 8, caps([]int{1, 2}), 60},
 		}
 	case "full":
 		w = []workload{
@@ -122,6 +124,13 @@ func plan(scale string, maxParallel int) ([]workload, error) {
 			{consensus.EngineAgents, "3-majority", 1_000_000, 8, caps(sweep), 30},
 			{consensus.EngineGraph, "3-majority", 10_000, 8, caps([]int{1}), 400},
 			{consensus.EngineGraph, "3-majority", 100_000, 8, caps(sweep), 60},
+			// The event-driven network engine (zero-latency lockstep): the
+			// 10k cell matches the smoke gate, and the n = 10⁶, k = 32 cell
+			// records the acceptance point past the old engine's 100k
+			// goroutine cap.
+			{consensus.EngineCluster, "3-majority", 10_000, 8, caps([]int{1, 2}), 400},
+			{consensus.EngineCluster, "3-majority", 100_000, 8, caps([]int{1, 2}), 60},
+			{consensus.EngineCluster, "3-majority", 1_000_000, 32, caps([]int{1}), 20},
 		}
 	default:
 		return nil, fmt.Errorf("unknown benchmark scale %q (want smoke, quick or full)", scale)

@@ -1,23 +1,36 @@
-// Package cluster runs a consensus process as an actual distributed system
-// in miniature: one goroutine per node, real pull-request/response message
-// passing over channels, and synchronous rounds enforced by barriers — the
-// Uniform Pull model of the paper (§2.1) realized with Go's concurrency
-// primitives rather than batch sampling.
+// Package cluster runs a consensus process as a message-passing system in
+// miniature — the Uniform Pull model of the paper (§2.1) with every pull
+// request and response an explicit message — executed by a deterministic
+// discrete-event network engine instead of a goroutine per node.
+//
+// A virtual-time scheduler (a binary heap of tick buckets, events ordered
+// by (deliverAt, seq)) multiplexes all nodes over a fixed worker pool. A
+// pluggable Model shapes delivery: the default Zero model delivers every
+// leg instantly, which makes every node complete exactly one round per
+// tick — the paper's synchronous rounds, cross-validated distributionally
+// against the exact batch laws — while Net adds seeded latency, i.i.d.
+// message loss with pull retry, and scheduled partitions.
 //
 // Every message carries exactly one color identifier, respecting the
-// model's O(log k) message-size constraint; the runtime counts messages so
-// experiments can report communication cost. The cluster engine is
-// statistically cross-validated against the exact batch laws in tests.
+// model's O(log k) message-size constraint, and the runtime counts each
+// request when the requester fires it and each response when the
+// responder serves it, so experiments report communication cost exactly.
 //
-// Scheduling nondeterminism permutes the order in which a node's sampled
-// colors arrive, so — unlike the sequential engines — cluster runs are not
-// bit-reproducible from a seed. All implemented rules are exchangeable in
-// their samples, so the process distribution is unaffected.
+// Because delivery order is a pure function of the seed — all random
+// streams are derived up front in lane order, events are processed in
+// (deliverAt, seq) order, and workers only ever touch disjoint state —
+// fixed (seed, workers) reproduces a run bit for bit, the same contract
+// the sharded agents engine has. There is no population cap and no
+// per-round goroutine churn: the worker lanes are spawned once at
+// construction (none at all for a single worker) and live until Close.
 //
 // The package exposes a steppable System rather than a closed run loop:
-// the sim package's Runner drives it round by round so that the cluster
-// engine honors the same option set (round budgets, color targets, traces,
+// the sim package's Runner drives it round by round so that the engine
+// honors the same option set (round budgets, color targets, traces,
 // observers, adversaries, context cancellation) as every other engine.
+// Between Step calls the system is quiescent from the coordinator's point
+// of view — no event is being processed — so a caller (e.g. a §5
+// adversary) may mutate Colors and Config coherently.
 package cluster
 
 import (
@@ -25,172 +38,416 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
-	"sync/atomic"
 
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/core"
 	"github.com/ignorecomply/consensus/internal/rng"
 )
 
-// maxNodes bounds the goroutine count; beyond this the batch engines are
-// the right tool.
-const maxNodes = 100_000
+// sampleChunk is the number of nodes whose pulls the lockstep fast path
+// resolves per batched uniform fill (cf. the agents engine's chunked
+// sampling): large enough to amortize RNG dispatch and overlap the
+// random-access color gathers, small enough to stay in L1.
+const sampleChunk = 256
 
-// MaxNodes reports the largest population the cluster engine accepts.
-func MaxNodes() int { return maxNodes }
-
-// pullReq is a pull request: the receiver answers with its current color on
-// the reply channel.
-type pullReq struct {
-	reply chan int
+// Options configures a System beyond its factory, start configuration and
+// random source.
+type Options struct {
+	// Model shapes message delivery (nil = Zero: synchronous lockstep).
+	Model Model
+	// Workers is the size of the worker pool the round-start phase is
+	// sharded over (<= 0 means 1). Fixed (seed, workers) reproduces a run
+	// bit for bit; changing workers reassigns nodes to streams, so
+	// results across worker counts are equal in distribution only.
+	Workers int
 }
 
-// System is a running population of node goroutines that can be advanced
-// one synchronous round at a time. Between Step calls the system is
-// quiescent: no requests are in flight and the coordinator owns Colors and
-// Config, so a caller (e.g. a §5 adversary) may mutate both coherently.
-// A System must be released with Close.
+// staged is one node's computed-but-unapplied round update.
+type staged struct {
+	node, next int32
+}
+
+// timedEvent is a worker-deferred event awaiting the coordinator's merge.
+type timedEvent struct {
+	at int64
+	ev event
+}
+
+// lane is the per-worker execution state: a random stream and rule
+// instance of its own, a strided buffer for the lockstep fast path, and
+// out-buffers for deferred events and staged updates. The coordinator
+// owns one extra lane (direct = true) whose events skip the defer buffer
+// and enter the queue immediately.
+type lane struct {
+	stream   *rng.RNG
+	rule     core.NodeRule
+	buf      []int
+	deferred []timedEvent
+	staged   []staged
+	messages int64
+	direct   bool
+}
+
+// System is a population of virtual nodes advanced one synchronous round
+// at a time by a discrete-event scheduler. A System must be released with
+// Close.
 type System struct {
 	cfg    *config.Config
-	colors []int // colors[i] = slot of node i, stable within a round
-	next   []int
-	n      int
+	counts []int // live counts view, refetched every Step (slots may grow)
+	colors []int // colors[i] = slot of node i; updates apply at tick ends
+	n, h   int
 
-	messages  atomic.Int64
-	gatherWG  sync.WaitGroup
-	appliedWG sync.WaitGroup
-	nodesWG   sync.WaitGroup
-	inboxes   []chan pullReq
-	ctrls     []chan struct{}
-	applies   []chan struct{}
-	stop      chan struct{}
-	closed    bool
+	model    Model
+	retry    int64
+	lockstep bool
+
+	now     int64 // current virtual tick
+	target  int   // rounds every node must have completed when Step returns
+	behind  int   // nodes still short of target
+	done    []int32
+	got     []int32 // samples collected in each node's current round
+	samples []int   // n·h strided sample buffer
+
+	queue     eventQueue
+	curBucket *bucket
+
+	p        int
+	lanes    []lane // p worker lanes + the coordinator lane at index p
+	curWakes []int32
+	start    []chan struct{}
+	phaseWG  sync.WaitGroup
+	poolWG   sync.WaitGroup
+	closed   bool
+
+	messages int64
 }
 
-// NewSystem spawns one goroutine per node of start, each owning a fresh
-// rule instance from factory and a random stream derived from base.
-func NewSystem(factory func() core.NodeRule, start *config.Config, base *rng.RNG) (*System, error) {
+// NewSystem builds a system over start's population. factory provides one
+// fresh rule instance per lane (workers + coordinator) and is the place
+// engine-level type errors surface: a factory returning an error on any
+// instantiation fails construction instead of panicking mid-run. Streams
+// are derived from base in lane order, then the initial round-0 wakes are
+// scheduled; the caller's base stream is advanced deterministically.
+func NewSystem(factory func() (core.NodeRule, error), start *config.Config, base *rng.RNG, opts Options) (*System, error) {
 	if factory == nil || start == nil || base == nil {
 		return nil, errors.New("cluster: factory, start and rng must be non-nil")
 	}
+	model := opts.Model
+	if model == nil {
+		model = Zero{}
+	}
+	if net, ok := model.(*Net); ok {
+		if err := net.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	n := start.N()
-	if n > maxNodes {
-		return nil, fmt.Errorf("cluster: n = %d exceeds the %d-node goroutine budget", n, maxNodes)
+	p := opts.Workers
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
 	}
 
 	s := &System{
-		cfg:     start.Clone(),
-		colors:  start.Nodes(),
-		next:    make([]int, n),
-		n:       n,
-		inboxes: make([]chan pullReq, n),
-		ctrls:   make([]chan struct{}, n),
-		applies: make([]chan struct{}, n),
-		stop:    make(chan struct{}),
+		cfg:      start.Clone(),
+		colors:   start.Nodes(),
+		n:        n,
+		model:    model,
+		retry:    model.RetryAfter(),
+		lockstep: lockstep(model),
+		done:     make([]int32, n),
+		got:      make([]int32, n),
+		queue:    newEventQueue(),
+		p:        p,
+		lanes:    make([]lane, p+1),
 	}
-	for i := 0; i < n; i++ {
-		s.inboxes[i] = make(chan pullReq)
-		s.ctrls[i] = make(chan struct{}, 1)
-		s.applies[i] = make(chan struct{}, 1)
+	s.counts = s.cfg.CountsView()
+	if s.retry < 1 {
+		s.retry = 1
 	}
 
-	for i := 0; i < n; i++ {
-		i := i
-		rule := factory()
-		nodeRNG := base.Derive(uint64(i))
-		s.nodesWG.Add(1)
-		go func() {
-			defer s.nodesWG.Done()
-			h := rule.Samples()
-			samples := make([]int, h)
-			replyCh := make(chan int, h)
-			for {
-				select {
-				case <-s.stop:
-					return
-				case <-s.ctrls[i]:
-				}
-				own := s.colors[i]
-				// Fire the pull requests; each sender goroutine blocks
-				// until the target serves it.
-				for j := 0; j < h; j++ {
-					target := nodeRNG.IntN(n)
-					req := pullReq{reply: replyCh}
-					go func(t int) {
-						s.inboxes[t] <- req
-						s.messages.Add(2) // request + response
-					}(target)
-				}
-				// Serve incoming requests while collecting our replies.
-				received := 0
-				for received < h {
-					select {
-					case req := <-s.inboxes[i]:
-						req.reply <- own
-					case c := <-replyCh:
-						samples[received] = c
-						received++
-					}
-				}
-				s.gatherWG.Done()
-				// Keep serving until the coordinator ends the gather phase
-				// (other nodes may still be waiting on us).
-			serve:
-				for {
-					select {
-					case req := <-s.inboxes[i]:
-						req.reply <- own
-					case <-s.applies[i]:
-						break serve
-					}
-				}
-				s.next[i] = rule.Update(own, samples, nodeRNG)
-				s.appliedWG.Done()
+	for li := range s.lanes {
+		rule, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rule factory: %w", err)
+		}
+		if rule == nil {
+			return nil, errors.New("cluster: rule factory returned nil")
+		}
+		if li == 0 {
+			s.h = rule.Samples()
+			if s.h < 1 {
+				return nil, fmt.Errorf("cluster: rule %q samples %d nodes per round, need >= 1", rule.Name(), s.h)
 			}
-		}()
+		} else if rule.Samples() != s.h {
+			return nil, fmt.Errorf("cluster: rule factory returned instances with differing sample counts (%d vs %d)", rule.Samples(), s.h)
+		}
+		s.lanes[li] = lane{
+			stream: base.Derive(uint64(li)),
+			rule:   rule,
+			buf:    make([]int, sampleChunk*rule.Samples()),
+			direct: li == p,
+		}
+	}
+	s.samples = make([]int, n*s.h)
+
+	// Every node starts its first round at tick 0.
+	b := s.queue.bucketAt(0)
+	for i := 0; i < n; i++ {
+		b.wakes = append(b.wakes, int32(i))
+	}
+
+	if p > 1 {
+		s.start = make([]chan struct{}, p)
+		for w := 0; w < p; w++ {
+			s.start[w] = make(chan struct{}, 1)
+			s.poolWG.Add(1)
+			go s.workerLoop(w)
+		}
 	}
 	return s, nil
 }
 
-// Step runs one synchronous round: every node pulls its samples, the
-// barrier closes, and all nodes apply their updates simultaneously. On
-// return Config reflects the new round's support counts.
+// Step advances virtual time until every node has completed one more
+// round than the previous Step required. Under the Zero model that is
+// exactly one tick — the synchronous round of the paper; under latency
+// models nodes desynchronize and Step returns when the slowest node
+// crosses the round barrier (faster nodes may be further ahead). On
+// return Config reflects the live support counts.
 func (s *System) Step() {
-	s.gatherWG.Add(s.n)
-	s.appliedWG.Add(s.n)
-	for i := 0; i < s.n; i++ {
-		s.ctrls[i] <- struct{}{}
+	// Re-fetch the counts view: a §5 adversary may have rebuilt the
+	// configuration with an extra (injected) slot between rounds.
+	s.counts = s.cfg.CountsView()
+	s.target++
+	s.behind = 0
+	for i := range s.done {
+		if int(s.done[i]) < s.target {
+			s.behind++
+		}
 	}
-	s.gatherWG.Wait() // all nodes hold their samples; no requests in flight
-	for i := 0; i < s.n; i++ {
-		s.applies[i] <- struct{}{}
-	}
-	s.appliedWG.Wait()
-	copy(s.colors, s.next)
-
-	// Rebuild the aggregate view. CountsView is re-fetched every round
-	// because an adversary may have rebuilt the configuration with an
-	// extra (injected) slot between rounds.
-	counts := s.cfg.CountsView()
-	for i := range counts {
-		counts[i] = 0
-	}
-	for _, c := range s.colors {
-		counts[c]++
+	for s.behind > 0 {
+		b := s.queue.pop()
+		if b == nil {
+			// Unreachable: every incomplete round has a pending event
+			// (lost pulls schedule retries).
+			panic("cluster: event queue drained with rounds outstanding")
+		}
+		s.processBucket(b)
 	}
 }
 
-// Config returns the live aggregate configuration (rebuilt after every
-// Step). Callers that mutate it must keep Colors consistent.
+// processBucket runs one virtual tick: the coordinator delivers the
+// tick's network events in (deliverAt, seq) order, the worker lanes fire
+// the tick's round-starts in parallel against the start-of-tick color
+// snapshot, and the barrier applies every staged update and merges the
+// deferred events — so color reads within a tick never observe same-tick
+// writes, the discrete-event generalization of the synchronous round.
+func (s *System) processBucket(b *bucket) {
+	s.now = b.at
+	s.curBucket = b
+	coord := &s.lanes[s.p]
+	// Phase 1: deliver. Same-tick follow-ups (a zero-latency response to
+	// a delivered request) append to the bucket and are drained in order.
+	for qi := 0; qi < len(b.events); qi++ {
+		ev := b.events[qi]
+		switch ev.kind {
+		case evServe:
+			s.serve(coord, ev.node, ev.requester)
+		case evReply:
+			s.deliver(coord, ev.requester, ev.color)
+		case evRetry:
+			s.firePull(coord, ev.requester)
+		}
+	}
+	// Phase 2: round-starts, sharded over the worker pool. Workers read
+	// the immutable color snapshot and write only their own nodes' sample
+	// state and their own lane.
+	if len(b.wakes) > 0 {
+		if s.p == 1 {
+			s.runWakes(&s.lanes[0], b.wakes)
+		} else {
+			s.curWakes = b.wakes
+			s.phaseWG.Add(s.p)
+			for _, ch := range s.start {
+				ch <- struct{}{}
+			}
+			s.phaseWG.Wait()
+		}
+	}
+	// Phase 3: the tick barrier. Coordinator lane first, then workers in
+	// lane order — a fixed order, so next-tick wake lists (and therefore
+	// every later draw) are scheduling-independent.
+	s.applyLane(coord)
+	for w := 0; w < s.p; w++ {
+		s.applyLane(&s.lanes[w])
+	}
+	s.curBucket = nil
+	s.queue.release(b)
+}
+
+// workerLoop is one pool worker: each release processes the current wake
+// list's chunk for its lane.
+func (s *System) workerLoop(w int) {
+	defer s.poolWG.Done()
+	for range s.start[w] {
+		wakes := s.curWakes
+		lo := w * len(wakes) / s.p
+		hi := (w + 1) * len(wakes) / s.p
+		s.runWakes(&s.lanes[w], wakes[lo:hi])
+		s.phaseWG.Done()
+	}
+}
+
+// runWakes starts one round for every node in wakes on the given lane.
+func (s *System) runWakes(ln *lane, wakes []int32) {
+	if s.lockstep {
+		s.runWakesLockstep(ln, wakes)
+		return
+	}
+	for _, i := range wakes {
+		for j := 0; j < s.h; j++ {
+			s.firePull(ln, i)
+		}
+	}
+}
+
+// runWakesLockstep resolves whole rounds inline for instant-delivery
+// models: targets are drawn in one batched uniform fill per chunk, their
+// colors gathered from the snapshot, and the update applied — no
+// per-message events exist at all, so a lockstep round costs what an
+// agents-engine round does plus the per-node color gather.
+func (s *System) runWakesLockstep(ln *lane, wakes []int32) {
+	h := s.h
+	for base := 0; base < len(wakes); base += sampleChunk {
+		end := base + sampleChunk
+		if end > len(wakes) {
+			end = len(wakes)
+		}
+		m := end - base
+		chunk := ln.buf[:m*h]
+		ln.stream.FillIntN(s.n, chunk)
+		for idx := 0; idx < m; idx++ {
+			i := wakes[base+idx]
+			smp := chunk[idx*h : (idx+1)*h]
+			for j, t := range smp {
+				smp[j] = s.colors[t]
+			}
+			next := ln.rule.Update(s.colors[i], smp, ln.stream)
+			ln.staged = append(ln.staged, staged{node: i, next: int32(next)})
+		}
+		ln.messages += int64(2 * m * h)
+	}
+}
+
+// firePull fires one pull request from node i at the current tick: the
+// request is counted as sent, the target drawn uniformly (self included),
+// and the request either dropped (scheduling a retry), delayed
+// (scheduling its arrival), or served on the spot.
+func (s *System) firePull(ln *lane, i int32) {
+	ln.messages++ // the request leaves the requester now
+	t := int32(ln.stream.IntN(s.n))
+	if s.model.Drop(int(i), int(t), s.n, s.now, ln.stream) {
+		s.emit(ln, s.now+s.retry, event{kind: evRetry, requester: i})
+		return
+	}
+	if d := s.model.Latency(s.now, ln.stream); d > 0 {
+		s.emit(ln, s.now+d, event{kind: evServe, requester: i, node: t})
+		return
+	}
+	s.serve(ln, t, i)
+}
+
+// serve delivers a pull request to responder: the response — carrying the
+// responder's color as of this tick — is counted as sent, then dropped,
+// delayed, or delivered on the spot.
+func (s *System) serve(ln *lane, responder, requester int32) {
+	ln.messages++ // the response leaves the responder now
+	color := int32(s.colors[responder])
+	if s.model.Drop(int(responder), int(requester), s.n, s.now, ln.stream) {
+		s.emit(ln, s.now+s.retry, event{kind: evRetry, requester: requester})
+		return
+	}
+	if d := s.model.Latency(s.now, ln.stream); d > 0 {
+		s.emit(ln, s.now+d, event{kind: evReply, requester: requester, color: color})
+		return
+	}
+	s.deliver(ln, requester, color)
+}
+
+// deliver hands a pulled color to its requester; the h-th sample of a
+// round computes the node's update, staged until the tick barrier.
+func (s *System) deliver(ln *lane, req, color int32) {
+	base := int(req) * s.h
+	g := int(s.got[req])
+	s.samples[base+g] = int(color)
+	g++
+	s.got[req] = int32(g)
+	if g == s.h {
+		next := ln.rule.Update(s.colors[req], s.samples[base:base+s.h], ln.stream)
+		ln.staged = append(ln.staged, staged{node: req, next: int32(next)})
+	}
+}
+
+// emit schedules an event: worker lanes defer to their out-buffer (their
+// events are always for future ticks), the coordinator lane appends
+// directly — into the bucket being processed when the event is due this
+// tick.
+func (s *System) emit(ln *lane, at int64, ev event) {
+	if !ln.direct {
+		ln.deferred = append(ln.deferred, timedEvent{at: at, ev: ev})
+		return
+	}
+	if at == s.now {
+		s.curBucket.events = append(s.curBucket.events, ev)
+		return
+	}
+	b := s.queue.bucketAt(at)
+	b.events = append(b.events, ev)
+}
+
+// applyLane folds one lane into the system at the tick barrier: staged
+// updates move colors and counts, completed nodes wake next tick, and
+// deferred events merge into the queue — all in lane order.
+func (s *System) applyLane(ln *lane) {
+	if len(ln.staged) > 0 {
+		next := s.queue.bucketAt(s.now + 1)
+		for _, st := range ln.staged {
+			i := st.node
+			s.counts[s.colors[i]]--
+			s.counts[st.next]++
+			s.colors[i] = int(st.next)
+			s.got[i] = 0
+			s.done[i]++
+			if int(s.done[i]) == s.target {
+				s.behind--
+			}
+			next.wakes = append(next.wakes, i)
+		}
+		ln.staged = ln.staged[:0]
+	}
+	for _, te := range ln.deferred {
+		b := s.queue.bucketAt(te.at)
+		b.events = append(b.events, te.ev)
+	}
+	ln.deferred = ln.deferred[:0]
+	s.messages += ln.messages
+	ln.messages = 0
+}
+
+// Config returns the live aggregate configuration (maintained across
+// every Step). Callers that mutate it must keep Colors consistent.
 func (s *System) Config() *config.Config { return s.cfg }
 
 // Colors returns the live per-node slot assignment. The slice is owned by
 // the system; it may be mutated only between Step calls.
 func (s *System) Colors() []int { return s.colors }
 
-// Messages returns the total protocol messages (requests and responses)
-// exchanged so far.
-func (s *System) Messages() int64 { return s.messages.Load() }
+// Messages returns the total protocol messages sent so far: every pull
+// request counts when its requester fires it, every response when its
+// responder serves it — messages lost in transit were still sent.
+func (s *System) Messages() int64 { return s.messages }
 
 // BitsPerMessage is the size of one message payload: a color identifier,
 // ⌈log₂(slots)⌉ bits (the model's O(log k) constraint). It is computed
@@ -198,15 +455,17 @@ func (s *System) Messages() int64 { return s.messages.Load() }
 // injecting a color.
 func (s *System) BitsPerMessage() int { return bitsFor(s.cfg.Slots()) }
 
-// Close terminates all node goroutines. It is idempotent and must be
-// called between rounds (never while a Step is in flight).
+// Close releases the worker pool. It is idempotent and must be called
+// between rounds (never while a Step is in flight).
 func (s *System) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
-	close(s.stop)
-	s.nodesWG.Wait()
+	for _, ch := range s.start {
+		close(ch)
+	}
+	s.poolWG.Wait()
 }
 
 // bitsFor returns ⌈log₂(k)⌉ (minimum 1): the bits needed to name one of k

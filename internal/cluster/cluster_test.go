@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"github.com/ignorecomply/consensus/internal/config"
@@ -10,11 +11,16 @@ import (
 	"github.com/ignorecomply/consensus/internal/rules"
 )
 
+// okFactory adapts a plain rule constructor to the checked factory shape.
+func okFactory(mk func() core.NodeRule) func() (core.NodeRule, error) {
+	return func() (core.NodeRule, error) { return mk(), nil }
+}
+
 // runSystem drives a System to consensus or a round budget, the way the
 // sim Runner does, and reports the outcome.
-func runSystem(t *testing.T, factory func() core.NodeRule, start *config.Config, seed uint64, maxRounds int) (rounds int, converged bool, sys *System) {
+func runSystem(t *testing.T, factory func() (core.NodeRule, error), start *config.Config, seed uint64, maxRounds int, opts Options) (rounds int, converged bool, sys *System) {
 	t.Helper()
-	sys, err := NewSystem(factory, start, rng.New(seed))
+	sys, err := NewSystem(factory, start, rng.New(seed), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,8 +38,8 @@ func runSystem(t *testing.T, factory func() core.NodeRule, start *config.Config,
 }
 
 func TestSystemVoterConsensus(t *testing.T) {
-	_, converged, sys := runSystem(t, func() core.NodeRule { return rules.NewVoter() },
-		config.Balanced(60, 3), 201, 100000)
+	_, converged, sys := runSystem(t, okFactory(func() core.NodeRule { return rules.NewVoter() }),
+		config.Balanced(60, 3), 201, 100000, Options{})
 	if !converged {
 		t.Fatal("cluster voter did not converge")
 	}
@@ -47,37 +53,48 @@ func TestSystemVoterConsensus(t *testing.T) {
 }
 
 func TestSystemThreeMajorityConsensus(t *testing.T) {
-	_, converged, _ := runSystem(t, func() core.NodeRule { return rules.NewThreeMajority() },
-		config.Singleton(80), 202, 100000)
+	_, converged, _ := runSystem(t, okFactory(func() core.NodeRule { return rules.NewThreeMajority() }),
+		config.Singleton(80), 202, 100000, Options{})
 	if !converged {
 		t.Fatal("cluster 3-majority did not converge from n colors")
 	}
 }
 
+// TestSystemMessageAccounting: messages are counted where they happen —
+// requests at fire, responses at serve — so a lossless run exchanges
+// exactly 2·n·h messages per round, under the lockstep model and under a
+// uniform fixed delay alike.
 func TestSystemMessageAccounting(t *testing.T) {
-	rounds, converged, sys := runSystem(t, func() core.NodeRule { return rules.NewThreeMajority() },
-		config.Balanced(40, 2), 203, 100000)
-	if !converged {
-		t.Fatal("did not converge")
-	}
-	// Every round exchanges exactly n*h requests + n*h responses.
-	want := int64(rounds) * 40 * 3 * 2
-	if got := sys.Messages(); got != want {
-		t.Fatalf("Messages = %d, want %d (rounds=%d)", got, want, rounds)
+	for name, opts := range map[string]Options{
+		"zero":        {},
+		"fixed-delay": {Model: &Net{Delay: 2}},
+		"two-workers": {Workers: 2},
+	} {
+		t.Run(name, func(t *testing.T) {
+			rounds, converged, sys := runSystem(t, okFactory(func() core.NodeRule { return rules.NewThreeMajority() }),
+				config.Balanced(40, 2), 203, 100000, opts)
+			if !converged {
+				t.Fatal("did not converge")
+			}
+			want := int64(rounds) * 40 * 3 * 2
+			if got := sys.Messages(); got != want {
+				t.Fatalf("Messages = %d, want exactly 2·n·h·rounds = %d (rounds=%d)", got, want, rounds)
+			}
+		})
 	}
 }
 
 func TestSystemBitsPerMessage(t *testing.T) {
-	_, _, sys := runSystem(t, func() core.NodeRule { return rules.NewVoter() },
-		config.Balanced(20, 5), 204, 100000)
+	_, _, sys := runSystem(t, okFactory(func() core.NodeRule { return rules.NewVoter() }),
+		config.Balanced(20, 5), 204, 100000, Options{})
 	if sys.BitsPerMessage() != 3 { // ceil(log2 5) = 3
 		t.Fatalf("BitsPerMessage = %d, want 3", sys.BitsPerMessage())
 	}
 }
 
 func TestSystemAlreadyConsensus(t *testing.T) {
-	rounds, converged, sys := runSystem(t, func() core.NodeRule { return rules.NewVoter() },
-		config.Consensus(30), 205, 10)
+	rounds, converged, sys := runSystem(t, okFactory(func() core.NodeRule { return rules.NewVoter() }),
+		config.Consensus(30), 205, 10, Options{})
 	if !converged || rounds != 0 || sys.Messages() != 0 {
 		t.Fatalf("consensus start: rounds=%d messages=%d", rounds, sys.Messages())
 	}
@@ -85,8 +102,8 @@ func TestSystemAlreadyConsensus(t *testing.T) {
 
 func TestSystemBudgetExhaustion(t *testing.T) {
 	// 2-choices from many singleton colors cannot finish in 2 rounds.
-	rounds, converged, _ := runSystem(t, func() core.NodeRule { return rules.NewTwoChoices() },
-		config.Singleton(50), 206, 2)
+	rounds, converged, _ := runSystem(t, okFactory(func() core.NodeRule { return rules.NewTwoChoices() }),
+		config.Singleton(50), 206, 2, Options{})
 	if converged {
 		t.Fatal("should not converge in 2 rounds")
 	}
@@ -98,49 +115,164 @@ func TestSystemBudgetExhaustion(t *testing.T) {
 func TestNewSystemErrors(t *testing.T) {
 	c := config.Balanced(10, 2)
 	base := rng.New(1)
-	if _, err := NewSystem(nil, c, base); err == nil {
+	voterFactory := okFactory(func() core.NodeRule { return rules.NewVoter() })
+	if _, err := NewSystem(nil, c, base, Options{}); err == nil {
 		t.Error("expected error: nil factory")
 	}
-	if _, err := NewSystem(func() core.NodeRule { return rules.NewVoter() }, nil, base); err == nil {
+	if _, err := NewSystem(voterFactory, nil, base, Options{}); err == nil {
 		t.Error("expected error: nil start")
 	}
-	if _, err := NewSystem(func() core.NodeRule { return rules.NewVoter() }, c, nil); err == nil {
+	if _, err := NewSystem(voterFactory, c, nil, Options{}); err == nil {
 		t.Error("expected error: nil rng")
 	}
-	huge, err := config.New([]int{maxNodes + 1})
-	if err != nil {
-		t.Fatal(err)
+	if _, err := NewSystem(okFactory(func() core.NodeRule { return nil }), c, base, Options{}); err == nil {
+		t.Error("expected error: factory returning nil")
 	}
-	if _, err := NewSystem(func() core.NodeRule { return rules.NewVoter() }, huge, base); err == nil {
-		t.Error("expected error: too many nodes")
+	// A factory that degrades on a later instantiation fails construction
+	// with an error instead of panicking mid-run.
+	calls := 0
+	flaky := func() (core.NodeRule, error) {
+		calls++
+		if calls > 1 {
+			return nil, nil
+		}
+		return rules.NewVoter(), nil
+	}
+	if _, err := NewSystem(flaky, c, base, Options{Workers: 2}); err == nil {
+		t.Error("expected error: factory returning nil on a later call")
+	}
+	if _, err := NewSystem(voterFactory, c, base, Options{Model: &Net{Loss: 1}}); err == nil {
+		t.Error("expected error: loss 1 can never complete a pull")
+	}
+	if _, err := NewSystem(voterFactory, c, base, Options{Model: &Net{Delay: -1}}); err == nil {
+		t.Error("expected error: negative delay")
+	}
+	if _, err := NewSystem(voterFactory, c, base, Options{Model: &Net{Partitions: []Partition{{From: 5, Until: 3, Groups: 2}}}}); err == nil {
+		t.Error("expected error: inverted partition window")
+	}
+	if _, err := NewSystem(voterFactory, c, base, Options{Model: &Net{Partitions: []Partition{{From: 0, Until: 3, Groups: 1}}}}); err == nil {
+		t.Error("expected error: single-group partition")
 	}
 }
 
 func TestCloseIdempotent(t *testing.T) {
-	sys, err := NewSystem(func() core.NodeRule { return rules.NewVoter() },
-		config.Balanced(8, 2), rng.New(1))
-	if err != nil {
-		t.Fatal(err)
+	for _, workers := range []int{1, 3} {
+		sys, err := NewSystem(okFactory(func() core.NodeRule { return rules.NewVoter() }),
+			config.Balanced(8, 2), rng.New(1), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Close()
+		sys.Close()
 	}
-	sys.Close()
-	sys.Close()
 }
 
 func TestSystemInvariantPreserved(t *testing.T) {
-	_, converged, sys := runSystem(t, func() core.NodeRule { return rules.NewTwoChoices() },
-		config.TwoBlock(60, 20), 207, 100000)
-	if !converged {
-		t.Fatal("did not converge")
-	}
-	if err := sys.Config().CheckInvariant(); err != nil {
-		t.Fatal(err)
-	}
-	if sys.Config().N() != 60 {
-		t.Fatalf("node count changed: %d", sys.Config().N())
+	for name, opts := range map[string]Options{
+		"zero":    {},
+		"latency": {Model: &Net{Delay: 1, Jitter: 2}},
+		"loss":    {Model: &Net{Loss: 0.2}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, converged, sys := runSystem(t, okFactory(func() core.NodeRule { return rules.NewTwoChoices() }),
+				config.TwoBlock(60, 20), 207, 100000, opts)
+			if !converged {
+				t.Fatal("did not converge")
+			}
+			if err := sys.Config().CheckInvariant(); err != nil {
+				t.Fatal(err)
+			}
+			if sys.Config().N() != 60 {
+				t.Fatalf("node count changed: %d", sys.Config().N())
+			}
+		})
 	}
 }
 
-// TestClusterMatchesBatchOneRound cross-validates the message-passing
+// TestSystemDeterministic: fixed (seed, workers) reproduces a run bit for
+// bit — colors, counts, messages, rounds — for every model, including the
+// ones that consume network randomness.
+func TestSystemDeterministic(t *testing.T) {
+	models := map[string]func() Options{
+		"zero":         func() Options { return Options{} },
+		"zero/p4":      func() Options { return Options{Workers: 4} },
+		"jitter":       func() Options { return Options{Model: &Net{Delay: 1, Jitter: 3}} },
+		"loss":         func() Options { return Options{Model: &Net{Loss: 0.3}, Workers: 2} },
+		"partitioned":  func() Options { return Options{Model: &Net{Partitions: []Partition{{From: 2, Until: 6, Groups: 2}}}} },
+		"full-network": func() Options { return Options{Model: &Net{Delay: 1, Jitter: 1, Loss: 0.1, Retry: 2}, Workers: 3} },
+	}
+	for name, mk := range models {
+		t.Run(name, func(t *testing.T) {
+			run := func() ([]int, int64) {
+				sys, err := NewSystem(okFactory(func() core.NodeRule { return rules.NewThreeMajority() }),
+					config.Balanced(120, 5), rng.New(777), mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Close()
+				for i := 0; i < 20; i++ {
+					sys.Step()
+				}
+				colors := append([]int(nil), sys.Colors()...)
+				return colors, sys.Messages()
+			}
+			c1, m1 := run()
+			c2, m2 := run()
+			if m1 != m2 {
+				t.Fatalf("messages diverge: %d vs %d", m1, m2)
+			}
+			if !reflect.DeepEqual(c1, c2) {
+				t.Fatal("per-node colors diverge between identical runs")
+			}
+		})
+	}
+}
+
+// TestSystemLossyStillConverges: i.i.d. loss with pull retry must not
+// stall the process — every round's pulls eventually complete.
+func TestSystemLossyStillConverges(t *testing.T) {
+	rounds, converged, sys := runSystem(t, okFactory(func() core.NodeRule { return rules.NewThreeMajority() }),
+		config.Balanced(80, 4), 208, 100000, Options{Model: &Net{Loss: 0.3, Retry: 1}})
+	if !converged {
+		t.Fatal("lossy cluster did not converge")
+	}
+	// Retries resend requests, so a lossy run must send strictly more
+	// than the lossless 2·n·h per round.
+	if sys.Messages() <= int64(rounds)*80*3*2 {
+		t.Fatalf("messages = %d over %d rounds: loss induced no retries?", sys.Messages(), rounds)
+	}
+}
+
+// TestSystemPartitionHeals: during a 2-group split no pull crosses the
+// blocks, so the two halves run their own processes; after Until the
+// population can reach global consensus again.
+func TestSystemPartitionHeals(t *testing.T) {
+	// Two blocks holding distinct colors: while partitioned, each block is
+	// internally unanimous and stays that way; consensus needs the heal.
+	start := config.TwoBlock(64, 32)
+	model := &Net{Partitions: []Partition{{From: 0, Until: 30, Groups: 2}}}
+	sys, err := NewSystem(okFactory(func() core.NodeRule { return rules.NewVoter() }),
+		start, rng.New(209), Options{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for round := 1; round <= 25; round++ {
+		sys.Step()
+		if sys.Config().IsConsensus() {
+			t.Fatalf("consensus at round %d, inside the partition window", round)
+		}
+	}
+	for round := 26; round <= 100000; round++ {
+		sys.Step()
+		if sys.Config().IsConsensus() {
+			return
+		}
+	}
+	t.Fatal("no consensus after the partition healed")
+}
+
+// TestClusterMatchesBatchOneRound cross-validates the event-driven
 // runtime against the exact batch law: single-round mean fractions must
 // agree for an AC rule.
 func TestClusterMatchesBatchOneRound(t *testing.T) {
@@ -150,8 +282,8 @@ func TestClusterMatchesBatchOneRound(t *testing.T) {
 	batchMeans := make([]float64, start.Slots())
 	r := rng.New(208)
 	for rep := 0; rep < reps; rep++ {
-		sys, err := NewSystem(func() core.NodeRule { return rules.NewThreeMajority() },
-			start, rng.New(uint64(1000+rep)))
+		sys, err := NewSystem(okFactory(func() core.NodeRule { return rules.NewThreeMajority() }),
+			start, rng.New(uint64(1000+rep)), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -174,6 +306,23 @@ func TestClusterMatchesBatchOneRound(t *testing.T) {
 		if math.Abs(cm-bm) > 0.03 {
 			t.Errorf("slot %d: cluster mean %.4f vs batch mean %.4f", s, cm, bm)
 		}
+	}
+}
+
+// TestSystemZeroSteadyStateAllocs: a steady-state lockstep round must not
+// allocate — buckets are recycled, lanes reuse their buffers.
+func TestSystemZeroSteadyStateAllocs(t *testing.T) {
+	sys, err := NewSystem(okFactory(func() core.NodeRule { return rules.NewThreeMajority() }),
+		config.Balanced(2048, 4), rng.New(210), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for i := 0; i < 5; i++ {
+		sys.Step() // reach steady state
+	}
+	if avg := testing.AllocsPerRun(20, func() { sys.Step() }); avg != 0 {
+		t.Errorf("lockstep Step allocates %.2f times, want 0", avg)
 	}
 }
 

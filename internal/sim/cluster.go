@@ -9,11 +9,24 @@ import (
 	"github.com/ignorecomply/consensus/internal/rng"
 )
 
-// RunCluster executes a per-node rule as a real message-passing system
-// (one goroutine per node), stopping at consensus or after maxRounds.
+// WithNetwork runs the process on the cluster engine under the given
+// network model (and implies EngineCluster): zero-latency lockstep
+// (cluster.Zero, the default), or cluster.Net with seeded latency, i.i.d.
+// message loss with pull retry, and scheduled partitions. The model value
+// is shared by every run of the Runner, including parallel replicas; the
+// built-in models are stateless and safe for that, and a custom Model
+// must be too.
+func WithNetwork(m cluster.Model) Option {
+	return optionFunc(func(o *options) { o.network = m })
+}
+
+// RunCluster executes a per-node rule on the event-driven message-passing
+// engine under the zero-latency lockstep model, stopping at consensus or
+// after maxRounds.
 //
-// Deprecated: build a Runner with WithEngine(EngineCluster) instead;
-// RunCluster remains as the cluster-engine compatibility entry point.
+// Deprecated: build a Runner with WithEngine(EngineCluster) (and
+// optionally WithNetwork) instead; RunCluster remains as the
+// cluster-engine compatibility entry point.
 func RunCluster(factory func() core.NodeRule, start *config.Config, seed uint64, maxRounds int) (*Result, error) {
 	if factory == nil || start == nil {
 		return nil, errors.New("sim: factory and start must be non-nil")
@@ -22,16 +35,26 @@ func RunCluster(factory func() core.NodeRule, start *config.Config, seed uint64,
 	if err != nil {
 		return nil, err
 	}
-	return runCluster(factory, start, rng.New(seed), o)
+	checked := func() (core.NodeRule, error) {
+		rule := factory()
+		if rule == nil {
+			return nil, errors.New("sim: factory returned a nil rule")
+		}
+		return rule, nil
+	}
+	return runCluster(checked, start, rng.New(seed), o)
 }
 
 // runCluster drives a cluster.System through the shared round loop, so the
 // message-passing engine honors the full option set (targets, traces,
 // observers, adversaries, cancellation) like every other engine.
-func runCluster(factory func() core.NodeRule, start *config.Config, r *rng.RNG, o options) (*Result, error) {
-	o.compactEvery = 0 // node goroutines hold slot indices; never renumber
+func runCluster(factory func() (core.NodeRule, error), start *config.Config, r *rng.RNG, o options) (*Result, error) {
+	o.compactEvery = 0 // node states refer to slot indices; never renumber
 
-	sys, err := cluster.NewSystem(factory, start, r)
+	sys, err := cluster.NewSystem(factory, start, r, cluster.Options{
+		Model:   o.network,
+		Workers: o.parallelism(start.N()),
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build;
+// the million-node acceptance test skips itself under -race (the race
+// coverage of the network engine runs at small n instead).
+const raceEnabled = false

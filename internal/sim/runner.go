@@ -29,8 +29,10 @@ const (
 	// EngineGraph runs the per-node simulation on an arbitrary
 	// interaction topology (WithGraph); samples are uniform neighbors.
 	EngineGraph
-	// EngineCluster runs a real message-passing miniature system: one
-	// goroutine per node exchanging pull requests over channels, with
+	// EngineCluster runs a real message-passing system on a deterministic
+	// discrete-event network engine: every pull request/response is a
+	// message shaped by a pluggable network model (WithNetwork — latency,
+	// loss, partitions; zero-latency lockstep by default), with exact
 	// message accounting.
 	EngineCluster
 )
@@ -76,13 +78,13 @@ type Runner struct {
 
 // NewRunner builds a Runner around a single rule instance. It drives the
 // batch, agents and graph engines; the cluster engine and RunReplicas need
-// one rule instance per goroutine and therefore a NewFactoryRunner.
+// one rule instance per worker and therefore a NewFactoryRunner.
 func NewRunner(rule core.Rule, opts ...Option) *Runner {
 	return &Runner{rule: rule, opts: opts}
 }
 
 // NewFactoryRunner builds a Runner that creates a fresh rule instance per
-// run, per replica, and (on the cluster engine) per node.
+// run, per replica, and (on the cluster engine) per worker lane.
 func NewFactoryRunner(factory core.Factory, opts ...Option) *Runner {
 	return &Runner{factory: factory, opts: opts}
 }
@@ -183,6 +185,19 @@ dispatch:
 	close(jobs)
 	wg.Wait()
 
+	// A context cancelled only after the last replica finished must not
+	// discard the fully-computed results: report cancellation only when it
+	// actually cost us a replica.
+	complete := true
+	for i := range results {
+		if results[i] == nil || errs[i] != nil {
+			complete = false
+			break
+		}
+	}
+	if complete {
+		return results, nil
+	}
 	if err := o.ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -191,7 +206,7 @@ dispatch:
 			return nil, fmt.Errorf("sim: replica %d: %w", i, err)
 		}
 	}
-	return results, nil
+	return nil, errors.New("sim: replicas incomplete without a cause")
 }
 
 func (rn *Runner) buildRunOptions(ctx context.Context) (options, error) {
@@ -234,13 +249,20 @@ func (rn *Runner) runOnce(start *config.Config, r *rng.RNG, o options) (*Result,
 		return runGraph(nodeRule, rn.factory, o.graph, graphStartColors(start), r, o)
 	case EngineCluster:
 		if rn.factory == nil {
-			return nil, errors.New("sim: the cluster engine needs a fresh rule per node; use NewFactoryRunner")
+			return nil, errors.New("sim: the cluster engine needs a fresh rule per worker lane; use NewFactoryRunner")
 		}
 		if _, err := asNodeRule(rule, o.engine); err != nil {
 			return nil, err
 		}
-		return runCluster(func() core.NodeRule {
-			return rn.factory().(core.NodeRule)
+		// Every later instantiation is checked the same way as the first:
+		// a factory that returns nil or a non-NodeRule on some later call
+		// must surface the field-qualified error, not panic mid-run.
+		return runCluster(func() (core.NodeRule, error) {
+			rule, err := rn.instance()
+			if err != nil {
+				return nil, err
+			}
+			return asNodeRule(rule, o.engine)
 		}, start, r, o)
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %v", o.engine)

@@ -519,14 +519,15 @@ func TestRunnerWith(t *testing.T) {
 	}
 }
 
-// TestRunnerSeedDeterminism: same seed, same results, engine by engine
-// (cluster excepted: scheduling nondeterminism).
+// TestRunnerSeedDeterminism: same seed, same results, engine by engine —
+// including, since the event-driven rewrite, the cluster engine.
 func TestRunnerSeedDeterminism(t *testing.T) {
 	start := config.Singleton(200)
 	for name, opts := range map[string][]Option{
-		"batch":  nil,
-		"agents": {WithEngine(EngineAgents)},
-		"graph":  {WithGraph(graph.NewComplete(200))},
+		"batch":   nil,
+		"agents":  {WithEngine(EngineAgents)},
+		"graph":   {WithGraph(graph.NewComplete(200))},
+		"cluster": {WithEngine(EngineCluster)},
 	} {
 		t.Run(name, func(t *testing.T) {
 			run := func() *Result {

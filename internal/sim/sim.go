@@ -9,8 +9,9 @@
 //   - Batch: the exact O(k) one-round law on configurations (core.Rule);
 //   - Agents: the literal per-node Uniform Pull simulation (core.NodeRule);
 //   - Graph: per-node simulation on an arbitrary interaction topology;
-//   - Cluster: a real message-passing miniature system, one goroutine per
-//     node (internal/cluster).
+//   - Cluster: a real message-passing system on a deterministic
+//     discrete-event network engine with pluggable latency/loss/partition
+//     models (internal/cluster, WithNetwork).
 package sim
 
 import (
@@ -19,6 +20,7 @@ import (
 	"runtime"
 
 	"github.com/ignorecomply/consensus/internal/adversary"
+	"github.com/ignorecomply/consensus/internal/cluster"
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/core"
 	"github.com/ignorecomply/consensus/internal/graph"
@@ -95,6 +97,7 @@ type options struct {
 	engine    Engine
 	engineSet bool
 	graph     graph.Graph
+	network   cluster.Model
 
 	parallel    int
 	parallelSet bool
@@ -190,10 +193,12 @@ func WithStopWhen(fn func(round int, c *config.Config) bool) Option {
 // Update method to be safe for concurrent calls (true of every built-in
 // rule). That sharing is therefore opt-in: a custom rule may keep scratch
 // on the receiver, so without a factory, sharding needs an explicit
-// WithParallelism. The batch
-// and cluster engines ignore this option. Replica fan-out (RunReplicas)
-// defaults each replica's engine to p = 1 — the replica pool already
-// saturates the cores — unless WithParallelism is given explicitly.
+// WithParallelism. The cluster engine uses p as its worker-pool size with
+// the same contract — fixed (seed, p) is bit-exact, changing p is
+// distribution-identical only. The batch engine ignores this option.
+// Replica fan-out (RunReplicas) defaults each replica's engine to p = 1 —
+// the replica pool already saturates the cores — unless WithParallelism
+// is given explicitly.
 func WithParallelism(p int) Option {
 	return optionFunc(func(o *options) { o.parallel = p; o.parallelSet = true })
 }
@@ -288,6 +293,14 @@ func buildOptions(opts []Option) (options, error) {
 	}
 	if o.engine == EngineGraph && o.graph == nil {
 		return o, errors.New("sim: graph engine requires WithGraph")
+	}
+	if o.network != nil {
+		if !o.engineSet {
+			o.engine = EngineCluster
+			o.engineSet = true
+		} else if o.engine != EngineCluster {
+			return o, errors.New("sim: WithNetwork requires the cluster engine")
+		}
 	}
 	return o, nil
 }

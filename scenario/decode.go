@@ -185,8 +185,9 @@ func (s *Scenario) Validate() error {
 			return err
 		}
 	}
-	// Checks that need the merged view: every group needs a rule, and the
-	// graph engine and a topology only make sense together.
+	// Checks that need the merged view: every group needs a rule, the
+	// graph engine and a topology only make sense together, and a network
+	// section binds to the cluster engine.
 	for i, eff := range s.effectiveGroups() {
 		if eff.Rule == nil {
 			return fail(fmt.Sprintf("runs[%d]", i), "no rule: set rule here or at the scenario level")
@@ -196,6 +197,14 @@ func (s *Scenario) Validate() error {
 		}
 		if eff.Topology != nil && eff.Engine != "" && eff.Engine != "graph" {
 			return fail(fmt.Sprintf("runs[%d]", i), "a topology implies the graph engine; engine is %q", eff.Engine)
+		}
+		if eff.Network != nil {
+			if eff.Topology != nil {
+				return fail(fmt.Sprintf("runs[%d]", i), "a network section implies the cluster engine, a topology the graph engine; pick one")
+			}
+			if eff.Engine != "" && eff.Engine != "cluster" {
+				return fail(fmt.Sprintf("runs[%d]", i), "a network section implies the cluster engine; engine is %q", eff.Engine)
+			}
 		}
 	}
 	if s.Reducer != "" && !validName(s.Reducer) {
@@ -252,6 +261,33 @@ func (s *Scenario) validateDefaults(d *RunDefaults, path string) error {
 	if d.Parallelism != nil {
 		if err := d.Parallelism.compile(path + ".parallelism"); err != nil {
 			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	if d.Network != nil {
+		for sub, q := range map[string]*Quantity{
+			"network.delay": &d.Network.Delay, "network.jitter": &d.Network.Jitter,
+			"network.loss": &d.Network.Loss, "network.retry_after": &d.Network.RetryAfter,
+		} {
+			if err := q.compile(path + "." + sub); err != nil {
+				return fmt.Errorf("scenario %q: %w", s.Name, err)
+			}
+		}
+		for j := range d.Network.Partitions {
+			pt := &d.Network.Partitions[j]
+			ppath := fmt.Sprintf("%s.network.partitions[%d]", path, j)
+			if !pt.From.IsSet() {
+				return fail(fmt.Sprintf("network.partitions[%d].from", j), "the partition window is required")
+			}
+			if !pt.Until.IsSet() {
+				return fail(fmt.Sprintf("network.partitions[%d].until", j), "the partition window is required")
+			}
+			for sub, q := range map[string]*Quantity{
+				"from": &pt.From, "until": &pt.Until, "groups": &pt.Groups,
+			} {
+				if err := q.compile(ppath + "." + sub); err != nil {
+					return fmt.Errorf("scenario %q: %w", s.Name, err)
+				}
+			}
 		}
 	}
 	if d.Init != nil {
@@ -376,6 +412,9 @@ func (s *Scenario) effectiveGroups() []RunGroup {
 		}
 		if eff.Topology == nil {
 			eff.Topology = s.Topology
+		}
+		if eff.Network == nil {
+			eff.Network = s.Network
 		}
 		if eff.Init == nil {
 			eff.Init = s.Init

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/ignorecomply/consensus/internal/adversary"
+	"github.com/ignorecomply/consensus/internal/cluster"
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/graph"
 	"github.com/ignorecomply/consensus/internal/rng"
@@ -215,6 +216,9 @@ func executeRun(ctx context.Context, spec *RunSpec, start *config.Config, g grap
 	} else if spec.Engine != sim.EngineBatch {
 		opts = append(opts, sim.WithEngine(spec.Engine))
 	}
+	if spec.Network != nil {
+		opts = append(opts, sim.WithNetwork(buildNetwork(spec.Network)))
+	}
 	if spec.StopWhen != nil {
 		pred, ok := lookupStopPredicate(spec.StopWhen.Name)
 		if !ok {
@@ -232,6 +236,25 @@ func executeRun(ctx context.Context, spec *RunSpec, start *config.Config, g grap
 		opts = append(opts, sim.WithAdversary(adv, spec.Adversary.Epsilon, spec.Adversary.Window))
 	}
 	return sim.NewFactoryRunner(factory, opts...).Run(ctx, start)
+}
+
+// buildNetwork constructs the cluster engine's network model from a
+// resolved network section (already range-checked at expansion).
+func buildNetwork(rn *ResolvedNetwork) cluster.Model {
+	net := &cluster.Net{
+		Delay:  int64(rn.Delay),
+		Jitter: int64(rn.Jitter),
+		Loss:   rn.Loss,
+		Retry:  int64(rn.RetryAfter),
+	}
+	for _, pt := range rn.Partitions {
+		net.Partitions = append(net.Partitions, cluster.Partition{
+			From:   int64(pt.From),
+			Until:  int64(pt.Until),
+			Groups: pt.Groups,
+		})
+	}
+	return net
 }
 
 // buildStart generates the group's start configuration.

@@ -54,6 +54,8 @@ type RunSpec struct {
 	Parallelism int
 	// Topology is the resolved interaction graph (graph engine only).
 	Topology *ResolvedTopology
+	// Network is the resolved network model (cluster engine only).
+	Network *ResolvedNetwork
 	// Init is the resolved start-configuration generator.
 	Init ResolvedInit
 	// MaxRounds bounds the run (0 = the Runner default).
@@ -82,6 +84,22 @@ type ResolvedTopology struct {
 	Name   string
 	Rows   int // torus (0 = square)
 	Degree int // random-regular
+}
+
+// ResolvedNetwork is a network model with concrete parameters (ticks of
+// the engine's virtual clock).
+type ResolvedNetwork struct {
+	Delay      int
+	Jitter     int
+	Loss       float64
+	RetryAfter int
+	Partitions []ResolvedPartition
+}
+
+// ResolvedPartition is one scheduled communication split.
+type ResolvedPartition struct {
+	From, Until int
+	Groups      int
 }
 
 // ResolvedInit is a start-configuration generator with concrete
@@ -272,9 +290,12 @@ func (s *Scenario) resolveGroup(g *RunGroup, scale Scale, n int, env map[string]
 		return spec, fmt.Errorf("rule.h: h-majority needs h >= 1 (set rule.h)")
 	}
 
-	// Engine and topology.
+	// Engine, topology and network.
 	switch {
 	case g.Topology != nil:
+		if g.Network != nil {
+			return spec, fmt.Errorf("engine: a network section implies the cluster engine, a topology the graph engine; pick one")
+		}
 		if g.Engine != "" && g.Engine != "graph" {
 			return spec, fmt.Errorf("engine: topology implies the graph engine, got %q", g.Engine)
 		}
@@ -288,6 +309,16 @@ func (s *Scenario) resolveGroup(g *RunGroup, scale Scale, n int, env map[string]
 			return spec, err
 		}
 		spec.Topology = topo
+	case g.Network != nil:
+		if g.Engine != "" && g.Engine != "cluster" {
+			return spec, fmt.Errorf("engine: a network section implies the cluster engine, got %q", g.Engine)
+		}
+		spec.Engine = EngineCluster
+		net, err := resolveNetwork(g.Network, scale, env)
+		if err != nil {
+			return spec, err
+		}
+		spec.Network = net
 	case g.Engine == "" || g.Engine == "batch":
 		spec.Engine = EngineBatch
 	case g.Engine == "agents":
@@ -383,6 +414,60 @@ func (s *Scenario) resolveGroup(g *RunGroup, scale Scale, n int, env map[string]
 		}
 	}
 	return spec, nil
+}
+
+// resolveNetwork evaluates a network section against a cell's bindings,
+// range-checking every field so a bad spec fails at expansion with the
+// field's path instead of inside the engine.
+func resolveNetwork(ns *NetworkSpec, scale Scale, env map[string]float64) (*ResolvedNetwork, error) {
+	net := &ResolvedNetwork{}
+	var err error
+	if net.Delay, err = evalIntOr(&ns.Delay, scale, env, 0, "network.delay"); err != nil {
+		return nil, err
+	}
+	if net.Delay < 0 {
+		return nil, fmt.Errorf("network.delay: must be >= 0, got %d", net.Delay)
+	}
+	if net.Jitter, err = evalIntOr(&ns.Jitter, scale, env, 0, "network.jitter"); err != nil {
+		return nil, err
+	}
+	if net.Jitter < 0 {
+		return nil, fmt.Errorf("network.jitter: must be >= 0, got %d", net.Jitter)
+	}
+	if net.Loss, err = evalFloatOr(&ns.Loss, scale, env, 0, "network.loss"); err != nil {
+		return nil, err
+	}
+	if net.Loss < 0 || net.Loss >= 1 {
+		return nil, fmt.Errorf("network.loss: must be in [0, 1), got %v", net.Loss)
+	}
+	if net.RetryAfter, err = evalIntOr(&ns.RetryAfter, scale, env, 1, "network.retry_after"); err != nil {
+		return nil, err
+	}
+	if net.RetryAfter < 1 {
+		return nil, fmt.Errorf("network.retry_after: must be >= 1, got %d", net.RetryAfter)
+	}
+	for j := range ns.Partitions {
+		pt := &ns.Partitions[j]
+		var rp ResolvedPartition
+		path := func(sub string) string { return fmt.Sprintf("network.partitions[%d].%s", j, sub) }
+		if rp.From, err = evalIntOr(&pt.From, scale, env, 0, path("from")); err != nil {
+			return nil, err
+		}
+		if rp.Until, err = evalIntOr(&pt.Until, scale, env, 0, path("until")); err != nil {
+			return nil, err
+		}
+		if rp.From < 0 || rp.Until <= rp.From {
+			return nil, fmt.Errorf("%s: need 0 <= from < until, got [%d, %d)", path("window"), rp.From, rp.Until)
+		}
+		if rp.Groups, err = evalIntOr(&pt.Groups, scale, env, 2, path("groups")); err != nil {
+			return nil, err
+		}
+		if rp.Groups < 2 {
+			return nil, fmt.Errorf("%s: must be >= 2, got %d", path("groups"), rp.Groups)
+		}
+		net.Partitions = append(net.Partitions, rp)
+	}
+	return net, nil
 }
 
 // VarNames returns the sorted numeric variable names a cell binds —

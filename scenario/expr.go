@@ -15,6 +15,10 @@ import (
 //
 //   - numbers (float64 literals) and variables bound by the spec;
 //   - + - * / % and ^ (math.Pow, right-associative), unary minus;
+//     % is math.Mod — truncated division, the result keeps the sign of
+//     the dividend and works on non-integral operands (-7 % 3 is -1,
+//     7 % -3 is 1, 7.5 % 2 is 1.5); integer contexts additionally reject
+//     a negative result of any expression using % (see EvalInt);
 //   - comparisons < <= > >= == != evaluating to 1 or 0;
 //   - functions: log (natural), log2, exp, sqrt, pow, ceil, floor, round,
 //     abs, min, max, and if(cond, then, else);
@@ -29,8 +33,9 @@ import (
 
 // Expr is a parsed scenario expression.
 type Expr struct {
-	src  string
-	root exprNode
+	src    string
+	root   exprNode
+	hasMod bool
 }
 
 // ParseExpr parses src into an evaluable expression.
@@ -44,7 +49,7 @@ func ParseExpr(src string) (*Expr, error) {
 	if p.tok.kind != tokEOF {
 		return nil, fmt.Errorf("expression %q: unexpected %q at offset %d", src, p.tok.text, p.tok.off)
 	}
-	return &Expr{src: src, root: root}, nil
+	return &Expr{src: src, root: root, hasMod: p.sawMod}, nil
 }
 
 // String returns the source the expression was parsed from.
@@ -69,7 +74,11 @@ const maxExactInt = 1 << 53
 
 // EvalInt evaluates the expression and requires an integral result (within
 // 1e-9); fractional values must be made integral explicitly with
-// ceil/floor/round in the spec.
+// ceil/floor/round in the spec. Because % is truncated (the result keeps
+// the dividend's sign), a negative result of any expression using % is
+// rejected here explicitly: in the integer contexts (replicas, budgets, κ
+// targets, ticks) a silently negative residue is always a spec bug —
+// write ((a % b) + b) % b for the non-negative residue.
 func (e *Expr) EvalInt(env map[string]float64) (int, error) {
 	v, err := e.Eval(env)
 	if err != nil {
@@ -81,6 +90,9 @@ func (e *Expr) EvalInt(env map[string]float64) (int, error) {
 	}
 	if math.Abs(r) > maxExactInt {
 		return 0, fmt.Errorf("expression %q: value %v is outside the exactly-representable integer range (±2^53)", e.src, v)
+	}
+	if e.hasMod && r < 0 {
+		return 0, fmt.Errorf("expression %q: negative result %v in an integer context with %% (truncated modulus keeps the dividend's sign; write ((a %% b) + b) %% b for the non-negative residue)", e.src, v)
 	}
 	return int(r), nil
 }
@@ -261,10 +273,11 @@ type token struct {
 }
 
 type exprParser struct {
-	src string
-	pos int
-	tok token
-	err error
+	src    string
+	pos    int
+	tok    token
+	err    error
+	sawMod bool
 }
 
 func (p *exprParser) next() {
@@ -376,6 +389,9 @@ func (p *exprParser) parseMul() (exprNode, error) {
 	}
 	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/" || p.tok.text == "%") {
 		op := p.tok.text
+		if op == "%" {
+			p.sawMod = true
+		}
 		p.next()
 		r, err := p.parseUnary()
 		if err != nil {

@@ -133,3 +133,53 @@ func TestExprErrors(t *testing.T) {
 		t.Error("log(-1) should report a NaN result")
 	}
 }
+
+// TestExprModSemantics pins the documented % semantics (DESIGN.md §6.1):
+// math.Mod — truncated division, the result keeps the dividend's sign,
+// and non-integral operands work.
+func TestExprModSemantics(t *testing.T) {
+	env := map[string]float64{"a": -7, "b": 3}
+	tests := []struct {
+		src  string
+		want float64
+	}{
+		{src: "7 % 3", want: 1},
+		{src: "-7 % 3", want: -1}, // sign of the dividend
+		{src: "7 % -3", want: 1},  // divisor's sign is ignored
+		{src: "-7 % -3", want: -1},
+		{src: "7.5 % 2", want: 1.5}, // float operands, exact
+		{src: "-7.5 % 2", want: -1.5},
+		{src: "a % b", want: math.Mod(-7, 3)},
+		{src: "((a % b) + b) % b", want: 2}, // the documented non-negative residue
+	}
+	for _, tt := range tests {
+		got, err := mustParse(t, tt.src).Eval(env)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", tt.src, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+
+	// Integer contexts reject a negative modulus result explicitly...
+	if _, err := mustParse(t, "-7 % 3").EvalInt(nil); err == nil ||
+		!strings.Contains(err.Error(), "dividend's sign") {
+		t.Errorf("negative modulus in an integer context = %v, want the documented rejection", err)
+	}
+	if _, err := mustParse(t, "(2 % 3) - 5").EvalInt(nil); err == nil {
+		t.Error("negative result of a %-using expression must be rejected in an integer context")
+	}
+	// ...while non-negative modulus results and %-free negatives still pass.
+	if v, err := mustParse(t, "((a % b) + b) % b").EvalInt(env); err != nil || v != 2 {
+		t.Errorf("non-negative residue = %d, %v", v, err)
+	}
+	if v, err := mustParse(t, "-7 + 3").EvalInt(nil); err != nil || v != -4 {
+		t.Errorf("%%-free negative integer = %d, %v (must stay allowed)", v, err)
+	}
+	if _, err := mustParse(t, "1 % 0").Eval(nil); err == nil ||
+		!strings.Contains(err.Error(), "modulo by zero") {
+		t.Errorf("modulo by zero error = %v", err)
+	}
+}

@@ -131,6 +131,9 @@ type RunDefaults struct {
 	Parallelism *Quantity `json:"parallelism,omitempty"`
 	// Topology is the interaction graph (engine "graph" only).
 	Topology *TopologySpec `json:"topology,omitempty"`
+	// Network shapes message delivery on the event-driven cluster engine
+	// (engine "cluster" only; a network section implies it).
+	Network *NetworkSpec `json:"network,omitempty"`
 	// Init generates the start configuration (default singleton).
 	Init *InitSpec `json:"init,omitempty"`
 	// Stop bounds the run.
@@ -169,6 +172,36 @@ type TopologySpec struct {
 	Rows Quantity `json:"rows,omitempty"`
 	// Degree is the random-regular vertex degree.
 	Degree Quantity `json:"degree,omitempty"`
+}
+
+// NetworkSpec configures the cluster engine's network model: per-leg
+// latency (fixed delay plus uniform jitter), i.i.d. per-leg message loss
+// with pull retry, and scheduled partitions. All quantities are in ticks
+// of the engine's virtual clock (one lockstep round = one tick). The
+// empty section is the zero-latency lockstep model.
+type NetworkSpec struct {
+	// Delay is the fixed per-leg delivery delay in ticks (default 0).
+	Delay Quantity `json:"delay,omitempty"`
+	// Jitter adds a uniform extra delay in [0, jitter] ticks per leg.
+	Jitter Quantity `json:"jitter,omitempty"`
+	// Loss is the i.i.d. per-leg loss probability in [0, 1).
+	Loss Quantity `json:"loss,omitempty"`
+	// RetryAfter is the pull-retry timeout in ticks (default 1).
+	RetryAfter Quantity `json:"retry_after,omitempty"`
+	// Partitions are scheduled communication splits.
+	Partitions []PartitionSpec `json:"partitions,omitempty"`
+}
+
+// PartitionSpec is one scheduled communication split: during ticks
+// [from, until) the population divides into groups contiguous id blocks
+// and messages crossing blocks are dropped.
+type PartitionSpec struct {
+	// From is the first tick of the split window.
+	From Quantity `json:"from"`
+	// Until is the first tick after the window.
+	Until Quantity `json:"until"`
+	// Groups is the number of contiguous id blocks (default 2).
+	Groups Quantity `json:"groups,omitempty"`
 }
 
 // InitSpec generates the start configuration of every run in a group.
