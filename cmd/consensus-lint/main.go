@@ -1,0 +1,116 @@
+// Command consensus-lint runs the project's static-analysis suite
+// (internal/lint): detrange, rnghygiene, hotalloc, goroutinefree and
+// copylocks — the machine-checked form of the determinism, RNG-hygiene
+// and hot-path contracts documented in DESIGN.md §7.
+//
+// Usage:
+//
+//	go run ./cmd/consensus-lint ./...
+//	go run ./cmd/consensus-lint -only detrange,hotalloc ./internal/rules
+//	go run ./cmd/consensus-lint -tests ./...
+//
+// Patterns are module-relative: "./..." (or a bare "...") lints every
+// package in the module; a directory argument lints that package alone.
+// The command exits 1 when any diagnostic is reported, making it
+// CI-gateable, and 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/ignorecomply/consensus/internal/lint"
+)
+
+func main() {
+	var (
+		only  = flag.String("only", "", "comma-separated analyzer subset (default: all)")
+		tests = flag.Bool("tests", false, "also lint in-package _test.go files")
+		list  = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*only)
+	if err != nil {
+		fail(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	root, err := lint.ModuleRoot(cwd)
+	if err != nil {
+		fail(err)
+	}
+
+	loader := lint.NewLoader()
+	loader.IncludeTests = *tests
+
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			loaded, err := loader.LoadModule(root)
+			if err != nil {
+				fail(err)
+			}
+			pkgs = append(pkgs, loaded...)
+		case strings.HasSuffix(pat, "/..."):
+			sub := filepath.Join(cwd, strings.TrimSuffix(pat, "/..."))
+			loaded, err := loader.LoadModule(root)
+			if err != nil {
+				fail(err)
+			}
+			for _, p := range loaded {
+				if p.Dir == sub || strings.HasPrefix(p.Dir, sub+string(filepath.Separator)) {
+					pkgs = append(pkgs, p)
+				}
+			}
+		default:
+			dir := pat
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(cwd, pat)
+			}
+			rel, err := filepath.Rel(root, dir)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				fail(fmt.Errorf("consensus-lint: %s is outside the module", pat))
+			}
+			pkg, err := loader.LoadDirAsModulePackage(root, dir)
+			if err != nil {
+				fail(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	fset := loader.Fset
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "consensus-lint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

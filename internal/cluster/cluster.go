@@ -301,6 +301,8 @@ func (s *System) workerLoop(w int) {
 }
 
 // runWakes starts one round for every node in wakes on the given lane.
+//
+//consensus:hotpath
 func (s *System) runWakes(ln *lane, wakes []int32) {
 	if s.lockstep {
 		s.runWakesLockstep(ln, wakes)
@@ -318,6 +320,8 @@ func (s *System) runWakes(ln *lane, wakes []int32) {
 // colors gathered from the snapshot, and the update applied — no
 // per-message events exist at all, so a lockstep round costs what an
 // agents-engine round does plus the per-node color gather.
+//
+//consensus:hotpath
 func (s *System) runWakesLockstep(ln *lane, wakes []int32) {
 	h := s.h
 	for base := 0; base < len(wakes); base += sampleChunk {
@@ -345,6 +349,8 @@ func (s *System) runWakesLockstep(ln *lane, wakes []int32) {
 // request is counted as sent, the target drawn uniformly (self included),
 // and the request either dropped (scheduling a retry), delayed
 // (scheduling its arrival), or served on the spot.
+//
+//consensus:hotpath
 func (s *System) firePull(ln *lane, i int32) {
 	ln.messages++ // the request leaves the requester now
 	t := int32(ln.stream.IntN(s.n))
@@ -362,6 +368,8 @@ func (s *System) firePull(ln *lane, i int32) {
 // serve delivers a pull request to responder: the response — carrying the
 // responder's color as of this tick — is counted as sent, then dropped,
 // delayed, or delivered on the spot.
+//
+//consensus:hotpath
 func (s *System) serve(ln *lane, responder, requester int32) {
 	ln.messages++ // the response leaves the responder now
 	color := int32(s.colors[responder])
@@ -378,6 +386,8 @@ func (s *System) serve(ln *lane, responder, requester int32) {
 
 // deliver hands a pulled color to its requester; the h-th sample of a
 // round computes the node's update, staged until the tick barrier.
+//
+//consensus:hotpath
 func (s *System) deliver(ln *lane, req, color int32) {
 	base := int(req) * s.h
 	g := int(s.got[req])
@@ -394,6 +404,8 @@ func (s *System) deliver(ln *lane, req, color int32) {
 // events are always for future ticks), the coordinator lane appends
 // directly — into the bucket being processed when the event is due this
 // tick.
+//
+//consensus:hotpath
 func (s *System) emit(ln *lane, at int64, ev event) {
 	if !ln.direct {
 		ln.deferred = append(ln.deferred, timedEvent{at: at, ev: ev})
@@ -410,6 +422,8 @@ func (s *System) emit(ln *lane, at int64, ev event) {
 // applyLane folds one lane into the system at the tick barrier: staged
 // updates move colors and counts, completed nodes wake next tick, and
 // deferred events merge into the queue — all in lane order.
+//
+//consensus:hotpath
 func (s *System) applyLane(ln *lane) {
 	if len(ln.staged) > 0 {
 		next := s.queue.bucketAt(s.now + 1)

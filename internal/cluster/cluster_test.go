@@ -310,7 +310,9 @@ func TestClusterMatchesBatchOneRound(t *testing.T) {
 }
 
 // TestSystemZeroSteadyStateAllocs: a steady-state lockstep round must not
-// allocate — buckets are recycled, lanes reuse their buffers.
+// allocate — buckets are recycled, lanes reuse their buffers. The round
+// drives the runWakes -> runWakesLockstep resolution and the applyLane
+// barrier, the //consensus:hotpath functions of the instant-delivery path.
 func TestSystemZeroSteadyStateAllocs(t *testing.T) {
 	sys, err := NewSystem(okFactory(func() core.NodeRule { return rules.NewThreeMajority() }),
 		config.Balanced(2048, 4), rng.New(210), Options{})
@@ -323,6 +325,28 @@ func TestSystemZeroSteadyStateAllocs(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(20, func() { sys.Step() }); avg != 0 {
 		t.Errorf("lockstep Step allocates %.2f times, want 0", avg)
+	}
+}
+
+// TestEventRoundZeroSteadyStateAllocs: the same contract for the
+// event-driven path — runWakes fans rounds out through firePull, requests
+// are answered by serve and deliver, every delayed or retried leg is
+// scheduled through emit, and applyLane folds the lanes at the tick
+// barrier. Delay, jitter and loss together force every one of those
+// //consensus:hotpath functions onto the measured path.
+func TestEventRoundZeroSteadyStateAllocs(t *testing.T) {
+	sys, err := NewSystem(okFactory(func() core.NodeRule { return rules.NewThreeMajority() }),
+		config.Balanced(1024, 4), rng.New(211),
+		Options{Model: &Net{Delay: 2, Jitter: 1, Loss: 0.05, Retry: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for i := 0; i < 30; i++ {
+		sys.Step() // grow buckets and lane buffers to steady state
+	}
+	if avg := testing.AllocsPerRun(20, func() { sys.Step() }); avg != 0 {
+		t.Errorf("event-driven Step allocates %.2f times, want 0", avg)
 	}
 }
 

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/rng"
+)
+
+// TestACStepZeroAllocs: the shared AC-process round ACStep writes the
+// multinomial draw straight into the configuration's counts — no scratch,
+// no allocation, on any round (not just steady state).
+func TestACStepZeroAllocs(t *testing.T) {
+	r := rng.New(41)
+	c := config.Balanced(4096, 8)
+	alpha := make([]float64, c.Slots())
+	c.Fractions(alpha)
+	if avg := testing.AllocsPerRun(100, func() { ACStep(c, r, alpha) }); avg != 0 {
+		t.Errorf("ACStep allocates %.2f times, want 0", avg)
+	}
+}

@@ -60,6 +60,8 @@ type Factory func() Rule
 // ACStep performs the generic AC-process round c -> Mult(n, alpha): the
 // 1-step law every ACProcess shares (paper §2.2). alpha must have length
 // c.Slots().
+//
+//consensus:hotpath
 func ACStep(c *config.Config, r *rng.RNG, alpha []float64) {
 	counts := c.CountsView()
 	r.Multinomial(c.N(), alpha, counts)

@@ -30,6 +30,8 @@ type Graph interface {
 }
 
 // RandomNeighbor returns a uniformly random neighbor of u.
+//
+//consensus:hotpath
 func RandomNeighbor(g Graph, u int, r *rng.RNG) int {
 	return g.Neighbor(u, r.IntN(g.Degree(u)))
 }
@@ -48,8 +50,10 @@ func NewComplete(n int) *Complete {
 	return &Complete{n: n}
 }
 
-func (g *Complete) N() int                { return g.n }
-func (g *Complete) Degree(int) int        { return g.n }
+func (g *Complete) N() int         { return g.n }
+func (g *Complete) Degree(int) int { return g.n }
+
+//consensus:hotpath
 func (g *Complete) Neighbor(_, i int) int { return i }
 
 // Ring is the cycle graph C_n (degree 2; n must be >= 3).
@@ -68,6 +72,7 @@ func NewRing(n int) *Ring {
 func (g *Ring) N() int         { return g.n }
 func (g *Ring) Degree(int) int { return 2 }
 
+//consensus:hotpath
 func (g *Ring) Neighbor(u, i int) int {
 	if i == 0 {
 		return (u + 1) % g.n
@@ -92,6 +97,7 @@ func NewTorus(rows, cols int) *Torus {
 func (g *Torus) N() int         { return g.rows * g.cols }
 func (g *Torus) Degree(int) int { return 4 }
 
+//consensus:hotpath
 func (g *Torus) Neighbor(u, i int) int {
 	r, c := u/g.cols, u%g.cols
 	switch i {
@@ -129,6 +135,7 @@ func (g *Star) Degree(u int) int {
 	return 1
 }
 
+//consensus:hotpath
 func (g *Star) Neighbor(u, i int) int {
 	if u == 0 {
 		return i + 1
@@ -163,8 +170,10 @@ func NewAdjacency(adj [][]int) (*Adjacency, error) {
 	return &Adjacency{adj: cp}, nil
 }
 
-func (g *Adjacency) N() int                { return len(g.adj) }
-func (g *Adjacency) Degree(u int) int      { return len(g.adj[u]) }
+func (g *Adjacency) N() int           { return len(g.adj) }
+func (g *Adjacency) Degree(u int) int { return len(g.adj[u]) }
+
+//consensus:hotpath
 func (g *Adjacency) Neighbor(u, i int) int { return g.adj[u][i] }
 
 // NewRandomRegular samples a simple d-regular graph on n vertices via the

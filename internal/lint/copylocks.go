@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CopyLocksAnalyzer is the in-tree stand-in for golang.org/x/tools'
+// copylocks pass (the module is deliberately dependency-free, so the
+// stock multichecker passes cannot be vendored; see DESIGN.md §7). It
+// flags values whose type contains a sync.Mutex, sync.RWMutex,
+// sync.WaitGroup, sync.Once, sync.Cond or sync.Pool being copied:
+//
+//   - function receivers and parameters declared by value,
+//   - assignments and short declarations copying an existing value
+//     (composite-literal initialization is fine),
+//   - arguments passed by value, and
+//   - range clauses copying lock-containing elements.
+//
+// The sharded engines hang their round barriers on sync.WaitGroup; a
+// silent copy deadlocks a run only under contention, which is exactly
+// when it is hardest to debug.
+var CopyLocksAnalyzer = &Analyzer{
+	Name: "copylocks",
+	Doc:  "flags values containing sync primitives copied by value",
+	Run:  runCopyLocks,
+}
+
+var lockTypeNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true,
+}
+
+// containsLock reports whether values of t embed a sync primitive by
+// value (pointers to one are fine).
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypeNames[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func runCopyLocks(p *Pass) {
+	locky := func(t types.Type) bool { return containsLock(t, make(map[types.Type]bool)) }
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(p, x.Recv, "receiver", locky)
+				if x.Type.Params != nil {
+					checkFieldList(p, x.Type.Params, "parameter", locky)
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					if i >= len(x.Lhs) {
+						break
+					}
+					if lhs, ok := x.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+						continue // discard, not a copy anyone can use
+					}
+					if copiesLockValue(p, rhs, locky) {
+						p.Reportf(x.TokPos, "assignment copies a value containing a sync primitive (%s); use a pointer", p.Info.TypeOf(rhs))
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := p.Info.Types[x.Fun]; ok && tv.IsType() {
+					return true // conversions are not calls
+				}
+				for _, arg := range x.Args {
+					if copiesLockValue(p, arg, locky) {
+						p.Reportf(arg.Pos(), "call passes a value containing a sync primitive (%s) by value; pass a pointer", p.Info.TypeOf(arg))
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					if t := p.Info.TypeOf(x.Value); t != nil && locky(t) {
+						p.Reportf(x.Value.Pos(), "range clause copies values containing a sync primitive (%s); range over indices instead", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFieldList(p *Pass, fl *ast.FieldList, what string, locky func(types.Type) bool) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if locky(t) {
+			p.Reportf(field.Type.Pos(), "%s declares a value containing a sync primitive (%s); use a pointer", what, t)
+		}
+	}
+}
+
+// copiesLockValue reports whether e reads an existing lock-containing
+// value by value: an identifier, selector, deref or index expression
+// (composite literals construct fresh state and do not copy).
+func copiesLockValue(p *Pass, e ast.Expr, locky func(types.Type) bool) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if id.Name == "nil" || id.Name == "true" || id.Name == "false" {
+			return false
+		}
+		if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+			return false
+		}
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return locky(t)
+}

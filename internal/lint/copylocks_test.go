@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestCopyLocks(t *testing.T) {
+	testAnalyzer(t, CopyLocksAnalyzer, "copylocks")
+}

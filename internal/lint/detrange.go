@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetRangeAnalyzer flags `range` statements over maps whose loop body has
+// order-sensitive effects. Go randomizes map iteration order, so any such
+// loop makes output, error messages or event schedules differ from run to
+// run — exactly the class of bug the repository's bit-exact
+// reproducibility contract forbids.
+//
+// An effect is order-sensitive when the body
+//
+//   - appends to a slice declared outside the loop (unless that slice is
+//     sorted by a later statement in the same block — the canonical
+//     collect-keys-then-sort pattern),
+//   - concatenates onto an outer string (+= or s = s + ...) or writes
+//     into an outer strings.Builder/io.Writer,
+//   - accumulates into an outer float (+=, -=; float addition is not
+//     associative, so the sum depends on visit order),
+//   - writes output (fmt.Print*/Fprint*, print, println),
+//   - sends on a channel,
+//   - calls a scheduling-shaped method (Schedule*, Push, Enqueue, Emit)
+//     on an outer receiver, or
+//   - returns an error or string built (fmt.Errorf/Sprintf, errors.New)
+//     from the range variables — the "first reported error" then depends
+//     on map order, so two runs over the same bad input disagree.
+//
+// Integer accumulation, map writes and deletes are commutative and are
+// not flagged. A site whose effects are genuinely order-free can carry a
+// //lint:ordered waiver on the `for` line or the line above.
+var DetRangeAnalyzer = &Analyzer{
+	Name: "detrange",
+	Doc:  "flags range over a map with order-sensitive effects in the loop body",
+	Run:  runDetRange,
+}
+
+// orderSensitiveMethods are method names whose call on an outer receiver
+// is treated as an ordering-sensitive effect (output sinks and event
+// scheduling).
+var orderSensitiveMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Schedule": true, "ScheduleAt": true, "Push": true, "Enqueue": true, "Emit": true,
+}
+
+func runDetRange(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch s := n.(type) {
+			case *ast.BlockStmt:
+				list = s.List
+			case *ast.CaseClause:
+				list = s.Body
+			case *ast.CommClause:
+				list = s.Body
+			default:
+				return true
+			}
+			for i, st := range list {
+				if ls, ok := st.(*ast.LabeledStmt); ok {
+					st = ls.Stmt
+				}
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				checkMapRange(p, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+// rangeEffect is one order-sensitive effect found in a map-range body.
+type rangeEffect struct {
+	pos  token.Pos
+	desc string
+	// obj is the appended-to slice for append effects; a later sort of
+	// obj neutralizes the effect.
+	obj types.Object
+}
+
+func checkMapRange(p *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if p.Waived(rs.For, OrderedDirective) {
+		return
+	}
+	effects := mapRangeEffects(p, rs)
+	kept := effects[:0]
+	for _, e := range effects {
+		if e.obj != nil && sortedAfter(p, rest, e.obj) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if len(kept) == 0 {
+		return
+	}
+	e := kept[0]
+	p.Reportf(rs.For, "range over map %s has an order-sensitive effect (%s at line %d); iterate sorted keys (collect, slices.Sort, then index) or waive with //%s",
+		types.ExprString(rs.X), e.desc, p.Fset.Position(e.pos).Line, OrderedDirective)
+}
+
+// outer reports whether e's root object is declared outside rs (so the
+// effect escapes the iteration).
+func outer(p *Pass, rs *ast.RangeStmt, e ast.Expr) (types.Object, bool) {
+	id := rootIdent(e)
+	if id == nil {
+		return nil, false
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return nil, false
+	}
+	return obj, !declaredWithin(obj, rs.Pos(), rs.End())
+}
+
+// rootIdent strips selectors, indexes, slices, derefs and parens down to
+// the base identifier, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func mapRangeEffects(p *Pass, rs *ast.RangeStmt) []rangeEffect {
+	var effects []rangeEffect
+	add := func(pos token.Pos, desc string, obj types.Object) {
+		effects = append(effects, rangeEffect{pos: pos, desc: desc, obj: obj})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkRangeAssign(p, rs, s, add)
+		case *ast.SendStmt:
+			add(s.Arrow, "send on a channel", nil)
+		case *ast.CallExpr:
+			checkRangeCall(p, rs, s, add)
+		case *ast.ReturnStmt:
+			checkRangeReturn(p, rs, s, add)
+		}
+		return true
+	})
+	return effects
+}
+
+// checkRangeReturn flags returns whose value formats the range variables
+// into an error or string: which entry's error escapes then depends on
+// map iteration order.
+func checkRangeReturn(p *Pass, rs *ast.RangeStmt, ret *ast.ReturnStmt, add func(token.Pos, string, types.Object)) {
+	rangeVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.ObjectOf(id); obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+	if len(rangeVars) == 0 {
+		return
+	}
+	for _, res := range ret.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[base].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path, name := pn.Imported().Path(), sel.Sel.Name
+			formats := (path == "fmt" && (name == "Errorf" || name == "Sprintf")) ||
+				(path == "errors" && name == "New")
+			if !formats {
+				return true
+			}
+			if usesAny(p, call, rangeVars) {
+				add(ret.Return, fmt.Sprintf("returns %s.%s built from the range variables (first-reported error depends on map order)", base.Name, name), nil)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// usesAny reports whether n references any of the given objects.
+func usesAny(p *Pass, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && objs[p.Info.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func checkRangeAssign(p *Pass, rs *ast.RangeStmt, s *ast.AssignStmt, add func(token.Pos, string, types.Object)) {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(s.Lhs) != 1 {
+			return
+		}
+		obj, isOuter := outer(p, rs, s.Lhs[0])
+		if !isOuter {
+			return
+		}
+		t := p.Info.TypeOf(s.Lhs[0])
+		if t == nil {
+			return
+		}
+		switch b := t.Underlying().(type) {
+		case *types.Basic:
+			switch {
+			case b.Info()&types.IsString != 0 && s.Tok == token.ADD_ASSIGN:
+				add(s.TokPos, fmt.Sprintf("string built up in %s", obj.Name()), nil)
+			case b.Info()&types.IsFloat != 0 || b.Info()&types.IsComplex != 0:
+				add(s.TokPos, fmt.Sprintf("floating-point accumulation into %s (float addition is order-dependent)", obj.Name()), nil)
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range s.Rhs {
+			if i >= len(s.Lhs) {
+				break
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(p, call, "append") && len(call.Args) > 0 {
+				obj, isOuter := outer(p, rs, call.Args[0])
+				if isOuter {
+					add(call.Lparen, fmt.Sprintf("append to %s", obj.Name()), obj)
+				}
+				continue
+			}
+			// s = s + x / f = f + x self-concatenation or accumulation.
+			if bin, ok := rhs.(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+				lid := rootIdent(s.Lhs[i])
+				xid := rootIdent(bin.X)
+				if lid == nil || xid == nil || p.Info.ObjectOf(lid) == nil ||
+					p.Info.ObjectOf(lid) != p.Info.ObjectOf(xid) {
+					continue
+				}
+				obj, isOuter := outer(p, rs, s.Lhs[i])
+				if !isOuter {
+					continue
+				}
+				if t := p.Info.TypeOf(s.Lhs[i]); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok {
+						switch {
+						case b.Info()&types.IsString != 0:
+							add(bin.OpPos, fmt.Sprintf("string built up in %s", obj.Name()), nil)
+						case b.Info()&types.IsFloat != 0:
+							add(bin.OpPos, fmt.Sprintf("floating-point accumulation into %s (float addition is order-dependent)", obj.Name()), nil)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkRangeCall(p *Pass, rs *ast.RangeStmt, call *ast.CallExpr, add func(token.Pos, string, types.Object)) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[fun].(*types.Builtin); ok && (obj.Name() == "print" || obj.Name() == "println") {
+			add(call.Lparen, "writes output via "+obj.Name(), nil)
+		}
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[base].(*types.PkgName); ok {
+				if pn.Imported().Path() == "fmt" && (hasPrefixAny(fun.Sel.Name, "Print", "Fprint")) {
+					add(call.Lparen, "writes output via fmt."+fun.Sel.Name, nil)
+				}
+				return
+			}
+		}
+		if !orderSensitiveMethods[fun.Sel.Name] {
+			return
+		}
+		if _, ok := p.Info.Selections[fun]; !ok {
+			return // not a method call
+		}
+		if obj, isOuter := outer(p, rs, fun.X); isOuter {
+			add(call.Lparen, fmt.Sprintf("calls %s.%s", obj.Name(), fun.Sel.Name), nil)
+		}
+	}
+}
+
+// sortedAfter reports whether a statement after the range sorts obj
+// (sort.Strings/Ints/Float64s/Slice/SliceStable/Sort/Stable or
+// slices.Sort*), neutralizing append-order sensitivity.
+func sortedAfter(p *Pass, rest []ast.Stmt, obj types.Object) bool {
+	sortFns := map[string]bool{
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"SortFunc": true, "SortStableFunc": true,
+	}
+	for _, st := range rest {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortFns[sel.Sel.Name] {
+			continue
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		pn, ok := p.Info.Uses[base].(*types.PkgName)
+		if !ok {
+			continue
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			continue
+		}
+		if id := rootIdent(call.Args[0]); id != nil && p.Info.ObjectOf(id) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltin(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func hasPrefixAny(s string, prefixes ...string) bool {
+	for _, pre := range prefixes {
+		if len(s) >= len(pre) && s[:len(pre)] == pre {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestDetRange(t *testing.T) {
+	testAnalyzer(t, DetRangeAnalyzer, "detrange")
+}

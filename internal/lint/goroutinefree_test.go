@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestGoroutineFree(t *testing.T) {
+	testAnalyzer(t, GoroutineFreeAnalyzer, "goroutinefree")
+}

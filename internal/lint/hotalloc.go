@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAllocAnalyzer statically backs the testing.AllocsPerRun assertions:
+// a function annotated //consensus:hotpath (in its doc comment) must not
+// contain allocating constructs. The alloc tests prove zero allocations
+// for the seeds and sizes they run; the analyzer proves the property is
+// structural, for every input, and catches regressions before a
+// benchmark does.
+//
+// Flagged constructs:
+//
+//   - make and new,
+//   - append to a slice declared nil in the function (var s []T), which
+//     always grows — append into pre-sized scratch (the resizeInts /
+//     append(buf[:0], ...) idiom) is fine and not flagged,
+//   - function literals (closures are heap-allocated when they capture),
+//   - interface boxing: passing, assigning or returning a non-pointer
+//     concrete value where an interface is expected,
+//   - string concatenation (+, +=) and string<->[]byte/[]rune
+//     conversions,
+//   - any fmt.* call, and
+//   - &T{} composite-literal addresses and slice/map literals.
+//
+// Constant-folded expressions and constant arguments never allocate and
+// are exempt. A construct on a provably cold branch (one-time growth to
+// steady-state capacity, panic formatting on invalid arguments) can
+// carry a //lint:alloc waiver on its line or the line above; the zero-
+// steady-state-alloc test remains the runtime check that the waiver is
+// honest.
+//
+// The check is intra-procedural by design: callees like resizeFloats may
+// allocate on growth paths — the contract is zero *steady-state*
+// allocations, and each hotpath function owns only its direct constructs.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbids allocating constructs in //consensus:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !IsHotpath(fn) {
+				continue
+			}
+			h := &hotChecker{p: p, fn: fn, nilSlices: nilDeclaredSlices(p, fn.Body)}
+			ast.Inspect(fn.Body, h.visit)
+		}
+	}
+}
+
+// nilDeclaredSlices collects slice variables declared with no initial
+// value inside body (var s []T): appending to them always allocates.
+func nilDeclaredSlices(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := ds.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := p.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+type hotChecker struct {
+	p         *Pass
+	fn        *ast.FuncDecl
+	nilSlices map[types.Object]bool
+}
+
+func (h *hotChecker) flag(pos token.Pos, format string, args ...any) {
+	if h.p.Waived(pos, AllocDirective) {
+		return
+	}
+	args = append([]any{FuncDisplayName(h.fn)}, args...)
+	h.p.Reportf(pos, "hotpath %s: "+format+" (waive a cold path with //"+AllocDirective+")", args...)
+}
+
+func (h *hotChecker) visit(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.CallExpr:
+		return h.checkCall(x)
+	case *ast.FuncLit:
+		h.flag(x.Pos(), "function literal allocates a closure; hoist it out of the hot path")
+		return false // don't cascade into the literal's own body
+	case *ast.BinaryExpr:
+		h.checkBinary(x)
+	case *ast.AssignStmt:
+		h.checkAssign(x)
+	case *ast.GenDecl:
+		h.checkVarDecl(x)
+	case *ast.ReturnStmt:
+		h.checkReturn(x)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+				h.flag(x.Pos(), "&composite literal allocates")
+			}
+		}
+	case *ast.CompositeLit:
+		if t := h.p.Info.TypeOf(x); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				h.flag(x.Pos(), "slice literal allocates")
+			case *types.Map:
+				h.flag(x.Pos(), "map literal allocates")
+			}
+		}
+	}
+	return true
+}
+
+func (h *hotChecker) checkCall(call *ast.CallExpr) bool {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := h.p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				h.flag(call.Pos(), "make allocates")
+			case "new":
+				h.flag(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 {
+					if base := rootIdent(call.Args[0]); base != nil && h.nilSlices[h.p.Info.ObjectOf(base)] {
+						h.flag(call.Pos(), "append to nil-declared slice %s always grows; pre-size scratch and reuse it", base.Name)
+					}
+				}
+			}
+			return true
+		}
+	}
+	// Conversions.
+	if tv, ok := h.p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		h.checkConversion(call, tv.Type)
+		return true
+	}
+	// fmt.* calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if base, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := h.p.Info.Uses[base].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				h.flag(call.Pos(), "fmt.%s allocates (formatting boxes its operands)", sel.Sel.Name)
+				return true
+			}
+		}
+	}
+	// Interface boxing at argument positions.
+	if sig, ok := typeAsSignature(h.p.Info.TypeOf(call.Fun)); ok && call.Ellipsis == token.NoPos {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			default:
+				continue
+			}
+			h.checkBoxing(arg, pt, "argument")
+		}
+	}
+	return true
+}
+
+func (h *hotChecker) checkConversion(call *ast.CallExpr, to types.Type) {
+	arg := call.Args[0]
+	from := h.p.Info.TypeOf(arg)
+	if from == nil {
+		return
+	}
+	if types.IsInterface(to) {
+		h.checkBoxing(arg, to, "conversion")
+		return
+	}
+	toStr := isString(to)
+	fromStr := isString(from)
+	toBytes := isByteOrRuneSlice(to)
+	fromBytes := isByteOrRuneSlice(from)
+	if (toStr && fromBytes) || (toBytes && fromStr) {
+		// Constant strings convert at compile time only in limited cases;
+		// flag regardless — the hot loop should not convert at all.
+		h.flag(call.Pos(), "%s(%s) conversion allocates", types.ExprString(call.Fun), types.ExprString(arg))
+	}
+}
+
+// checkBoxing flags expr when it is a non-constant, non-pointer-shaped
+// concrete value converted to the interface type target.
+func (h *hotChecker) checkBoxing(expr ast.Expr, target types.Type, what string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := h.p.Info.Types[expr]
+	if !ok || tv.Value != nil { // constants fold to static interface data
+		return
+	}
+	from := tv.Type
+	if from == nil || types.IsInterface(from) || isUntypedNil(from) || pointerShaped(from) {
+		return
+	}
+	h.flag(expr.Pos(), "%s %s boxes %s into %s (interface conversion allocates)",
+		what, types.ExprString(expr), from.String(), target.String())
+}
+
+func (h *hotChecker) checkBinary(x *ast.BinaryExpr) {
+	if x.Op != token.ADD {
+		return
+	}
+	if tv, ok := h.p.Info.Types[x]; ok && tv.Value == nil && tv.Type != nil && isString(tv.Type) {
+		h.flag(x.OpPos, "string concatenation allocates")
+	}
+}
+
+func (h *hotChecker) checkAssign(s *ast.AssignStmt) {
+	if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+		if t := h.p.Info.TypeOf(s.Lhs[0]); t != nil && isString(t) {
+			h.flag(s.TokPos, "string concatenation allocates")
+		}
+		return
+	}
+	if s.Tok != token.ASSIGN {
+		return
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i := range s.Lhs {
+		if lt := h.p.Info.TypeOf(s.Lhs[i]); lt != nil {
+			h.checkBoxing(s.Rhs[i], lt, "assignment of")
+		}
+	}
+}
+
+func (h *hotChecker) checkVarDecl(gd *ast.GenDecl) {
+	if gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || vs.Type == nil {
+			continue
+		}
+		if t := h.p.Info.TypeOf(vs.Type); t != nil {
+			for _, v := range vs.Values {
+				h.checkBoxing(v, t, "assignment of")
+			}
+		}
+	}
+}
+
+func (h *hotChecker) checkReturn(ret *ast.ReturnStmt) {
+	obj, ok := h.p.Info.Defs[h.fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Type().(*types.Signature).Results()
+	if results.Len() != len(ret.Results) {
+		return // bare return or comma-ok; nothing to box
+	}
+	for i, r := range ret.Results {
+		h.checkBoxing(r, results.At(i).Type(), "return of")
+	}
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit in the interface data
+// word without a heap copy: pointers, channels, maps, funcs and
+// unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestHotAlloc(t *testing.T) {
+	testAnalyzer(t, HotAllocAnalyzer, "hotalloc")
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestHotpathAllocCoverage asserts the static and dynamic halves of the
+// hot-path contract stay attached: every //consensus:hotpath function
+// must be exercised by a zero-alloc test in its own package — the
+// package's _test.go files must call testing.AllocsPerRun and mention
+// the function by name. hotalloc proves the absence of allocating
+// constructs structurally; AllocsPerRun proves the waivers
+// (//lint:alloc cold paths) are honest at runtime.
+func TestHotpathAllocCoverage(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type hotFn struct {
+		name string
+		pos  token.Position
+	}
+	perDir := make(map[string][]hotFn)
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !IsHotpath(fn) {
+				continue
+			}
+			dir := filepath.Dir(path)
+			perDir[dir] = append(perDir[dir], hotFn{name: fn.Name.Name, pos: fset.Position(fn.Pos())})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perDir) == 0 {
+		t.Fatal("no //consensus:hotpath functions found in the module; the annotations were removed")
+	}
+
+	dirs := make([]string, 0, len(perDir))
+	for dir := range perDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		testText := dirTestText(t, dir)
+		rel, _ := filepath.Rel(root, dir)
+		if !strings.Contains(testText, "AllocsPerRun") {
+			t.Errorf("%s: has %d hotpath functions but its tests never call testing.AllocsPerRun",
+				rel, len(perDir[dir]))
+			continue
+		}
+		for _, fn := range perDir[dir] {
+			if !regexp.MustCompile(`\b` + regexp.QuoteMeta(fn.name) + `\b`).MatchString(testText) {
+				t.Errorf("%s: hotpath function %s has no zero-alloc test naming it (declared at %s)",
+					rel, fn.name, fn.pos)
+			}
+		}
+	}
+}
+
+// dirTestText concatenates the contents of dir's _test.go files.
+func dirTestText(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package lint
+
+import "testing"
+
+// TestRNGHygiene loads one checked engine package (every construct
+// flagged) and the three allowlisted shapes (facade, bench, command) in
+// the same run: the latter must stay diagnostic-free.
+func TestRNGHygiene(t *testing.T) {
+	testAnalyzer(t, RNGHygieneAnalyzer,
+		"internal/sim", "internal/rng", "internal/bench", "cmd/tool")
+}
+
+func TestPathHasSegmentPrefix(t *testing.T) {
+	cases := []struct {
+		path, prefix string
+		want         bool
+	}{
+		{"internal/rng", "internal/rng", true},
+		{"github.com/ignorecomply/consensus/internal/rng", "internal/rng", true},
+		{"github.com/ignorecomply/consensus/internal/rng/sub", "internal/rng", true},
+		{"github.com/ignorecomply/consensus/cmd/consensus", "cmd", true},
+		{"cmd/consensus", "cmd", true},
+		{"github.com/ignorecomply/consensus/internal/rngx", "internal/rng", false},
+		{"github.com/ignorecomply/consensus/scenario", "cmd", false},
+	}
+	for _, c := range cases {
+		if got := pathHasSegmentPrefix(c.path, c.prefix); got != c.want {
+			t.Errorf("pathHasSegmentPrefix(%q, %q) = %v, want %v", c.path, c.prefix, got, c.want)
+		}
+	}
+}

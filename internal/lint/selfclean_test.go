@@ -1,0 +1,29 @@
+package lint
+
+import "testing"
+
+// TestModuleClean runs the full analyzer suite over the whole module and
+// requires zero diagnostics — the same contract the CI lint job enforces
+// with `go run ./cmd/consensus-lint ./...`. Any new order-sensitive map
+// range, ambient-entropy import, hot-path allocation or lock copy fails
+// this test before it fails in CI.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; skipped with -short")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader()
+	pkgs, err := l.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded only %d packages from %s; loader is missing the tree", len(pkgs), root)
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s: %s: %s", l.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

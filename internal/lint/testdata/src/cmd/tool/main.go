@@ -1,0 +1,13 @@
+// Command tool is the rnghygiene fixture for an allowlisted entry
+// point: interactive commands may seed from entropy and read the clock.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	_ = rand.Int()
+	_ = time.Now()
+}

@@ -1,0 +1,66 @@
+// Package copylocks is the fixture for the copylocks analyzer.
+package copylocks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump() { g.mu.Lock(); g.n++; g.mu.Unlock() }
+
+// byValue receives a lock-containing value by value.
+func byValue(g guarded) int { // want `parameter declares a value containing a sync primitive`
+	return g.n
+}
+
+// byPointer is the correct signature: no diagnostics.
+func byPointer(g *guarded) int {
+	return g.n
+}
+
+// valueReceiver copies the receiver on every call.
+func (g guarded) peek() int { // want `receiver declares a value containing a sync primitive`
+	return g.n
+}
+
+// assigns copies an existing value.
+func assigns(g *guarded) {
+	cp := *g // want `assignment copies a value containing a sync primitive`
+	_ = cp
+}
+
+// fresh constructs new state with a composite literal: not a copy.
+func fresh() *guarded {
+	g := guarded{n: 1}
+	return &g
+}
+
+// takes's parameter is flagged at the declaration; callers passing by
+// value are flagged at the call site.
+func takes(g guarded) int { // want `parameter declares a value containing a sync primitive`
+	return g.n
+}
+
+func callsite(g *guarded) int {
+	return takes(*g) // want `call passes a value containing a sync primitive`
+}
+
+// ranges copies each element into the loop variable.
+func ranges(gs []guarded) int {
+	t := 0
+	for _, g := range gs { // want `range clause copies values containing a sync primitive`
+		t += g.n
+	}
+	return t
+}
+
+// indexRange is the correct loop shape: no diagnostics.
+func indexRange(gs []guarded) int {
+	t := 0
+	for i := range gs {
+		t += gs[i].n
+	}
+	return t
+}

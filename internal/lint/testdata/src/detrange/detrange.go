@@ -1,0 +1,118 @@
+// Package detrange is the fixture for the detrange analyzer.
+package detrange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// listingsUnsorted is the canonical positive: keys escape in map order.
+func listingsUnsorted(m map[string]int) []string {
+	var names []string
+	for name := range m { // want `append to names`
+		names = append(names, name)
+	}
+	return names
+}
+
+// listingsSorted collects then sorts: the later sort neutralizes the
+// append's order sensitivity.
+func listingsSorted(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// listingsWaived asserts order-freedom explicitly.
+func listingsWaived(m map[string]int) []string {
+	var names []string
+	//lint:ordered consumers treat names as a set
+	for name := range m {
+		names = append(names, name)
+	}
+	return names
+}
+
+// sums: integer accumulation is commutative and clean, float accumulation
+// is not.
+func sums(m map[string]int) (int, float64) {
+	total := 0
+	var f float64
+	for _, v := range m { // want `floating-point accumulation into f`
+		total += v
+		f += float64(v)
+	}
+	return total, f
+}
+
+// buildString concatenates in map order.
+func buildString(m map[string]int) string {
+	s := ""
+	for k := range m { // want `string built up in s`
+		s += k
+	}
+	return s
+}
+
+// printer writes output in map order.
+func printer(m map[string]int) {
+	for k, v := range m { // want `writes output via fmt\.Println`
+		fmt.Println(k, v)
+	}
+}
+
+// firstError: which entry's error escapes depends on iteration order.
+func firstError(m map[string]string) error {
+	for k, v := range m { // want `returns fmt\.Errorf built from the range variables`
+		if v == "" {
+			return fmt.Errorf("empty value for %s", k)
+		}
+	}
+	return nil
+}
+
+// mapCopy is commutative: map writes are not flagged.
+func mapCopy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// sends delivers values in map order.
+func sends(m map[string]int, ch chan int) {
+	for _, v := range m { // want `send on a channel`
+		ch <- v
+	}
+}
+
+// innerDecl appends only to a slice scoped inside the loop: no escape.
+func innerDecl(m map[string]int) {
+	for range m {
+		var local []int
+		local = append(local, 1)
+		_ = local
+	}
+}
+
+type sched struct{ events []int }
+
+func (s *sched) Push(v int) { s.events = append(s.events, v) }
+
+// schedules calls a scheduling-shaped method on an outer receiver.
+func schedules(m map[string]int, s *sched) {
+	for _, v := range m { // want `calls s\.Push`
+		s.Push(v)
+	}
+}
+
+// sliceRange is not a map range: nothing to check.
+func sliceRange(xs []string) string {
+	s := ""
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+// Package goroutinefree is the fixture for the goroutinefree analyzer.
+package goroutinefree
+
+// Direct launches a goroutine inside the hot path itself.
+//
+//consensus:hotpath
+func Direct() {
+	go func() {}() // want `launches a goroutine`
+}
+
+// helper spawns; it is not itself hot, but hot callers inherit the
+// violation.
+func helper() {
+	go func() {}()
+}
+
+// Indirect reaches a go statement through a same-package call.
+//
+//consensus:hotpath
+func Indirect() { // want `reaches a go statement`
+	helper()
+}
+
+// Clean is hot and goroutine-free: no diagnostics.
+//
+//consensus:hotpath
+func Clean(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+type pool struct{}
+
+func (pool) spawn() { go func() {}() }
+
+// Method reaches a go statement through a method call.
+//
+//consensus:hotpath
+func Method(p pool) { // want `reaches a go statement`
+	p.spawn()
+}
+
+// ColdSpawner is not annotated: launching goroutines is its job
+// (construction-time pool startup), so no diagnostics.
+func ColdSpawner(n int) {
+	for i := 0; i < n; i++ {
+		go func() {}()
+	}
+}

@@ -1,0 +1,12 @@
+// Package bench is the rnghygiene fixture for an allowlisted package:
+// it measures real elapsed time by design, so no diagnostics.
+package bench
+
+import "time"
+
+// Elapsed times one call of f on the wall clock.
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,10 @@
+// Package rng is the rnghygiene fixture for the one facade package
+// allowed to own a math/rand/v2 generator: no diagnostics.
+package rng
+
+import "math/rand/v2"
+
+// New owns the module's only generator.
+func New(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed))
+}

@@ -1,0 +1,26 @@
+// Package sim is the rnghygiene fixture for a checked engine package:
+// every ambient-entropy and wall-clock construct is flagged.
+package sim
+
+import (
+	crand "crypto/rand"   // want `import of crypto/rand`
+	"math/rand"           // want `import of math/rand: engine code`
+	randv2 "math/rand/v2" // want `import of math/rand/v2 outside internal/rng`
+	"time"
+)
+
+func entropy() int64 {
+	var b [8]byte
+	_, _ = crand.Read(b[:])
+	return rand.Int63() + randv2.Int64()
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `call of time\.Now`
+}
+
+func elapsed(f func()) time.Duration {
+	start := time.Now() // want `call of time\.Now`
+	f()
+	return time.Since(start) // want `call of time\.Since`
+}

@@ -42,6 +42,8 @@ func NewAliasCounts(counts []int) *Alias {
 
 // Reset rebuilds the table over weights in place, reusing the receiver's
 // storage. It panics under the same conditions as NewAlias.
+//
+//consensus:hotpath
 func (a *Alias) Reset(weights []float64) {
 	k := len(weights)
 	if k == 0 {
@@ -103,6 +105,8 @@ func (a *Alias) Reset(weights []float64) {
 }
 
 // ResetCounts rebuilds the table over non-negative integer counts in place.
+//
+//consensus:hotpath
 func (a *Alias) ResetCounts(counts []int) {
 	a.weights = growFloats(a.weights, len(counts))
 	for i, c := range counts {
@@ -126,6 +130,8 @@ func (a *Alias) ResetCounts(counts []int) {
 // the full range conditional on hi. Column and fraction are each exact to
 // within k/2^64 — far below the float64 error already present in the table
 // probabilities themselves.
+//
+//consensus:hotpath
 func (a *Alias) Draw(r *RNG) int {
 	hi, lo := bits.Mul64(r.pcg.Uint64(), uint64(len(a.prob)))
 	i := int(hi)
@@ -139,6 +145,8 @@ func (a *Alias) Draw(r *RNG) int {
 // It draws exactly like Draw — same stream, bit-identical results — but
 // amortizes the RNG dispatch and table bounds checks across the batch; the
 // per-node engines feed their strided sample buffers through it.
+//
+//consensus:hotpath
 func (a *Alias) DrawN(r *RNG, dst []int) {
 	prob, alias := a.prob, a.alias
 	k := uint64(len(prob))

@@ -1,0 +1,43 @@
+package rng
+
+import "testing"
+
+// TestBinomialZeroAllocs: both sampling regimes — binomialInversion for
+// means below the cutoff and binomialBTRS above it — are allocation-free
+// on every call.
+func TestBinomialZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		p    float64
+	}{
+		{"inversion", 1000, 0.01}, // np = 10 < cutoff: binomialInversion
+		{"btrs", 100_000, 0.3},    // np = 30000: binomialBTRS
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New(51)
+			sink := 0
+			avg := testing.AllocsPerRun(100, func() { sink += r.Binomial(tc.n, tc.p) })
+			if avg != 0 {
+				t.Errorf("Binomial(%d, %v) allocates %.2f times, want 0", tc.n, tc.p, avg)
+			}
+			_ = sink
+		})
+	}
+}
+
+// TestAliasResetZeroSteadyStateAllocs: Reset and ResetCounts rebuild the
+// table in place — zero allocations once the scratch has reached its
+// steady-state capacity (here, from construction).
+func TestAliasResetZeroSteadyStateAllocs(t *testing.T) {
+	weights := []float64{5, 1, 3, 7, 2}
+	a := NewAlias(weights)
+	if avg := testing.AllocsPerRun(100, func() { a.Reset(weights) }); avg != 0 {
+		t.Errorf("Reset allocates %.2f times, want 0", avg)
+	}
+	counts := []int{5, 1, 3, 7, 2}
+	if avg := testing.AllocsPerRun(100, func() { a.ResetCounts(counts) }); avg != 0 {
+		t.Errorf("ResetCounts allocates %.2f times, want 0", avg)
+	}
+}

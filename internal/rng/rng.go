@@ -68,6 +68,8 @@ func (r *RNG) Uint64() uint64 { return r.pcg.Uint64() }
 //
 // The stream differs from repeated IntN calls (rand/v2 consumes words in
 // its own order); within FillIntN the draws are exact and unbiased.
+//
+//consensus:hotpath
 func (r *RNG) FillIntN(n int, dst []int) {
 	if n <= 0 {
 		panic("rng: FillIntN requires n > 0")
@@ -91,6 +93,8 @@ func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
 func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
 
 // Bernoulli returns true with probability p.
+//
+//consensus:hotpath
 func (r *RNG) Bernoulli(p float64) bool {
 	if p <= 0 {
 		return false
@@ -111,6 +115,8 @@ const _inversionMeanCutoff = 30.0
 //
 // Small means use CDF inversion; larger means use Hörmann's BTRS transformed
 // rejection sampler, so the cost is O(1) expected regardless of n.
+//
+//consensus:hotpath
 func (r *RNG) Binomial(n int, p float64) int {
 	switch {
 	case n <= 0 || p <= 0:
@@ -130,6 +136,8 @@ func (r *RNG) Binomial(n int, p float64) int {
 
 // binomialInversion samples Binomial(n, p) by walking the CDF. Expected time
 // O(np), used only for np < _inversionMeanCutoff.
+//
+//consensus:hotpath
 func (r *RNG) binomialInversion(n int, p float64) int {
 	q := 1 - p
 	// f = P(X = 0) = q^n, computed in log space to avoid underflow for
@@ -149,6 +157,8 @@ func (r *RNG) binomialInversion(n int, p float64) int {
 // binomialBTRS samples Binomial(n, p) for p <= 1/2 and np >= 10 using the
 // BTRS transformed-rejection algorithm of Hörmann (1993), "The generation of
 // binomial random variates". Expected number of iterations is ~1.15.
+//
+//consensus:hotpath
 func (r *RNG) binomialBTRS(n int, p float64) int {
 	var (
 		fn    = float64(n)
@@ -188,6 +198,8 @@ func (r *RNG) binomialBTRS(n int, p float64) int {
 // have len(out) == len(probs). probs need not sum to exactly 1; it is
 // normalized by its actual sum. Entries with non-positive probability
 // receive 0. The sum of out always equals n.
+//
+//consensus:hotpath
 func (r *RNG) Multinomial(n int, probs []float64, out []int) {
 	if len(out) != len(probs) {
 		panic("rng: Multinomial out length mismatch")
@@ -240,6 +252,8 @@ func (r *RNG) Multinomial(n int, probs []float64, out []int) {
 // Categorical returns an index sampled proportionally to probs (which need
 // not be normalized). It panics if no entry is positive. Linear time; use
 // NewAlias for repeated draws from a fixed distribution.
+//
+//consensus:hotpath
 func (r *RNG) Categorical(probs []float64) int {
 	total := 0.0
 	for _, p := range probs {
@@ -272,6 +286,8 @@ func (r *RNG) Categorical(probs []float64) int {
 // CategoricalCounts returns an index sampled proportionally to integer
 // counts whose sum is total. It panics if total <= 0 or the counts sum to
 // less than the drawn threshold.
+//
+//consensus:hotpath
 func (r *RNG) CategoricalCounts(counts []int, total int) int {
 	if total <= 0 {
 		panic("rng: CategoricalCounts requires total > 0")
@@ -291,6 +307,8 @@ func (r *RNG) CategoricalCounts(counts []int, total int) int {
 
 // Geometric returns the number of failures before the first success in
 // Bernoulli(p) trials. p must be in (0, 1].
+//
+//consensus:hotpath
 func (r *RNG) Geometric(p float64) int {
 	if p >= 1 {
 		return 0

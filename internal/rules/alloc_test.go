@@ -39,6 +39,24 @@ func TestBatchStepZeroSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestPerNodeStepZeroSteadyStateAllocs: the O(n·h) fallback law —
+// stepPerNode rebuilding the alias table and resolving each node's
+// plurality — must also stop allocating once its scratch reaches
+// steady-state capacity (the h > 16 tie buffer is the one waived cold
+// path, not exercised here).
+func TestPerNodeStepZeroSteadyStateAllocs(t *testing.T) {
+	m := NewHMajority(5)
+	m.forcePerNode = true
+	r := rng.New(33)
+	c := config.Balanced(4096, 8)
+	for i := 0; i < 5; i++ {
+		m.Step(c, r) // reach steady state
+	}
+	if avg := testing.AllocsPerRun(50, func() { m.Step(c, r) }); avg != 0 {
+		t.Errorf("per-node batch round allocates %.2f times, want 0", avg)
+	}
+}
+
 // TestHMajorityStepRegimes pins the cutoff: narrow supports take the
 // count-based law, wide supports fall back to the per-node sampler. Both
 // paths must preserve the configuration invariant.

@@ -78,6 +78,8 @@ func (m *HMajority) Name() string { return fmt.Sprintf("%d-majority", m.h) }
 // node's h samples from the current color distribution (exact under
 // Uniform Pull: a uniform node sample is a categorical color sample with
 // probabilities c_i/n).
+//
+//consensus:hotpath
 func (m *HMajority) Step(c *config.Config, r *rng.RNG) {
 	counts := c.CountsView()
 	if !m.forcePerNode && analytic.HMajorityTerms(m.h, c.Remaining(), StepEnumerationMaxTerms) > 0 {
@@ -95,6 +97,8 @@ func (m *HMajority) Step(c *config.Config, r *rng.RNG) {
 // stepPerNode is the O(n·h) fallback law: every node's h pulls are drawn
 // from an alias table over the color counts (rebuilt in place each round),
 // batched through DrawN.
+//
+//consensus:hotpath
 func (m *HMajority) stepPerNode(c *config.Config, r *rng.RNG) {
 	counts := c.CountsView()
 	n := c.N()
@@ -117,6 +121,8 @@ func (m *HMajority) stepPerNode(c *config.Config, r *rng.RNG) {
 func (m *HMajority) Samples() int { return m.h }
 
 // Update implements core.NodeRule: plurality with uniform tie-breaking.
+//
+//consensus:hotpath
 func (m *HMajority) Update(_ int, samples []int, r *rng.RNG) int {
 	return m.plurality(samples, r)
 }
@@ -128,11 +134,13 @@ func (m *HMajority) Update(_ int, samples []int, r *rng.RNG) int {
 // allocation beyond that — never receiver state, so Update is
 // unconditionally safe for concurrent calls from the sharded engines
 // (which may share one instance across shards on a single-rule Runner).
+//
+//consensus:hotpath
 func (m *HMajority) plurality(samples []int, r *rng.RNG) int {
 	var buf [16]int
 	tied := buf[:0]
 	if m.h > len(buf) {
-		tied = make([]int, 0, m.h)
+		tied = make([]int, 0, m.h) //lint:alloc cold path: h > 16 only, covered by the h<=16 zero-alloc test
 	}
 	maxCount := 0
 	for i := 0; i < m.h; i++ {

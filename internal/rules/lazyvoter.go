@@ -54,6 +54,8 @@ func (l *LazyVoter) Beta() float64 { return l.beta }
 func (l *LazyVoter) Name() string { return fmt.Sprintf("lazy-voter(%.2f)", l.beta) }
 
 // Step implements core.Rule.
+//
+//consensus:hotpath
 func (l *LazyVoter) Step(c *config.Config, r *rng.RNG) {
 	k := c.Slots()
 	l.fracs = resizeFloats(l.fracs, k)
@@ -82,6 +84,8 @@ func (l *LazyVoter) Step(c *config.Config, r *rng.RNG) {
 func (l *LazyVoter) Samples() int { return 1 }
 
 // Update implements core.NodeRule.
+//
+//consensus:hotpath
 func (l *LazyVoter) Update(own int, samples []int, r *rng.RNG) int {
 	if r.Bernoulli(l.beta) {
 		return own

@@ -43,6 +43,8 @@ func (m *ThreeMajority) Alpha(c *config.Config, out []float64) []float64 {
 }
 
 // Step implements core.Rule: one round is Mult(n, α(c)).
+//
+//consensus:hotpath
 func (m *ThreeMajority) Step(c *config.Config, r *rng.RNG) {
 	m.alpha = resizeFloats(m.alpha, c.Slots())
 	m.Alpha(c, m.alpha)
@@ -54,6 +56,8 @@ func (m *ThreeMajority) Samples() int { return 3 }
 
 // Update implements core.NodeRule: majority of three if it exists, else a
 // uniformly random sample.
+//
+//consensus:hotpath
 func (m *ThreeMajority) Update(_ int, samples []int, r *rng.RNG) int {
 	s0, s1, s2 := samples[0], samples[1], samples[2]
 	switch {

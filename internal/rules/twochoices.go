@@ -38,6 +38,8 @@ func NewTwoChoices() *TwoChoices { return &TwoChoices{} }
 func (t *TwoChoices) Name() string { return "2-choices" }
 
 // Step implements core.Rule via the keeper/switcher decomposition.
+//
+//consensus:hotpath
 func (t *TwoChoices) Step(c *config.Config, r *rng.RNG) {
 	k := c.Slots()
 	t.fracs = resizeFloats(t.fracs, k)
@@ -75,6 +77,8 @@ func (t *TwoChoices) Step(c *config.Config, r *rng.RNG) {
 func (t *TwoChoices) Samples() int { return 2 }
 
 // Update implements core.NodeRule: adopt on agreement, otherwise ignore.
+//
+//consensus:hotpath
 func (t *TwoChoices) Update(own int, samples []int, _ *rng.RNG) int {
 	if samples[0] == samples[1] {
 		return samples[0]

@@ -39,6 +39,8 @@ func (v *Voter) Alpha(c *config.Config, out []float64) []float64 {
 }
 
 // Step implements core.Rule: one round is Mult(n, c/n).
+//
+//consensus:hotpath
 func (v *Voter) Step(c *config.Config, r *rng.RNG) {
 	v.alpha = resizeFloats(v.alpha, c.Slots())
 	c.Fractions(v.alpha)
@@ -49,6 +51,8 @@ func (v *Voter) Step(c *config.Config, r *rng.RNG) {
 func (v *Voter) Samples() int { return 1 }
 
 // Update implements core.NodeRule: always adopt the sampled color.
+//
+//consensus:hotpath
 func (v *Voter) Update(_ int, samples []int, _ *rng.RNG) int {
 	return samples[0]
 }

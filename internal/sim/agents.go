@@ -94,6 +94,8 @@ func newAgentsState(rule core.NodeRule, factory core.Factory, start *config.Conf
 // pull is a categorical color draw, so the batched alias fill is the whole
 // sampling step), applies the per-node updates, and tallies the next-state
 // counts in the same pass.
+//
+//consensus:hotpath
 func agentsShardRound(st *agentsState, rule core.NodeRule, r *rng.RNG, buf []int, lo, hi int, tally []int) {
 	h := st.h
 	for base := lo; base < hi; base += sampleChunk {
@@ -116,6 +118,8 @@ func agentsShardRound(st *agentsState, rule core.NodeRule, r *rng.RNG, buf []int
 // pull is a categorical color draw with probabilities counts/n, so the
 // round's immutable snapshot is the alias table built from the previous
 // configuration; every node (in every shard) samples against it.
+//
+//consensus:hotpath
 func (st *agentsState) step(int) {
 	counts := st.c.CountsView()
 	st.alias.ResetCounts(counts)

@@ -110,6 +110,8 @@ func regularDegree(g graph.Graph) int {
 // next-state counts in the same pass. On a regular topology the neighbor
 // indices for a chunk of nodes come from one batched uniform fill, then
 // are resolved index → neighbor → color in place.
+//
+//consensus:hotpath
 func graphShardRound(st *graphState, rule core.NodeRule, r *rng.RNG, buf []int, lo, hi int, tally []int) {
 	h := st.h
 	for base := lo; base < hi; base += sampleChunk {
@@ -143,6 +145,7 @@ func graphShardRound(st *graphState, rule core.NodeRule, r *rng.RNG, buf []int, 
 	}
 }
 
+//consensus:hotpath
 func (st *graphState) step(int) {
 	counts := st.c.CountsView()
 	if st.pool == nil {

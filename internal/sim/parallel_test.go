@@ -46,7 +46,8 @@ func BenchmarkRoundAgentsParallel(b *testing.B) {
 // TestAgentsRoundZeroSteadyStateAllocs: after warm-up, an agents round must
 // not allocate — the alias table, sample buffers and shard tallies are all
 // reused in place. Guards the perf fix that stopped rebuilding
-// rng.NewAliasCounts every round.
+// rng.NewAliasCounts every round. Each measured step runs
+// agentsShardRound over every shard (the //consensus:hotpath round body).
 func TestAgentsRoundZeroSteadyStateAllocs(t *testing.T) {
 	for _, p := range []int{1, 2, 4} {
 		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
@@ -62,7 +63,8 @@ func TestAgentsRoundZeroSteadyStateAllocs(t *testing.T) {
 	}
 }
 
-// TestGraphRoundZeroSteadyStateAllocs: same contract for the graph engine.
+// TestGraphRoundZeroSteadyStateAllocs: same contract for the graph
+// engine, whose //consensus:hotpath round body is graphShardRound.
 func TestGraphRoundZeroSteadyStateAllocs(t *testing.T) {
 	for _, p := range []int{1, 2} {
 		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {

@@ -109,11 +109,13 @@ func (sp *shardPool) worker(s int) {
 // step runs one round: it sizes every shard's tally for k color slots (the
 // slot space may grow mid-run under an injecting adversary), releases the
 // workers, and blocks until all shards hit the round barrier.
+//
+//consensus:hotpath
 func (sp *shardPool) step(k int) {
 	for s := range sp.tally {
 		t := sp.tally[s]
 		if cap(t) < k {
-			t = make([]int, k)
+			t = make([]int, k) //lint:alloc cold path: slot space grew (injecting adversary)
 		} else {
 			t = t[:k]
 			clear(t)
@@ -128,6 +130,8 @@ func (sp *shardPool) step(k int) {
 }
 
 // merge folds the per-shard tallies of the last step into counts.
+//
+//consensus:hotpath
 func (sp *shardPool) merge(counts []int) {
 	clear(counts)
 	for _, t := range sp.tally {

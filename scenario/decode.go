@@ -51,6 +51,15 @@ func Load(path string) (*Scenario, error) {
 
 var experimentIDPattern = regexp.MustCompile(`^E[1-9][0-9]*$`)
 
+// quantityField pairs a spec field's path suffix with its quantity, so
+// validation can walk a fixed set of optional fields in declaration order
+// (a map literal here would make the first-reported error depend on map
+// iteration order).
+type quantityField struct {
+	sub string
+	q   *Quantity
+}
+
 // Validate checks every field of the spec and reports the first problem
 // with an actionable, field-qualified error. Expressions are parsed here;
 // variable resolution happens at expansion (where the cell bindings
@@ -100,7 +109,10 @@ func (s *Scenario) Validate() error {
 	}
 
 	vars := map[string]string{} // name -> where it was bound
-	for name, q := range s.Params {
+	// Walk parameters in sorted-name order so the first-reported error on a
+	// spec with several bad parameters is always the same one.
+	for _, name := range paramNames(s.Params) {
+		q := s.Params[name]
 		if !validVarName(name) {
 			return fail("params", "parameter name %q must be a lowercase identifier (letters, digits, underscores) usable in expressions", name)
 		}
@@ -264,11 +276,12 @@ func (s *Scenario) validateDefaults(d *RunDefaults, path string) error {
 		}
 	}
 	if d.Network != nil {
-		for sub, q := range map[string]*Quantity{
-			"network.delay": &d.Network.Delay, "network.jitter": &d.Network.Jitter,
-			"network.loss": &d.Network.Loss, "network.retry_after": &d.Network.RetryAfter,
+		// A fixed field order keeps the first-reported error deterministic.
+		for _, f := range []quantityField{
+			{"network.delay", &d.Network.Delay}, {"network.jitter", &d.Network.Jitter},
+			{"network.loss", &d.Network.Loss}, {"network.retry_after", &d.Network.RetryAfter},
 		} {
-			if err := q.compile(path + "." + sub); err != nil {
+			if err := f.q.compile(path + "." + f.sub); err != nil {
 				return fmt.Errorf("scenario %q: %w", s.Name, err)
 			}
 		}
@@ -281,10 +294,10 @@ func (s *Scenario) validateDefaults(d *RunDefaults, path string) error {
 			if !pt.Until.IsSet() {
 				return fail(fmt.Sprintf("network.partitions[%d].until", j), "the partition window is required")
 			}
-			for sub, q := range map[string]*Quantity{
-				"from": &pt.From, "until": &pt.Until, "groups": &pt.Groups,
+			for _, f := range []quantityField{
+				{"from", &pt.From}, {"until", &pt.Until}, {"groups", &pt.Groups},
 			} {
-				if err := q.compile(ppath + "." + sub); err != nil {
+				if err := f.q.compile(ppath + "." + f.sub); err != nil {
 					return fmt.Errorf("scenario %q: %w", s.Name, err)
 				}
 			}
@@ -295,11 +308,11 @@ func (s *Scenario) validateDefaults(d *RunDefaults, path string) error {
 			return fail("init.generator", "unknown generator %q (want one of %s)",
 				d.Init.Generator, strings.Join(config.GeneratorNames(), ", "))
 		}
-		for sub, q := range map[string]*Quantity{
-			"init.k": &d.Init.K, "init.bias": &d.Init.Bias, "init.a": &d.Init.A,
-			"init.max_support": &d.Init.MaxSupport, "init.s": &d.Init.S,
+		for _, f := range []quantityField{
+			{"init.k", &d.Init.K}, {"init.bias", &d.Init.Bias}, {"init.a", &d.Init.A},
+			{"init.max_support", &d.Init.MaxSupport}, {"init.s", &d.Init.S},
 		} {
-			if err := q.compile(path + "." + sub); err != nil {
+			if err := f.q.compile(path + "." + f.sub); err != nil {
 				return fmt.Errorf("scenario %q: %w", s.Name, err)
 			}
 		}
@@ -338,14 +351,14 @@ func (s *Scenario) validateDefaults(d *RunDefaults, path string) error {
 		} else if _, err := adversaryByNameCheck(d.Adversary.Name); err != nil {
 			return fail("adversary.name", "%v", err)
 		}
-		for sub, q := range map[string]*Quantity{
-			"adversary.budget": &d.Adversary.Budget, "adversary.epsilon": &d.Adversary.Epsilon,
-			"adversary.window": &d.Adversary.Window,
+		for _, f := range []quantityField{
+			{"adversary.budget", &d.Adversary.Budget}, {"adversary.epsilon", &d.Adversary.Epsilon},
+			{"adversary.window", &d.Adversary.Window},
 		} {
-			if !q.IsSet() {
-				return fail(sub, "required for adversarial runs")
+			if !f.q.IsSet() {
+				return fail(f.sub, "required for adversarial runs")
 			}
-			if err := q.compile(path + "." + sub); err != nil {
+			if err := f.q.compile(path + "." + f.sub); err != nil {
 				return fmt.Errorf("scenario %q: %w", s.Name, err)
 			}
 		}

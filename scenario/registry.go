@@ -149,6 +149,19 @@ func adapterNames() []string {
 	return names
 }
 
+// RegisteredReducers returns the names of all registered reducers in
+// sorted order, so listings (and the error messages built from them) are
+// byte-stable across runs.
+func RegisteredReducers() []string { return reducerNames() }
+
+// RegisteredAdapters returns the names of all registered custom-scenario
+// adapters in sorted order.
+func RegisteredAdapters() []string { return adapterNames() }
+
+// RegisteredStopPredicates returns the names of all registered stop
+// predicates in sorted order.
+func RegisteredStopPredicates() []string { return stopPredicateNames() }
+
 // adversaryByNameCheck validates an adversary name without keeping the
 // instance.
 func adversaryByNameCheck(name string) (adversary.Adversary, error) {

@@ -23,6 +23,7 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"unicode"
@@ -334,12 +335,19 @@ func (q *Quantity) UnmarshalJSON(data []byte) error {
 			return err
 		}
 		q.variants = make(map[Scale]string, 2)
-		for key, vraw := range m {
+		// Visit the variant keys sorted so that the first-reported error on
+		// an object with several bad entries is byte-stable across runs.
+		keys := make([]string, 0, len(m))
+		for key := range m {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
 			scale, err := ParseScale(key)
 			if err != nil {
 				return fmt.Errorf("quantity variant %q: %w", key, err)
 			}
-			src, err := scalarSource(vraw)
+			src, err := scalarSource(m[key])
 			if err != nil {
 				return fmt.Errorf("quantity variant %q: %w", key, err)
 			}
@@ -393,12 +401,18 @@ func scalarSource(raw json.RawMessage) (string, error) {
 
 // compile checks both scale variants parse, reporting errors under path.
 // It does not retain the parsed form: Eval re-parses, keeping Quantity
-// immutable (and concurrency-safe) after decoding.
+// immutable (and concurrency-safe) after decoding. Variants are checked
+// in fixed scale order (not map order) so that when both are malformed
+// the same one is always reported first.
 func (q *Quantity) compile(path string) error {
 	if !q.IsSet() {
 		return nil
 	}
-	for _, src := range q.variants {
+	for _, scale := range []Scale{Quick, Full} {
+		src, ok := q.variants[scale]
+		if !ok {
+			continue
+		}
 		if _, err := ParseExpr(src); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
