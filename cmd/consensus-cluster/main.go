@@ -11,7 +11,14 @@
 //
 //	consensus-cluster [-rule voter|2-choices|3-majority|H-majority|2-median]
 //	                  [-n N] [-k K] [-seed S] [-max-rounds M] [-workers W]
-//	                  [-delay D] [-jitter J] [-loss P] [-retry T]
+//	                  [-delay D] [-jitter J] [-loss P] [-retry T] [-check]
+//
+// With -check the run is audited against the engine's message-budget law:
+// every node completes h pull exchanges per round (h = the rule's sample
+// count), each exchange is one request plus one response, so a lossless
+// run sends exactly 2·n·h·rounds messages — any latency model included.
+// Under loss the dropped legs retry, so the total can only exceed that
+// budget. A violated law fails the run with a non-zero exit.
 package main
 
 import (
@@ -44,6 +51,7 @@ func run(args []string) error {
 		jitter    = fs.Int("jitter", 0, "uniform extra per-leg delay in [0, J] ticks")
 		loss      = fs.Float64("loss", 0, "i.i.d. per-leg message loss probability in [0, 1); lost pulls retry")
 		retry     = fs.Int("retry", 1, "pull-retry timeout in ticks")
+		check     = fs.Bool("check", false, "audit the run against the 2·n·h·rounds message-budget law")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +89,36 @@ func run(args []string) error {
 	fmt.Printf("%s after %d rounds\n", status, res.Rounds)
 	fmt.Printf("winner color label: %d\n", res.WinnerLabel)
 	fmt.Printf("messages exchanged: %d (%d bits/message payload)\n", res.Messages, res.BitsPerMessage)
+	if *check {
+		return checkMessageLaw(factory, *n, *loss, res.Rounds, res.Messages)
+	}
+	return nil
+}
+
+// checkMessageLaw audits the message count against the engine's budget
+// law: 2·n·h messages per round exactly when nothing is lost, at least
+// that when dropped legs retry.
+func checkMessageLaw(factory consensus.Factory, n int, loss float64, rounds int, messages int64) error {
+	sampler, ok := factory().(interface{ Samples() int })
+	if !ok {
+		return fmt.Errorf("-check: rule does not report its sample count")
+	}
+	h := sampler.Samples()
+	budget := 2 * int64(n) * int64(h) * int64(rounds)
+	switch {
+	case loss == 0 && messages != budget:
+		return fmt.Errorf("message-budget law violated: sent %d messages, want exactly 2·n·h·rounds = 2·%d·%d·%d = %d",
+			messages, n, h, rounds, budget)
+	case loss > 0 && messages < budget:
+		return fmt.Errorf("message-budget law violated: sent %d messages under loss, want at least 2·n·h·rounds = %d",
+			messages, budget)
+	}
+	law := "exactly"
+	if loss > 0 {
+		law = "at least"
+	}
+	fmt.Printf("message-budget law holds: %d messages, %s 2·n·h·rounds = 2·%d·%d·%d = %d\n",
+		messages, law, n, h, rounds, budget)
 	return nil
 }
 

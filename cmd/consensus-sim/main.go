@@ -11,6 +11,7 @@
 //
 //	consensus-sim -scenario FILE|NAME|ID [-scale quick|full] [-seed S]
 //	              [-workers W] [-verify-determinism] [-list-scenarios]
+//	              [-check] [-check-report FILE]
 //	consensus-sim [-rule voter|lazy-voter|2-choices|3-majority|4-majority|...|2-median|undecided]
 //	              [-beta B] [-engine batch|agents|graph|cluster] [-parallel P]
 //	              [-topology complete|ring|torus|star|random-regular] [-degree D]
@@ -51,6 +52,8 @@ func run(args []string) error {
 		scaleName   = fs.String("scale", "quick", "scenario scale: quick or full")
 		workers     = fs.Int("workers", 0, "suite worker pool (0 = GOMAXPROCS); never affects results")
 		verifyDet   = fs.Bool("verify-determinism", false, "run the scenario twice and fail unless the tables are bit-identical")
+		check       = fs.Bool("check", false, "evaluate the scenario's expect section and fail on violations")
+		checkReport = fs.String("check-report", "", "write the expectation report as JSON to FILE (implies -check)")
 		listScen    = fs.Bool("list-scenarios", false, "list the embedded scenario suite and exit")
 		emit        = fs.Bool("emit-scenario", false, "print the scenario generated from the classic flags and exit")
 
@@ -120,7 +123,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runScenario(ctx, s, params, *verifyDet)
+		return runScenario(ctx, s, params, *verifyDet, *check || *checkReport != "", *checkReport)
+	}
+	if *check || *checkReport != "" {
+		return fmt.Errorf("-check evaluates a scenario's expect section; it needs -scenario")
 	}
 	if *verifyDet {
 		// The classic path prints a single run's trace, not a reduced
@@ -186,27 +192,56 @@ func run(args []string) error {
 
 // runScenario executes a scenario file and prints its table; with verify
 // it executes twice and insists on bit-identical output — the determinism
-// contract the scenario layer promises.
-func runScenario(ctx context.Context, s *scenario.Scenario, p scenario.Params, verify bool) error {
-	tbl, err := scenario.Run(ctx, s, p)
-	if err != nil {
-		return err
+// contract the scenario layer promises. With check it also evaluates the
+// scenario's expect section: the table still prints, the report
+// optionally lands in reportPath as JSON, and any violation fails the
+// run with its field-qualified message.
+func runScenario(ctx context.Context, s *scenario.Scenario, p scenario.Params, verify, check bool, reportPath string) error {
+	execute := func() (*bytes.Buffer, *scenario.ExpectReport, error) {
+		var (
+			tbl    *scenario.Table
+			report *scenario.ExpectReport
+			err    error
+		)
+		if check {
+			tbl, report, err = scenario.RunChecked(ctx, s, p)
+		} else {
+			tbl, err = scenario.Run(ctx, s, p)
+		}
+		if tbl == nil {
+			return nil, nil, err
+		}
+		var buf bytes.Buffer
+		if rerr := tbl.Render(&buf); rerr != nil {
+			return nil, nil, rerr
+		}
+		return &buf, report, err
 	}
-	var first bytes.Buffer
-	if err := tbl.Render(&first); err != nil {
-		return err
+
+	first, report, checkErr := execute()
+	if first == nil {
+		return checkErr
 	}
 	if verify {
-		tbl2, err := scenario.Run(ctx, s, p)
-		if err != nil {
-			return fmt.Errorf("determinism check re-run: %w", err)
-		}
-		var second bytes.Buffer
-		if err := tbl2.Render(&second); err != nil {
-			return err
+		second, report2, checkErr2 := execute()
+		if second == nil {
+			return fmt.Errorf("determinism check re-run: %w", checkErr2)
 		}
 		if !bytes.Equal(first.Bytes(), second.Bytes()) {
 			return fmt.Errorf("scenario %q is not deterministic: two runs at seed %d differ", s.Name, p.Seed)
+		}
+		if check {
+			rep1, err := json.Marshal(report)
+			if err != nil {
+				return err
+			}
+			rep2, err := json.Marshal(report2)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(rep1, rep2) {
+				return fmt.Errorf("scenario %q is not deterministic: two expectation reports at seed %d differ", s.Name, p.Seed)
+			}
 		}
 	}
 	if _, err := os.Stdout.Write(first.Bytes()); err != nil {
@@ -216,8 +251,24 @@ func runScenario(ctx context.Context, s *scenario.Scenario, p scenario.Params, v
 	if verify {
 		fmt.Printf(", determinism verified")
 	}
+	if check && report != nil {
+		fmt.Printf(", %d expectations / %d checks / %d violations",
+			report.Expectations, report.Checks, len(report.Violations))
+	}
 	fmt.Println(")")
-	return nil
+	if reportPath != "" && report != nil {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if check && report != nil && report.Expectations == 0 {
+		fmt.Fprintf(os.Stderr, "consensus-sim: note: scenario %q declares no expectations\n", s.Name)
+	}
+	return checkErr
 }
 
 // resolveScenario loads a scenario from a file path, an embedded file

@@ -47,7 +47,7 @@ type agentsState struct {
 	nodes []int // current per-node slot assignment
 	next  []int
 	alias *rng.Alias
-	h     int // samples per node
+	h     int // samples per node (the max over groups when heterogeneous)
 
 	// Sequential path (p == 1): the run's own stream, chunk buffer and
 	// next-count tally.
@@ -58,6 +58,71 @@ type agentsState struct {
 
 	// Sharded path (p > 1).
 	pool *shardPool
+
+	// Heterogeneous population (WithNodeBehaviors), nil otherwise.
+	behav *behaviorRT
+	round int // current round, set by step before the shard dispatch
+}
+
+// behaviorRT is the runtime form of a behavior table: flat per-group
+// arrays indexed by group, plus per-shard per-group rule instances.
+type behaviorRT struct {
+	assign   []int
+	stubborn []bool
+	join     []int
+	hs       []int             // per-group sample count (<= agentsState.h)
+	rules    [][]core.NodeRule // [shard][group]
+}
+
+// newBehaviorRT resolves a behavior table for p shards: every group gets
+// one rule instance per shard (its own factory, or the run's rule with the
+// same per-shard instancing contract as newShardSetup). The returned h is
+// the max sample count over the groups; every node's h samples are drawn
+// regardless of its group, so random-stream consumption is independent of
+// the group layout.
+func newBehaviorRT(b *behaviors, rule core.NodeRule, factory core.Factory, p int, e Engine) (*behaviorRT, int, error) {
+	rt := &behaviorRT{
+		assign:   b.assign,
+		stubborn: make([]bool, len(b.groups)),
+		join:     make([]int, len(b.groups)),
+		hs:       make([]int, len(b.groups)),
+		rules:    make([][]core.NodeRule, p),
+	}
+	for s := 0; s < p; s++ {
+		rt.rules[s] = make([]core.NodeRule, len(b.groups))
+		for g, bg := range b.groups {
+			switch {
+			case bg.Factory != nil:
+				made := bg.Factory()
+				if made == nil {
+					return nil, 0, errors.New("sim: behavior group factory returned a nil rule")
+				}
+				nr, err := asNodeRule(made, e)
+				if err != nil {
+					return nil, 0, err
+				}
+				rt.rules[s][g] = nr
+			case s == 0 || factory == nil:
+				rt.rules[s][g] = rule
+			default:
+				nr, err := asNodeRule(factory(), e)
+				if err != nil {
+					return nil, 0, err
+				}
+				rt.rules[s][g] = nr
+			}
+		}
+	}
+	h := 0
+	for g, bg := range b.groups {
+		rt.stubborn[g] = bg.Stubborn
+		rt.join[g] = bg.JoinRound
+		rt.hs[g] = rt.rules[0][g].Samples()
+		if rt.hs[g] > h {
+			h = rt.hs[g]
+		}
+	}
+	return rt, h, nil
 }
 
 // newAgentsState builds the run state. factory, when non-nil, provides a
@@ -74,8 +139,35 @@ func newAgentsState(rule core.NodeRule, factory core.Factory, start *config.Conf
 		r:     r,
 	}
 	p := o.shardCount(c.N(), factory)
+	if o.behaviors != nil {
+		if err := o.behaviors.validate(c.N()); err != nil {
+			return nil, err
+		}
+		rt, h, err := newBehaviorRT(o.behaviors, rule, factory, p, o.engine)
+		if err != nil {
+			return nil, err
+		}
+		st.behav = rt
+		st.h = h
+	}
 	if p == 1 {
 		st.buf = make([]int, sampleChunk*st.h)
+		return st, nil
+	}
+
+	if st.behav != nil {
+		// Same stream/buffer derivation as newShardSetup, but the rules
+		// live in the behavior table and the buffers are sized for the
+		// max group sample count.
+		streams := make([]*rng.RNG, p)
+		bufs := make([][]int, p)
+		for s := 0; s < p; s++ {
+			streams[s] = r.Derive(uint64(s))
+			bufs[s] = make([]int, sampleChunk*st.h)
+		}
+		st.pool = newShardPool(c.N(), p, func(s, lo, hi int, tally []int) {
+			agentsShardRoundHetero(st, st.behav.rules[s], streams[s], bufs[s], lo, hi, tally)
+		})
 		return st, nil
 	}
 
@@ -114,19 +206,57 @@ func agentsShardRound(st *agentsState, rule core.NodeRule, r *rng.RNG, buf []int
 	}
 }
 
+// agentsShardRoundHetero is agentsShardRound for a heterogeneous
+// population: every node's st.h samples are drawn exactly as in the
+// homogeneous path (so the random streams are consumed identically
+// whatever the group layout), then each node applies its group's rule on
+// its group's sample-count prefix — or holds its opinion when the group is
+// stubborn or has not joined yet. Held nodes still occupy the
+// configuration, so everyone keeps sampling them.
+//
+//consensus:hotpath
+func agentsShardRoundHetero(st *agentsState, rules []core.NodeRule, r *rng.RNG, buf []int, lo, hi int, tally []int) {
+	h := st.h
+	b := st.behav
+	round := st.round
+	for base := lo; base < hi; base += sampleChunk {
+		end := base + sampleChunk
+		if end > hi {
+			end = hi
+		}
+		chunk := buf[:(end-base)*h]
+		st.alias.DrawN(r, chunk)
+		for i := base; i < end; i++ {
+			g := b.assign[i]
+			nxt := st.nodes[i]
+			if !b.stubborn[g] && round >= b.join[g] {
+				off := (i - base) * h
+				nxt = rules[g].Update(nxt, chunk[off:off+b.hs[g]], r)
+			}
+			st.next[i] = nxt
+			tally[nxt]++
+		}
+	}
+}
+
 // step advances the population by one synchronous round: a uniform node
 // pull is a categorical color draw with probabilities counts/n, so the
 // round's immutable snapshot is the alias table built from the previous
 // configuration; every node (in every shard) samples against it.
 //
 //consensus:hotpath
-func (st *agentsState) step(int) {
+func (st *agentsState) step(round int) {
+	st.round = round
 	counts := st.c.CountsView()
 	st.alias.ResetCounts(counts)
 	if st.pool == nil {
 		st.tally = resizeInts(st.tally, len(counts))
 		clear(st.tally)
-		agentsShardRound(st, st.rule, st.r, st.buf, 0, len(st.nodes), st.tally)
+		if st.behav != nil {
+			agentsShardRoundHetero(st, st.behav.rules[0], st.r, st.buf, 0, len(st.nodes), st.tally)
+		} else {
+			agentsShardRound(st, st.rule, st.r, st.buf, 0, len(st.nodes), st.tally)
+		}
 		st.nodes, st.next = st.next, st.nodes
 		copy(counts, st.tally)
 		return

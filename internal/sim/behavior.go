@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ignorecomply/consensus/internal/core"
+)
+
+// NodeBehavior describes how one named subset of the population behaves on
+// the agents engine. The zero value is a plain node: it runs the run's own
+// rule from round 1.
+type NodeBehavior struct {
+	// Factory creates the group's rule instances (one per shard). nil
+	// means the group runs the run's own rule.
+	Factory core.Factory
+	// Stubborn nodes never update: they keep their initial opinion for the
+	// whole run (the paper's fixed-dissenter workload). Other nodes still
+	// sample them.
+	Stubborn bool
+	// JoinRound is the first round in which the group participates; before
+	// it the group's nodes hold their initial opinion (a late-joining
+	// group). 0 joins immediately.
+	JoinRound int
+}
+
+// behaviors is the resolved per-node heterogeneity of one run: a group
+// index per node plus the per-group behavior table.
+type behaviors struct {
+	assign []int
+	groups []NodeBehavior
+}
+
+// WithNodeBehaviors runs a heterogeneous population on the agents engine:
+// assign maps every node index to an entry of groups. The node order is the
+// start configuration's Nodes() order (slot blocks in slot order). Only the
+// agents engine supports behaviors; sampling stays Uniform Pull over the
+// whole population, so stubborn and not-yet-joined nodes are still
+// observed by everyone else.
+//
+// Determinism: behaviors never add random draws. Every node's samples are
+// drawn whether or not the node updates this round, so the random stream
+// consumed by a round is independent of which groups are stubborn or have
+// joined — fixed (seed, parallelism) stays bit-exact.
+func WithNodeBehaviors(assign []int, groups []NodeBehavior) Option {
+	a := append([]int(nil), assign...)
+	g := append([]NodeBehavior(nil), groups...)
+	return optionFunc(func(o *options) { o.behaviors = &behaviors{assign: a, groups: g} })
+}
+
+// WithInvalidLabels removes labels from the §5 validity set: a winner
+// holding one of them reports Result.WinnerValid == false even though the
+// label had initial support. Use it when part of the initial configuration
+// is adversarially planted (a corrupted subset), so its opinions must not
+// count as valid consensus values. Labels without initial support are
+// already invalid; listing them is harmless.
+func WithInvalidLabels(labels ...int) Option {
+	cp := append([]int(nil), labels...)
+	return optionFunc(func(o *options) { o.invalidLabels = cp })
+}
+
+// validate checks the behavior table against a population of n nodes.
+func (b *behaviors) validate(n int) error {
+	if len(b.groups) == 0 {
+		return errors.New("sim: node behaviors need at least one group")
+	}
+	if len(b.assign) != n {
+		return fmt.Errorf("sim: behavior assignment covers %d nodes for a population of %d", len(b.assign), n)
+	}
+	for i, g := range b.assign {
+		if g < 0 || g >= len(b.groups) {
+			return fmt.Errorf("sim: node %d assigned to behavior group %d of %d", i, g, len(b.groups))
+		}
+	}
+	for i, g := range b.groups {
+		if g.JoinRound < 0 {
+			return fmt.Errorf("sim: behavior group %d: join round must be >= 0, got %d", i, g.JoinRound)
+		}
+	}
+	return nil
+}

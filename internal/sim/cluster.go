@@ -49,6 +49,9 @@ func RunCluster(factory func() core.NodeRule, start *config.Config, seed uint64,
 // message-passing engine honors the full option set (targets, traces,
 // observers, adversaries, cancellation) like every other engine.
 func runCluster(factory func() (core.NodeRule, error), start *config.Config, r *rng.RNG, o options) (*Result, error) {
+	if o.behaviors != nil {
+		return nil, errors.New("sim: node behaviors need the agents engine")
+	}
 	o.compactEvery = 0 // node states refer to slot indices; never renumber
 
 	sys, err := cluster.NewSystem(factory, start, r, cluster.Options{

@@ -168,6 +168,9 @@ func (st *graphState) close() {
 }
 
 func runGraph(rule core.NodeRule, factory core.Factory, g graph.Graph, colors []int, r *rng.RNG, o options) (*Result, error) {
+	if o.behaviors != nil {
+		return nil, errors.New("sim: node behaviors need the agents engine")
+	}
 	if len(colors) != g.N() {
 		return nil, fmt.Errorf("sim: %d colors for %d vertices", len(colors), g.N())
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/core"
 	"github.com/ignorecomply/consensus/internal/graph"
 	"github.com/ignorecomply/consensus/internal/rng"
 	"github.com/ignorecomply/consensus/internal/rules"
@@ -58,6 +59,38 @@ func TestAgentsRoundZeroSteadyStateAllocs(t *testing.T) {
 			}
 			if avg := testing.AllocsPerRun(50, func() { st.step(0) }); avg != 0 {
 				t.Errorf("agents round allocates %.2f times per round at p=%d, want 0", avg, p)
+			}
+		})
+	}
+}
+
+// TestAgentsHeteroRoundZeroSteadyStateAllocs: same contract for the
+// heterogeneous behavior path — each measured step runs
+// agentsShardRoundHetero (the //consensus:hotpath round body that
+// dispatches per-group rules, stubborn holds and join rounds) over every
+// shard, and must stay allocation-free once warm.
+func TestAgentsHeteroRoundZeroSteadyStateAllocs(t *testing.T) {
+	voter := func() core.Rule { return rules.NewVoter() }
+	for _, p := range []int{1, 4} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			o, err := buildOptions([]Option{
+				WithParallelism(p),
+				WithNodeBehaviors(blockAssign(2048, 1024, 512, 512),
+					[]NodeBehavior{{}, {Factory: voter}, {Stubborn: true}, {JoinRound: 1 << 20}}),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := newAgentsState(rules.NewThreeMajority(), nil, config.Balanced(4096, 8), rng.New(1), o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.close()
+			for i := 0; i < 5; i++ {
+				st.step(i)
+			}
+			if avg := testing.AllocsPerRun(50, func() { st.step(0) }); avg != 0 {
+				t.Errorf("hetero agents round allocates %.2f times per round at p=%d, want 0", avg, p)
 			}
 		})
 	}

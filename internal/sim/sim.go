@@ -53,8 +53,10 @@ type Result struct {
 	// consensus color when Converged with target 1).
 	WinnerLabel int
 	// WinnerValid reports whether the winner is a valid color: one
-	// supported in the initial configuration (Byzantine validity, §5).
-	// Always true for runs without an adversary.
+	// supported in the initial configuration (Byzantine validity, §5),
+	// minus any labels declared invalid up front (WithInvalidLabels —
+	// adversarially planted initial opinions). Always true for runs
+	// without an adversary, invalid labels or injected colors.
 	WinnerValid bool
 	// ColorTimes maps each requested κ to the first round at the end of
 	// which at most κ colors remained (0 if already true initially);
@@ -106,6 +108,9 @@ type options struct {
 	advSet  bool
 	epsilon float64
 	window  int
+
+	behaviors     *behaviors
+	invalidLabels []int
 
 	rng     *rng.RNG
 	seed    uint64
@@ -302,6 +307,9 @@ func buildOptions(opts []Option) (options, error) {
 			return o, errors.New("sim: WithNetwork requires the cluster engine")
 		}
 	}
+	if o.behaviors != nil && o.engineSet && o.engine != EngineAgents {
+		return o, errors.New("sim: node behaviors need the agents engine")
+	}
 	return o, nil
 }
 
@@ -359,6 +367,9 @@ func Run(rule core.Rule, start *config.Config, r *rng.RNG, opts ...Option) (*Res
 }
 
 func runBatch(rule core.Rule, start *config.Config, r *rng.RNG, o options) (*Result, error) {
+	if o.behaviors != nil {
+		return nil, errors.New("sim: node behaviors need the agents engine")
+	}
 	c := start.Clone()
 	return runLoop(c, r, o, func(round int) {
 		rule.Step(c, r)
@@ -381,12 +392,16 @@ func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int), curr
 
 	// Validity bookkeeping (§5): the valid labels are those of the
 	// initial positive-support slots; an adversary may inject colors
-	// outside that set.
+	// outside that set, and WithInvalidLabels removes labels whose initial
+	// support was adversarially planted (a corrupted node group).
 	valid := make(map[int]struct{}, c.Slots())
 	for s := 0; s < c.Slots(); s++ {
 		if c.Count(s) > 0 {
 			valid[c.Label(s)] = struct{}{}
 		}
+	}
+	for _, l := range o.invalidLabels {
+		delete(valid, l)
 	}
 
 	var threshold int

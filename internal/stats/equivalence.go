@@ -152,6 +152,37 @@ func ChiSquareHomogeneity(a, b []int) (ChiSquareResult, error) {
 	return ChiSquareResult{Stat: stat, DF: df, P: ChiSquareSF(stat, df)}, nil
 }
 
+// ChiSquareUniform is the chi-square goodness-of-fit test of observed
+// category counts against the uniform distribution over the given
+// categories (e.g. winner-color tallies of a symmetric start, where by
+// symmetry every color must win equally often). df = len(counts) - 1.
+// The usual >= ~5 expected-count guidance applies; small expected counts
+// make the test anti-conservative, so callers should keep
+// replicas/categories reasonably large.
+func ChiSquareUniform(counts []int) (ChiSquareResult, error) {
+	if len(counts) < 2 {
+		return ChiSquareResult{}, errors.New("stats: ChiSquareUniform requires >= 2 categories")
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return ChiSquareResult{}, errors.New("stats: ChiSquareUniform requires non-negative counts")
+		}
+		total += c
+	}
+	if total == 0 {
+		return ChiSquareResult{}, errors.New("stats: ChiSquareUniform requires a positive total")
+	}
+	expected := float64(total) / float64(len(counts))
+	stat := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	df := len(counts) - 1
+	return ChiSquareResult{Stat: stat, DF: df, P: ChiSquareSF(stat, df)}, nil
+}
+
 // ChiSquareSF is the chi-square survival function P(χ²_df >= x).
 func ChiSquareSF(x float64, df int) float64 {
 	if df <= 0 {

@@ -180,3 +180,28 @@ func TestTwoSampleKSErrors(t *testing.T) {
 		t.Error("empty y accepted")
 	}
 }
+
+func TestChiSquareUniform(t *testing.T) {
+	// A perfectly balanced tally is a perfect fit: stat 0, p = 1.
+	res, err := ChiSquareUniform([]int{25, 25, 25, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stat != 0 || res.P != 1 || res.DF != 3 {
+		t.Fatalf("balanced tally: got %+v, want stat 0, p 1, df 3", res)
+	}
+	// A heavily skewed tally is rejected at any reasonable level.
+	res, err = ChiSquareUniform([]int{97, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IndistinguishableAt(DefaultEquivalenceAlpha) {
+		t.Fatalf("skewed tally not rejected: %+v", res)
+	}
+	// Errors: too few categories, negative counts, zero total.
+	for _, counts := range [][]int{{10}, {3, -1}, {0, 0}} {
+		if _, err := ChiSquareUniform(counts); err == nil {
+			t.Fatalf("counts %v accepted", counts)
+		}
+	}
+}

@@ -90,8 +90,8 @@ func (s *Scenario) Validate() error {
 		// silently run a different experiment than the file describes.
 		if len(s.Runs) > 0 || s.Rule != nil || len(s.Sweep) > 0 || s.Replicas.IsSet() ||
 			len(s.Derived) > 0 || s.Engine != "" || s.Parallelism != nil || s.Topology != nil ||
-			s.Init != nil || s.Stop != nil || s.Adversary != nil || s.Metrics != nil {
-			return fail("kind", "%q scenarios are driven entirely by their adapter, which reads only params: drop runs/rule/sweep/replicas/derived/engine/parallelism/topology/init/stop/adversary/metrics", KindCustom)
+			s.Init != nil || len(s.Nodes) > 0 || s.Stop != nil || s.Adversary != nil || s.Metrics != nil {
+			return fail("kind", "%q scenarios are driven entirely by their adapter, which reads only params: drop runs/rule/sweep/replicas/derived/engine/parallelism/topology/init/nodes/stop/adversary/metrics", KindCustom)
 		}
 		if s.Reducer != "" {
 			return fail("reducer", "%q scenarios produce their table in the adapter; drop the reducer", KindCustom)
@@ -175,7 +175,7 @@ func (s *Scenario) Validate() error {
 		}
 	}
 	if s.Kind == KindCustom {
-		return nil
+		return s.validateExpects()
 	}
 
 	if err := s.validateDefaults(&s.RunDefaults, "run defaults"); err != nil {
@@ -198,11 +198,20 @@ func (s *Scenario) Validate() error {
 		}
 	}
 	// Checks that need the merged view: every group needs a rule, the
-	// graph engine and a topology only make sense together, and a network
-	// section binds to the cluster engine.
+	// graph engine and a topology only make sense together, a network
+	// section binds to the cluster engine, and per-group node behaviors
+	// bind to the agents engine.
 	for i, eff := range s.effectiveGroups() {
 		if eff.Rule == nil {
 			return fail(fmt.Sprintf("runs[%d]", i), "no rule: set rule here or at the scenario level")
+		}
+		if len(eff.Nodes) > 0 && nodesNeedBehaviors(eff.Nodes) {
+			if eff.Engine != "" && eff.Engine != "agents" {
+				return fail(fmt.Sprintf("runs[%d]", i), "node groups with behavior overrides (rule, stubborn, join_round) need the agents engine; engine is %q", eff.Engine)
+			}
+			if eff.Topology != nil || eff.Network != nil {
+				return fail(fmt.Sprintf("runs[%d]", i), "node groups with behavior overrides (rule, stubborn, join_round) need the agents engine; drop the topology/network section")
+			}
 		}
 		if eff.Engine == "graph" && eff.Topology == nil {
 			return fail(fmt.Sprintf("runs[%d]", i), "the graph engine needs a topology section (here or at the scenario level)")
@@ -222,7 +231,7 @@ func (s *Scenario) Validate() error {
 	if s.Reducer != "" && !validName(s.Reducer) {
 		return fail("reducer", "reducer name %q must be a lowercase slug", s.Reducer)
 	}
-	return nil
+	return s.validateExpects()
 }
 
 // validateDefaults checks one settings section (scenario level or group).
@@ -301,6 +310,14 @@ func (s *Scenario) validateDefaults(d *RunDefaults, path string) error {
 					return fmt.Errorf("scenario %q: %w", s.Name, err)
 				}
 			}
+		}
+	}
+	if len(d.Nodes) > 0 {
+		if d.Init != nil {
+			return fail("nodes", "a nodes section composes the whole start configuration; drop the init section")
+		}
+		if err := s.validateNodes(d.Nodes, path); err != nil {
+			return err
 		}
 	}
 	if d.Init != nil {
@@ -429,8 +446,9 @@ func (s *Scenario) effectiveGroups() []RunGroup {
 		if eff.Network == nil {
 			eff.Network = s.Network
 		}
-		if eff.Init == nil {
+		if eff.Init == nil && eff.Nodes == nil {
 			eff.Init = s.Init
+			eff.Nodes = s.Nodes
 		}
 		if eff.Stop == nil {
 			eff.Stop = s.Stop

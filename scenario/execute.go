@@ -61,6 +61,9 @@ type GroupResult struct {
 
 	// graph is the group's interaction topology (graph engine only).
 	graph graph.Graph
+	// grouped carries the per-node group assignment and invalid labels of
+	// a heterogeneous start (nodes section only).
+	grouped *groupedStart
 }
 
 // ExecuteSuite expands the scenario and runs every cell × group × replica
@@ -94,6 +97,7 @@ func ExecuteSuite(ctx context.Context, s *Scenario, p Params) (*SuiteResult, err
 		stream  *rng.RNG
 		start   *config.Config
 		g       graph.Graph
+		grouped *groupedStart
 		slot    **Result
 		runName string
 	}
@@ -113,14 +117,19 @@ func ExecuteSuite(ctx context.Context, s *Scenario, p Params) (*SuiteResult, err
 			// group; randomized generators draw from their own stream,
 			// derived before the group's replica streams.
 			var genRNG *rng.RNG
-			if config.NeedsRNG(spec.Init.Generator) || (spec.Topology != nil && spec.Topology.Name == "random-regular") {
+			needsRNG := config.NeedsRNG(spec.Init.Generator) || (spec.Topology != nil && spec.Topology.Name == "random-regular")
+			if len(spec.Nodes) > 0 {
+				needsRNG = nodesNeedRNG(spec.Nodes) || (spec.Topology != nil && spec.Topology.Name == "random-regular")
+			}
+			if needsRNG {
 				genRNG = base.Derive(^uint64(0))
 			}
-			start, err := buildStart(spec, genRNG)
+			start, grouped, err := buildStart(spec, genRNG)
 			if err != nil {
 				return nil, fmt.Errorf("scenario %q: cell %d, group %q: %w", s.Name, spec.Cell, spec.GroupID, err)
 			}
 			curGroup.Start = start
+			curGroup.grouped = grouped
 			curGroup.Results = make([]*Result, spec.Replicas)
 			cur.Groups = append(cur.Groups, curGroup)
 			if spec.Topology != nil {
@@ -136,6 +145,7 @@ func ExecuteSuite(ctx context.Context, s *Scenario, p Params) (*SuiteResult, err
 			stream:  base.Derive(uint64(spec.Replica)),
 			start:   curGroup.Start,
 			g:       curGroup.graph,
+			grouped: curGroup.grouped,
 			slot:    &curGroup.Results[spec.Replica],
 			runName: fmt.Sprintf("cell %d, group %q, replica %d", spec.Cell, spec.GroupID, spec.Replica),
 		})
@@ -157,7 +167,7 @@ func ExecuteSuite(ctx context.Context, s *Scenario, p Params) (*SuiteResult, err
 			defer wg.Done()
 			for idx := range queue {
 				j := &jobs[idx]
-				res, err := executeRun(ctx, j.spec, j.start, j.g, j.stream)
+				res, err := executeRun(ctx, j.spec, j.start, j.g, j.grouped, j.stream)
 				*j.slot = res
 				errs[idx] = err
 			}
@@ -186,12 +196,19 @@ dispatch:
 }
 
 // executeRun performs one replica through the Runner.
-func executeRun(ctx context.Context, spec *RunSpec, start *config.Config, g graph.Graph, stream *rng.RNG) (*Result, error) {
+func executeRun(ctx context.Context, spec *RunSpec, start *config.Config, g graph.Graph, grouped *groupedStart, stream *rng.RNG) (*Result, error) {
 	factory, err := rules.Spec{Name: spec.Rule.Name, H: spec.Rule.H, Beta: spec.Rule.Beta}.Factory()
 	if err != nil {
 		return nil, err
 	}
 	opts := []sim.Option{sim.WithRNG(stream)}
+	if grouped != nil {
+		behaviorOpts, err := buildBehaviors(spec, grouped)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, behaviorOpts...)
+	}
 	// Mirror Runner.RunReplicas: each replica's engine defaults to
 	// sequential — the suite's worker pool already saturates the cores.
 	par := spec.Parallelism
@@ -257,12 +274,52 @@ func buildNetwork(rn *ResolvedNetwork) cluster.Model {
 	return net
 }
 
-// buildStart generates the group's start configuration.
-func buildStart(spec *RunSpec, genRNG *rng.RNG) (*config.Config, error) {
-	return config.Generate(spec.Init.Generator, config.GenArgs{
+// buildStart generates the group's start configuration: the homogeneous
+// generator, or — with a nodes section — the grouped composition with its
+// per-node assignment and invalid labels.
+func buildStart(spec *RunSpec, genRNG *rng.RNG) (*config.Config, *groupedStart, error) {
+	if len(spec.Nodes) > 0 {
+		return buildGroupedStart(spec, genRNG)
+	}
+	c, err := config.Generate(spec.Init.Generator, config.GenArgs{
 		N: spec.N, K: spec.Init.K, Bias: spec.Init.Bias, A: spec.Init.A,
 		MaxSupport: spec.Init.MaxSupport, S: spec.Init.S, RNG: genRNG,
 	})
+	return c, nil, err
+}
+
+// buildBehaviors maps a heterogeneous start to the sim layer's options:
+// the per-node behavior table (only when some group overrides behavior)
+// and the §5 invalid labels of corrupted groups.
+func buildBehaviors(spec *RunSpec, grouped *groupedStart) ([]sim.Option, error) {
+	var opts []sim.Option
+	needBehaviors := false
+	for i := range spec.Nodes {
+		if spec.Nodes[i].hasBehavior() {
+			needBehaviors = true
+			break
+		}
+	}
+	if needBehaviors {
+		groups := make([]sim.NodeBehavior, len(spec.Nodes))
+		for i := range spec.Nodes {
+			ng := &spec.Nodes[i]
+			nb := sim.NodeBehavior{Stubborn: ng.Stubborn, JoinRound: ng.JoinRound}
+			if ng.Rule != nil {
+				f, err := rules.Spec{Name: ng.Rule.Name, H: ng.Rule.H, Beta: ng.Rule.Beta}.Factory()
+				if err != nil {
+					return nil, fmt.Errorf("nodes[%d] (%s): %w", i, ng.Name, err)
+				}
+				nb.Factory = f
+			}
+			groups[i] = nb
+		}
+		opts = append(opts, sim.WithNodeBehaviors(grouped.assign, groups))
+	}
+	if len(grouped.invalid) > 0 {
+		opts = append(opts, sim.WithInvalidLabels(grouped.invalid...))
+	}
+	return opts, nil
 }
 
 // buildTopology constructs the group's interaction graph.
@@ -305,8 +362,17 @@ func buildTopology(spec *RunSpec, genRNG *rng.RNG) (graph.Graph, error) {
 // ExecuteSuite and aggregate through the spec's reducer (default
 // "summary").
 func Run(ctx context.Context, s *Scenario, p Params) (*Table, error) {
+	tbl, _, err := runScenario(ctx, s, p)
+	return tbl, err
+}
+
+// runScenario is the shared execution path of Run and RunChecked: it
+// returns the reduced table plus, for suites, the executed results the
+// expect evaluator reads (nil for custom scenarios, which reduce inside
+// their adapter).
+func runScenario(ctx context.Context, s *Scenario, p Params) (*Table, *SuiteResult, error) {
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -314,14 +380,15 @@ func Run(ctx context.Context, s *Scenario, p Params) (*Table, error) {
 	if s.Kind == KindCustom {
 		adapter, ok := lookupAdapter(s.Adapter)
 		if !ok {
-			return nil, fmt.Errorf("scenario %q: no adapter %q registered (registered: %v)",
+			return nil, nil, fmt.Errorf("scenario %q: no adapter %q registered (registered: %v)",
 				s.Name, s.Adapter, adapterNames())
 		}
-		return adapter(ctx, s, p)
+		tbl, err := adapter(ctx, s, p)
+		return tbl, nil, err
 	}
 	suite, err := ExecuteSuite(ctx, s, p)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	name := s.Reducer
 	if name == "" {
@@ -329,8 +396,9 @@ func Run(ctx context.Context, s *Scenario, p Params) (*Table, error) {
 	}
 	reducer, ok := lookupReducer(name)
 	if !ok {
-		return nil, fmt.Errorf("scenario %q: no reducer %q registered (registered: %v)",
+		return nil, nil, fmt.Errorf("scenario %q: no reducer %q registered (registered: %v)",
 			s.Name, name, reducerNames())
 	}
-	return reducer(suite)
+	tbl, err := reducer(suite)
+	return tbl, suite, err
 }

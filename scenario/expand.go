@@ -56,8 +56,13 @@ type RunSpec struct {
 	Topology *ResolvedTopology
 	// Network is the resolved network model (cluster engine only).
 	Network *ResolvedNetwork
-	// Init is the resolved start-configuration generator.
+	// Init is the resolved start-configuration generator. Ignored when
+	// Nodes is non-empty: the groups compose the whole start.
 	Init ResolvedInit
+	// Nodes are the resolved heterogeneous node groups, if any. A single
+	// plain generator group normalizes back to Init, so Nodes is non-empty
+	// only for genuinely heterogeneous populations.
+	Nodes []ResolvedNodeGroup
 	// MaxRounds bounds the run (0 = the Runner default).
 	MaxRounds int
 	// TargetColors stops at ≤ this many colors (0 = the Runner default).
@@ -357,6 +362,27 @@ func (s *Scenario) resolveGroup(g *RunGroup, scale Scale, n int, env map[string]
 		}
 		if spec.Init.S, err = evalFloatOr(&g.Init.S, scale, env, 1, "init.s"); err != nil {
 			return spec, err
+		}
+	}
+
+	// Node groups (mutually exclusive with init — enforced at validation).
+	// A single plain generator group covering all n nodes normalizes back
+	// to the homogeneous init, so the grouped path only runs for genuinely
+	// heterogeneous populations.
+	if len(g.Nodes) > 0 {
+		rgs, init, err := resolveNodes(g.Nodes, scale, n, env)
+		if err != nil {
+			return spec, err
+		}
+		if init != nil {
+			spec.Init = *init
+		} else {
+			spec.Nodes = rgs
+			for gi := range rgs {
+				if rgs[gi].hasBehavior() && spec.Engine != EngineAgents {
+					return spec, fmt.Errorf("nodes[%d]: behavior overrides (rule, stubborn, join_round) need the agents engine", gi)
+				}
+			}
 		}
 	}
 

@@ -1,0 +1,1021 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/ignorecomply/consensus/internal/rules"
+	"github.com/ignorecomply/consensus/internal/sim"
+	"github.com/ignorecomply/consensus/internal/stats"
+)
+
+// ExpectSpec is one self-verification assertion of a scenario: a scope
+// (which cells and run groups it applies to) plus one or more predicates
+// over the executed results. Bounds are quantities, so they may be
+// expressions over the cell's bindings — "3 * k * log(n)" asserts the
+// paper's Θ(k log n) convergence law cell by cell.
+//
+// A checked run (RunChecked, consensus-sim -check) evaluates every
+// expectation against every in-scope cell × group and aggregates all
+// violations instead of stopping at the first, so one report shows the
+// whole failure surface.
+type ExpectSpec struct {
+	// Name labels the expectation in reports (free text, optional).
+	Name string `json:"name,omitempty"`
+	// Group restricts the expectation to one run group (default: all).
+	Group string `json:"group,omitempty"`
+	// Where gates the expectation per cell: it is evaluated against the
+	// cell's bindings and the cell is in scope iff the value is nonzero.
+	// A per-scale quantity whose branch is 0 disables the expectation at
+	// that scale.
+	Where Quantity `json:"where,omitempty"`
+	// Match restricts the expectation to cells whose string-axis bindings
+	// equal the given values.
+	Match map[string]string `json:"match,omitempty"`
+
+	// Rounds bounds the convergence-round distribution.
+	Rounds *RoundsExpect `json:"rounds,omitempty"`
+	// Converged bounds the fraction of converged replicas.
+	Converged *ConvergedExpect `json:"converged,omitempty"`
+	// Winner constrains the winner distribution.
+	Winner *WinnerExpect `json:"winner,omitempty"`
+	// Messages bounds the per-replica message totals (cluster engine).
+	Messages *MessagesExpect `json:"messages,omitempty"`
+	// AlmostConsensus bounds the final support of the plurality color.
+	AlmostConsensus *AlmostConsensusExpect `json:"almost_consensus,omitempty"`
+	// Compare relates two run groups of the same cell statistically.
+	Compare *CompareExpect `json:"compare,omitempty"`
+	// Table checks a column of the reduced table (the only predicate a
+	// custom-kind scenario can carry, and always the whole expectation).
+	Table *TableExpect `json:"table,omitempty"`
+}
+
+// RoundsExpect bounds the round counts of a cell × group's replicas.
+type RoundsExpect struct {
+	// MaxMean / MinMean bound the mean round count.
+	MaxMean Quantity `json:"max_mean,omitempty"`
+	MinMean Quantity `json:"min_mean,omitempty"`
+	// MaxQ95 bounds the 95th percentile.
+	MaxQ95 Quantity `json:"max_q95,omitempty"`
+	// Max / Min bound every individual replica.
+	Max Quantity `json:"max,omitempty"`
+	Min Quantity `json:"min,omitempty"`
+}
+
+// ConvergedExpect bounds the converged fraction of a cell × group.
+type ConvergedExpect struct {
+	// MinFraction is the least acceptable converged fraction (default 1:
+	// every replica must converge).
+	MinFraction Quantity `json:"min_fraction,omitempty"`
+}
+
+// WinnerExpect constrains the winner distribution of a cell × group.
+type WinnerExpect struct {
+	// Label, when set, requires replicas to elect this color.
+	Label Quantity `json:"label,omitempty"`
+	// LabelMinFraction is the least fraction of replicas that must elect
+	// Label (default 1; requires Label).
+	LabelMinFraction Quantity `json:"label_min_fraction,omitempty"`
+	// Valid, when set, requires every replica's winner validity flag
+	// (§5 Byzantine validity) to equal it.
+	Valid *bool `json:"valid,omitempty"`
+	// UniformAlpha runs a chi-square goodness-of-fit test of the winner
+	// tallies against the uniform distribution over the start colors and
+	// fails when p < alpha — the paper's symmetry claim: from a balanced
+	// start every color wins equally often.
+	UniformAlpha Quantity `json:"uniform_alpha,omitempty"`
+}
+
+// MessagesExpect bounds per-replica message totals. Bound expressions see
+// two extra bindings per replica: "rounds" (that replica's round count)
+// and "h" (the rule's per-round sample count), so the cluster engine's
+// exact law is expressible as {"exact": "2 * n * h * rounds"}.
+type MessagesExpect struct {
+	Exact Quantity `json:"exact,omitempty"`
+	Min   Quantity `json:"min,omitempty"`
+	Max   Quantity `json:"max,omitempty"`
+}
+
+// AlmostConsensusExpect bounds the plurality color's final support.
+type AlmostConsensusExpect struct {
+	// MinFraction is the least acceptable final support fraction of the
+	// plurality color, checked on every replica.
+	MinFraction Quantity `json:"min_fraction"`
+	// MaxRound bounds the round by which that support was reached: the
+	// adversarial almost-consensus round when the run recorded one,
+	// otherwise the run's round count.
+	MaxRound Quantity `json:"max_round,omitempty"`
+}
+
+// CompareExpect relates two run groups of the same cell. GroupB is the
+// baseline: mean ratios are mean(A)/mean(B).
+type CompareExpect struct {
+	GroupA string `json:"group_a"`
+	GroupB string `json:"group_b"`
+	// RoundsKSAlpha requires the two round distributions to be
+	// KS-indistinguishable at this level.
+	RoundsKSAlpha Quantity `json:"rounds_ks_alpha,omitempty"`
+	// WinnerChiAlpha requires the two winner tallies to be chi-square
+	// homogeneous at this level.
+	WinnerChiAlpha Quantity `json:"winner_chi_alpha,omitempty"`
+	// MaxMeanRatio / MinMeanRatio bound mean(A)/mean(B).
+	MaxMeanRatio Quantity `json:"max_mean_ratio,omitempty"`
+	MinMeanRatio Quantity `json:"min_mean_ratio,omitempty"`
+}
+
+// TableExpect checks one column of the reduced table on every row. Bound
+// expressions see the scenario's params as bindings.
+type TableExpect struct {
+	// Column is the checked column's name.
+	Column string `json:"column"`
+	// Rows restricts the check to these 0-based row indices; empty means
+	// every row. Use it when a column mixes numbers with markers like "-".
+	Rows   []int    `json:"rows,omitempty"`
+	Equals Quantity `json:"equals,omitempty"`
+	Min    Quantity `json:"min,omitempty"`
+	Max    Quantity `json:"max,omitempty"`
+}
+
+// predicateCount returns how many predicate sections the expectation
+// carries.
+func (e *ExpectSpec) predicateCount() int {
+	n := 0
+	for _, set := range []bool{
+		e.Rounds != nil, e.Converged != nil, e.Winner != nil,
+		e.Messages != nil, e.AlmostConsensus != nil, e.Compare != nil,
+		e.Table != nil,
+	} {
+		if set {
+			n++
+		}
+	}
+	return n
+}
+
+// validateExpects checks the expect section; called from Validate.
+func (s *Scenario) validateExpects() error {
+	fail := func(path, format string, args ...any) error {
+		return fmt.Errorf("scenario %q: %s: %s", s.Name, path, fmt.Sprintf(format, args...))
+	}
+	var groupIDs map[string]bool
+	if s.Kind != KindCustom {
+		groupIDs = map[string]bool{}
+		for _, g := range s.effectiveGroups() {
+			groupIDs[g.ID] = true
+		}
+	}
+	for i := range s.Expect {
+		e := &s.Expect[i]
+		path := fmt.Sprintf("expect[%d]", i)
+		if e.predicateCount() == 0 {
+			return fail(path, "an expectation needs at least one predicate (rounds, converged, winner, messages, almost_consensus, compare or table)")
+		}
+		if e.Table != nil {
+			if e.predicateCount() > 1 {
+				return fail(path+".table", "a table predicate checks the reduced table and stands alone; move the result predicates to their own expectation")
+			}
+			if e.Group != "" || len(e.Match) > 0 || e.Where.IsSet() {
+				return fail(path+".table", "a table predicate checks reduced rows, not cells; drop group/match/where")
+			}
+			if e.Table.Column == "" {
+				return fail(path+".table.column", "the checked column name is required")
+			}
+			if !e.Table.Equals.IsSet() && !e.Table.Min.IsSet() && !e.Table.Max.IsSet() {
+				return fail(path+".table", "set at least one of equals, min or max")
+			}
+			for ri, r := range e.Table.Rows {
+				if r < 0 {
+					return fail(fmt.Sprintf("%s.table.rows[%d]", path, ri),
+						fmt.Sprintf("row index %d must be >= 0", r))
+				}
+			}
+			for _, f := range []quantityField{
+				{"table.equals", &e.Table.Equals}, {"table.min", &e.Table.Min}, {"table.max", &e.Table.Max},
+			} {
+				if err := f.q.compile(path + "." + f.sub); err != nil {
+					return fmt.Errorf("scenario %q: %w", s.Name, err)
+				}
+			}
+			continue
+		}
+		if s.Kind == KindCustom {
+			return fail(path, "custom scenarios reduce straight to a table; only table predicates apply")
+		}
+		if e.Group != "" && !groupIDs[e.Group] {
+			return fail(path+".group", "unknown run group %q", e.Group)
+		}
+		if err := e.Where.compile(path + ".where"); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		matchKeys := make([]string, 0, len(e.Match))
+		for k := range e.Match {
+			matchKeys = append(matchKeys, k)
+		}
+		sort.Strings(matchKeys)
+		for _, k := range matchKeys {
+			ax := s.stringAxis(k)
+			if ax == nil {
+				return fail(path+".match", "%q does not name a string sweep axis", k)
+			}
+			found := false
+			for _, sv := range ax.Strings {
+				if sv == e.Match[k] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fail(path+".match", "axis %q has no value %q (values: %s)", k, e.Match[k], strings.Join(ax.Strings, ", "))
+			}
+		}
+		if e.Rounds != nil {
+			fields := []quantityField{
+				{"rounds.max_mean", &e.Rounds.MaxMean}, {"rounds.min_mean", &e.Rounds.MinMean},
+				{"rounds.max_q95", &e.Rounds.MaxQ95}, {"rounds.max", &e.Rounds.Max}, {"rounds.min", &e.Rounds.Min},
+			}
+			any := false
+			for _, f := range fields {
+				if f.q.IsSet() {
+					any = true
+				}
+				if err := f.q.compile(path + "." + f.sub); err != nil {
+					return fmt.Errorf("scenario %q: %w", s.Name, err)
+				}
+			}
+			if !any {
+				return fail(path+".rounds", "set at least one bound (max_mean, min_mean, max_q95, max or min)")
+			}
+		}
+		if e.Converged != nil {
+			if err := e.Converged.MinFraction.compile(path + ".converged.min_fraction"); err != nil {
+				return fmt.Errorf("scenario %q: %w", s.Name, err)
+			}
+		}
+		if e.Winner != nil {
+			if !e.Winner.Label.IsSet() && e.Winner.Valid == nil && !e.Winner.UniformAlpha.IsSet() {
+				return fail(path+".winner", "set at least one of label, valid or uniform_alpha")
+			}
+			if e.Winner.LabelMinFraction.IsSet() && !e.Winner.Label.IsSet() {
+				return fail(path+".winner.label_min_fraction", "only meaningful together with winner.label")
+			}
+			for _, f := range []quantityField{
+				{"winner.label", &e.Winner.Label}, {"winner.label_min_fraction", &e.Winner.LabelMinFraction},
+				{"winner.uniform_alpha", &e.Winner.UniformAlpha},
+			} {
+				if err := f.q.compile(path + "." + f.sub); err != nil {
+					return fmt.Errorf("scenario %q: %w", s.Name, err)
+				}
+			}
+		}
+		if e.Messages != nil {
+			if !e.Messages.Exact.IsSet() && !e.Messages.Min.IsSet() && !e.Messages.Max.IsSet() {
+				return fail(path+".messages", "set at least one of exact, min or max")
+			}
+			for _, f := range []quantityField{
+				{"messages.exact", &e.Messages.Exact}, {"messages.min", &e.Messages.Min}, {"messages.max", &e.Messages.Max},
+			} {
+				if err := f.q.compile(path + "." + f.sub); err != nil {
+					return fmt.Errorf("scenario %q: %w", s.Name, err)
+				}
+			}
+		}
+		if e.AlmostConsensus != nil {
+			if !e.AlmostConsensus.MinFraction.IsSet() {
+				return fail(path+".almost_consensus.min_fraction", "the support threshold is required")
+			}
+			for _, f := range []quantityField{
+				{"almost_consensus.min_fraction", &e.AlmostConsensus.MinFraction},
+				{"almost_consensus.max_round", &e.AlmostConsensus.MaxRound},
+			} {
+				if err := f.q.compile(path + "." + f.sub); err != nil {
+					return fmt.Errorf("scenario %q: %w", s.Name, err)
+				}
+			}
+		}
+		if e.Compare != nil {
+			if e.Group != "" {
+				return fail(path+".compare", "compare names its own groups (group_a, group_b); drop the expectation-level group")
+			}
+			if e.Compare.GroupA == "" || e.Compare.GroupB == "" {
+				return fail(path+".compare", "group_a and group_b are required")
+			}
+			if e.Compare.GroupA == e.Compare.GroupB {
+				return fail(path+".compare", "group_a and group_b must differ")
+			}
+			for _, g := range []string{e.Compare.GroupA, e.Compare.GroupB} {
+				if !groupIDs[g] {
+					return fail(path+".compare", "unknown run group %q", g)
+				}
+			}
+			fields := []quantityField{
+				{"compare.rounds_ks_alpha", &e.Compare.RoundsKSAlpha},
+				{"compare.winner_chi_alpha", &e.Compare.WinnerChiAlpha},
+				{"compare.max_mean_ratio", &e.Compare.MaxMeanRatio},
+				{"compare.min_mean_ratio", &e.Compare.MinMeanRatio},
+			}
+			any := false
+			for _, f := range fields {
+				if f.q.IsSet() {
+					any = true
+				}
+				if err := f.q.compile(path + "." + f.sub); err != nil {
+					return fmt.Errorf("scenario %q: %w", s.Name, err)
+				}
+			}
+			if !any {
+				return fail(path+".compare", "set at least one comparison (rounds_ks_alpha, winner_chi_alpha, max_mean_ratio or min_mean_ratio)")
+			}
+		}
+	}
+	return nil
+}
+
+// ExpectationError is one violated expectation, located down to the sweep
+// cell, run group and predicate field.
+type ExpectationError struct {
+	// Scenario is the scenario name.
+	Scenario string `json:"scenario"`
+	// Expect is the violated expectation's index; Name its label, if any.
+	Expect int    `json:"expect"`
+	Name   string `json:"name,omitempty"`
+	// Cell is the sweep cell index (-1 for table-level violations);
+	// CellVars renders the cell's sweep bindings for the report.
+	Cell     int    `json:"cell"`
+	CellVars string `json:"cell_vars,omitempty"`
+	// Row is the table row index (table-level violations only, else -1).
+	Row int `json:"row"`
+	// Group is the run group's display id (cell-level violations).
+	Group string `json:"group,omitempty"`
+	// Field is the violated predicate field, expectation-relative (e.g.
+	// "rounds.max_mean").
+	Field string `json:"field"`
+	// Got and Want describe the violation.
+	Got  string `json:"got"`
+	Want string `json:"want"`
+}
+
+// Error implements error with a field-qualified, decode-error-style
+// message.
+func (e *ExpectationError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %q: expect[%d]", e.Scenario, e.Expect)
+	if e.Name != "" {
+		fmt.Fprintf(&b, " (%s)", e.Name)
+	}
+	switch {
+	case e.Cell >= 0:
+		fmt.Fprintf(&b, ": cell %d", e.Cell)
+		if e.CellVars != "" {
+			fmt.Fprintf(&b, " (%s)", e.CellVars)
+		}
+		if e.Group != "" {
+			fmt.Fprintf(&b, ", group %q", e.Group)
+		}
+	case e.Row >= 0:
+		fmt.Fprintf(&b, ": table row %d", e.Row)
+	}
+	fmt.Fprintf(&b, ": %s: got %s, want %s", e.Field, e.Got, e.Want)
+	return b.String()
+}
+
+// ExpectationErrors aggregates every violation of a checked run into one
+// error: evaluation never stops at the first failing cell.
+type ExpectationErrors []*ExpectationError
+
+// Error implements error.
+func (es ExpectationErrors) Error() string {
+	if len(es) == 1 {
+		return es[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d expectations violated:", len(es))
+	for _, e := range es {
+		b.WriteString("\n  ")
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// ExpectReport is the machine-readable outcome of evaluating a scenario's
+// expectations (the -check-report artifact).
+type ExpectReport struct {
+	// Scenario, Scale and Seed identify the checked run.
+	Scenario string `json:"scenario"`
+	Scale    string `json:"scale"`
+	Seed     uint64 `json:"seed"`
+	// Expectations is the number of expect blocks in the spec; Checks the
+	// number of (expectation, scope) evaluations performed.
+	Expectations int `json:"expectations"`
+	Checks       int `json:"checks"`
+	// Violations are the violated expectations, in deterministic
+	// evaluation order (expectations, then cells, then groups).
+	Violations []*ExpectationError `json:"violations"`
+}
+
+// Err returns the report's violations as a typed error, or nil when every
+// check passed.
+func (r *ExpectReport) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return ExpectationErrors(r.Violations)
+}
+
+// formatNum renders a bound or measurement compactly.
+func formatNum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// renderCellVars renders a cell's sweep-axis bindings in axis order (the
+// constants — params, derived — are the same in every cell, so only the
+// axes locate it). A sweep-less suite falls back to the n binding.
+func renderCellVars(s *Scenario, cell *CellResult) string {
+	var parts []string
+	for i := range s.Sweep {
+		ax := &s.Sweep[i]
+		if len(ax.Strings) > 0 {
+			if v, ok := cell.Strings[ax.Name]; ok {
+				parts = append(parts, fmt.Sprintf("%s=%s", ax.Name, v))
+			}
+			continue
+		}
+		if v, ok := cell.Vars[ax.Name]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%s", ax.Name, formatNum(v)))
+		}
+	}
+	if len(parts) == 0 {
+		if v, ok := cell.Vars["n"]; ok {
+			return "n=" + formatNum(v)
+		}
+		return ""
+	}
+	return strings.Join(parts, ", ")
+}
+
+// expectEval carries the state of one evaluation pass.
+type expectEval struct {
+	s      *Scenario
+	suite  *SuiteResult
+	tbl    *Table
+	p      Params
+	report *ExpectReport
+}
+
+// EvaluateExpectations checks every expect block of the scenario against
+// an executed suite and its reduced table. The returned error reports
+// evaluation problems (bad bounds, missing columns, zero-match scopes) —
+// *violations* live in the report, retrievable as a typed error via
+// (*ExpectReport).Err(). Evaluation is deterministic: expectations in spec
+// order, cells in expansion order, groups in spec order; a fixed seed
+// yields the identical report whatever the worker count.
+func EvaluateExpectations(s *Scenario, suite *SuiteResult, tbl *Table, p Params) (*ExpectReport, error) {
+	ev := &expectEval{
+		s: s, suite: suite, tbl: tbl, p: p,
+		report: &ExpectReport{
+			Scenario:     s.Name,
+			Scale:        p.Scale.String(),
+			Seed:         p.Seed,
+			Expectations: len(s.Expect),
+			Violations:   []*ExpectationError{},
+		},
+	}
+	for i := range s.Expect {
+		e := &s.Expect[i]
+		if e.Table != nil {
+			if err := ev.evalTable(i, e); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if suite == nil {
+			return nil, fmt.Errorf("scenario %q: expect[%d]: no suite to evaluate result predicates against", s.Name, i)
+		}
+		matched := 0
+		for _, cell := range suite.Cells {
+			inScope, err := ev.cellInScope(i, e, cell)
+			if err != nil {
+				return nil, err
+			}
+			if !inScope {
+				continue
+			}
+			matched++
+			if e.Compare != nil {
+				if err := ev.evalCompare(i, e, cell); err != nil {
+					return nil, err
+				}
+			}
+			for _, g := range cell.Groups {
+				if e.Group != "" && g.ID != e.Group {
+					continue
+				}
+				if err := ev.evalGroup(i, e, cell, g); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if matched == 0 && !e.Where.IsSet() {
+			return nil, fmt.Errorf("scenario %q: expect[%d]: matched no cells", s.Name, i)
+		}
+	}
+	return ev.report, nil
+}
+
+// cellInScope applies the expectation's match and where filters.
+func (ev *expectEval) cellInScope(i int, e *ExpectSpec, cell *CellResult) (bool, error) {
+	for k, v := range e.Match {
+		if cell.Strings[k] != v {
+			return false, nil
+		}
+	}
+	if e.Where.IsSet() {
+		v, err := e.Where.Eval(ev.p.Scale, cell.Vars)
+		if err != nil {
+			return false, fmt.Errorf("scenario %q: expect[%d].where: cell %d: %w", ev.s.Name, i, cell.Index, err)
+		}
+		if v == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// violate appends one violation.
+func (ev *expectEval) violate(i int, e *ExpectSpec, cell *CellResult, row int, group, field, got, want string) {
+	v := &ExpectationError{
+		Scenario: ev.s.Name, Expect: i, Name: e.Name,
+		Cell: -1, Row: row, Group: group, Field: field, Got: got, Want: want,
+	}
+	if cell != nil {
+		v.Cell = cell.Index
+		v.CellVars = renderCellVars(ev.s, cell)
+	}
+	ev.report.Violations = append(ev.report.Violations, v)
+}
+
+// bound evaluates one bound quantity against a cell's bindings.
+func (ev *expectEval) bound(i int, field string, q *Quantity, env map[string]float64, cellIdx int) (float64, error) {
+	v, err := q.Eval(ev.p.Scale, env)
+	if err != nil {
+		return 0, fmt.Errorf("scenario %q: expect[%d].%s: cell %d: %w", ev.s.Name, i, field, cellIdx, err)
+	}
+	return v, nil
+}
+
+// evalGroup checks every per-group predicate of one expectation against
+// one cell × group. Per predicate field it reports at most the first
+// offending replica (the report stays readable); across cells and groups
+// everything aggregates.
+func (ev *expectEval) evalGroup(i int, e *ExpectSpec, cell *CellResult, g *GroupResult) error {
+	ev.report.Checks++
+	env := cell.Vars
+	if e.Rounds != nil {
+		rs := sim.Rounds(g.Results)
+		sum := stats.Summarize(rs)
+		checks := []struct {
+			field string
+			q     *Quantity
+			got   float64
+			ok    func(got, want float64) bool
+			rel   string
+		}{
+			{"rounds.max_mean", &e.Rounds.MaxMean, sum.Mean, func(g, w float64) bool { return g <= w }, "<="},
+			{"rounds.min_mean", &e.Rounds.MinMean, sum.Mean, func(g, w float64) bool { return g >= w }, ">="},
+			{"rounds.max_q95", &e.Rounds.MaxQ95, sum.Q95, func(g, w float64) bool { return g <= w }, "<="},
+			{"rounds.max", &e.Rounds.Max, sum.Max, func(g, w float64) bool { return g <= w }, "<="},
+			{"rounds.min", &e.Rounds.Min, sum.Min, func(g, w float64) bool { return g >= w }, ">="},
+		}
+		for _, c := range checks {
+			if !c.q.IsSet() {
+				continue
+			}
+			want, err := ev.bound(i, c.field, c.q, env, cell.Index)
+			if err != nil {
+				return err
+			}
+			if !c.ok(c.got, want) {
+				ev.violate(i, e, cell, -1, g.ID, c.field, formatNum(c.got), c.rel+" "+formatNum(want))
+			}
+		}
+	}
+	if e.Converged != nil {
+		want := 1.0
+		if e.Converged.MinFraction.IsSet() {
+			var err error
+			if want, err = ev.bound(i, "converged.min_fraction", &e.Converged.MinFraction, env, cell.Index); err != nil {
+				return err
+			}
+		}
+		got := float64(sim.ConvergedCount(g.Results)) / float64(len(g.Results))
+		if got < want {
+			ev.violate(i, e, cell, -1, g.ID, "converged.min_fraction",
+				fmt.Sprintf("%d/%d replicas converged (%s)", sim.ConvergedCount(g.Results), len(g.Results), formatNum(got)),
+				">= "+formatNum(want))
+		}
+	}
+	if e.Winner != nil {
+		if err := ev.evalWinner(i, e, cell, g); err != nil {
+			return err
+		}
+	}
+	if e.Messages != nil {
+		if err := ev.evalMessages(i, e, cell, g); err != nil {
+			return err
+		}
+	}
+	if e.AlmostConsensus != nil {
+		if err := ev.evalAlmostConsensus(i, e, cell, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalWinner checks the winner-distribution predicate.
+func (ev *expectEval) evalWinner(i int, e *ExpectSpec, cell *CellResult, g *GroupResult) error {
+	w := e.Winner
+	env := cell.Vars
+	if w.Label.IsSet() {
+		label, err := ev.bound(i, "winner.label", &w.Label, env, cell.Index)
+		if err != nil {
+			return err
+		}
+		want := 1.0
+		if w.LabelMinFraction.IsSet() {
+			if want, err = ev.bound(i, "winner.label_min_fraction", &w.LabelMinFraction, env, cell.Index); err != nil {
+				return err
+			}
+		}
+		hits := 0
+		for _, r := range g.Results {
+			if float64(r.WinnerLabel) == label {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(len(g.Results))
+		if got < want {
+			ev.violate(i, e, cell, -1, g.ID, "winner.label",
+				fmt.Sprintf("label %s won %d/%d replicas (%s)", formatNum(label), hits, len(g.Results), formatNum(got)),
+				fmt.Sprintf(">= %s of replicas winning label %s", formatNum(want), formatNum(label)))
+		}
+	}
+	if w.Valid != nil {
+		for ri, r := range g.Results {
+			if r.WinnerValid != *w.Valid {
+				ev.violate(i, e, cell, -1, g.ID, "winner.valid",
+					fmt.Sprintf("replica %d winner %d has valid=%v", ri, r.WinnerLabel, r.WinnerValid),
+					fmt.Sprintf("valid=%v for every replica", *w.Valid))
+				break
+			}
+		}
+	}
+	if w.UniformAlpha.IsSet() {
+		alpha, err := ev.bound(i, "winner.uniform_alpha", &w.UniformAlpha, env, cell.Index)
+		if err != nil {
+			return err
+		}
+		counts, err := winnerTally(g)
+		if err != nil {
+			return fmt.Errorf("scenario %q: expect[%d].winner.uniform_alpha: cell %d: %w", ev.s.Name, i, cell.Index, err)
+		}
+		res, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			return fmt.Errorf("scenario %q: expect[%d].winner.uniform_alpha: cell %d: %w", ev.s.Name, i, cell.Index, err)
+		}
+		if !res.IndistinguishableAt(alpha) {
+			ev.violate(i, e, cell, -1, g.ID, "winner.uniform_alpha",
+				fmt.Sprintf("chi-square p = %s (stat %s, df %d)", formatNum(res.P), formatNum(res.Stat), res.DF),
+				fmt.Sprintf("p >= %s (uniform winners)", formatNum(alpha)))
+		}
+	}
+	return nil
+}
+
+// winnerTally counts winners per start color of the group, in the start
+// configuration's slot order (labels the start never supported are
+// appended in first-win order, keeping the tally deterministic).
+func winnerTally(g *GroupResult) ([]int, error) {
+	if g.Start == nil {
+		return nil, fmt.Errorf("no start configuration to tally winners against")
+	}
+	idx := map[int]int{}
+	var counts []int
+	for s := 0; s < g.Start.Slots(); s++ {
+		if g.Start.Count(s) > 0 {
+			label := g.Start.Label(s)
+			if _, dup := idx[label]; !dup {
+				idx[label] = len(counts)
+				counts = append(counts, 0)
+			}
+		}
+	}
+	for _, r := range g.Results {
+		j, ok := idx[r.WinnerLabel]
+		if !ok {
+			j = len(counts)
+			idx[r.WinnerLabel] = j
+			counts = append(counts, 0)
+		}
+		counts[j]++
+	}
+	return counts, nil
+}
+
+// pairedWinnerTallies tallies both groups' winners over the sorted union
+// of winner labels, so the chi-square homogeneity test compares aligned
+// category vectors.
+func pairedWinnerTallies(ga, gb *GroupResult) (a, b []int) {
+	labels := map[int]bool{}
+	for _, r := range ga.Results {
+		labels[r.WinnerLabel] = true
+	}
+	for _, r := range gb.Results {
+		labels[r.WinnerLabel] = true
+	}
+	ordered := make([]int, 0, len(labels))
+	for l := range labels {
+		ordered = append(ordered, l)
+	}
+	sort.Ints(ordered)
+	idx := make(map[int]int, len(ordered))
+	for j, l := range ordered {
+		idx[l] = j
+	}
+	a = make([]int, len(ordered))
+	b = make([]int, len(ordered))
+	for _, r := range ga.Results {
+		a[idx[r.WinnerLabel]]++
+	}
+	for _, r := range gb.Results {
+		b[idx[r.WinnerLabel]]++
+	}
+	return a, b
+}
+
+// evalMessages checks per-replica message totals. The bound expressions
+// see "rounds" and "h" in addition to the cell bindings.
+func (ev *expectEval) evalMessages(i int, e *ExpectSpec, cell *CellResult, g *GroupResult) error {
+	env := make(map[string]float64, len(cell.Vars)+2)
+	for k, v := range cell.Vars {
+		env[k] = v
+	}
+	h, err := ruleSamples(&g.Spec.Rule)
+	if err == nil {
+		env["h"] = float64(h)
+	}
+	checks := []struct {
+		field string
+		q     *Quantity
+		ok    func(got, want float64) bool
+		rel   string
+	}{
+		{"messages.exact", &e.Messages.Exact, func(g, w float64) bool { return g == w }, "=="},
+		{"messages.min", &e.Messages.Min, func(g, w float64) bool { return g >= w }, ">="},
+		{"messages.max", &e.Messages.Max, func(g, w float64) bool { return g <= w }, "<="},
+	}
+	for _, c := range checks {
+		if !c.q.IsSet() {
+			continue
+		}
+		for ri, r := range g.Results {
+			env["rounds"] = float64(r.Rounds)
+			want, err := ev.bound(i, c.field, c.q, env, cell.Index)
+			if err != nil {
+				return err
+			}
+			got := float64(r.Messages)
+			if !c.ok(got, want) {
+				ev.violate(i, e, cell, -1, g.ID, c.field,
+					fmt.Sprintf("replica %d sent %d messages in %d rounds", ri, r.Messages, r.Rounds),
+					c.rel+" "+formatNum(want))
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// ruleSamples instantiates the group's rule once to read its per-round
+// sample count (the "h" binding of message laws).
+func ruleSamples(r *ResolvedRule) (int, error) {
+	factory, err := rules.Spec{Name: r.Name, H: r.H, Beta: r.Beta}.Factory()
+	if err != nil {
+		return 0, err
+	}
+	if sr, ok := factory().(interface{ Samples() int }); ok {
+		return sr.Samples(), nil
+	}
+	return 0, fmt.Errorf("rule %q has no per-round sample count", r.Name)
+}
+
+// evalAlmostConsensus checks the plurality-support predicate.
+func (ev *expectEval) evalAlmostConsensus(i int, e *ExpectSpec, cell *CellResult, g *GroupResult) error {
+	env := cell.Vars
+	want, err := ev.bound(i, "almost_consensus.min_fraction", &e.AlmostConsensus.MinFraction, env, cell.Index)
+	if err != nil {
+		return err
+	}
+	n := g.Spec.N
+	for ri, r := range g.Results {
+		best := 0
+		for _, c := range r.Final.CountsView() {
+			if c > best {
+				best = c
+			}
+		}
+		got := float64(best) / float64(n)
+		if got < want {
+			ev.violate(i, e, cell, -1, g.ID, "almost_consensus.min_fraction",
+				fmt.Sprintf("replica %d plurality support %s (%d/%d)", ri, formatNum(got), best, n),
+				">= "+formatNum(want))
+			break
+		}
+	}
+	if e.AlmostConsensus.MaxRound.IsSet() {
+		maxRound, err := ev.bound(i, "almost_consensus.max_round", &e.AlmostConsensus.MaxRound, env, cell.Index)
+		if err != nil {
+			return err
+		}
+		for ri, r := range g.Results {
+			round := r.Rounds
+			if r.AlmostConsensusRound >= 0 {
+				round = r.AlmostConsensusRound
+			}
+			if float64(round) > maxRound {
+				ev.violate(i, e, cell, -1, g.ID, "almost_consensus.max_round",
+					fmt.Sprintf("replica %d reached it at round %d", ri, round),
+					"<= "+formatNum(maxRound))
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// evalCompare checks the two-group statistical predicates on one cell.
+func (ev *expectEval) evalCompare(i int, e *ExpectSpec, cell *CellResult) error {
+	ev.report.Checks++
+	var ga, gb *GroupResult
+	for _, g := range cell.Groups {
+		switch g.ID {
+		case e.Compare.GroupA:
+			ga = g
+		case e.Compare.GroupB:
+			gb = g
+		}
+	}
+	if ga == nil || gb == nil {
+		return fmt.Errorf("scenario %q: expect[%d].compare: cell %d is missing group %q or %q",
+			ev.s.Name, i, cell.Index, e.Compare.GroupA, e.Compare.GroupB)
+	}
+	env := cell.Vars
+	pair := fmt.Sprintf("%s vs %s", ga.ID, gb.ID)
+	if e.Compare.RoundsKSAlpha.IsSet() {
+		alpha, err := ev.bound(i, "compare.rounds_ks_alpha", &e.Compare.RoundsKSAlpha, env, cell.Index)
+		if err != nil {
+			return err
+		}
+		res, err := stats.TwoSampleKS(sim.Rounds(ga.Results), sim.Rounds(gb.Results))
+		if err != nil {
+			return fmt.Errorf("scenario %q: expect[%d].compare.rounds_ks_alpha: cell %d: %w", ev.s.Name, i, cell.Index, err)
+		}
+		if !res.IndistinguishableAt(alpha) {
+			ev.violate(i, e, cell, -1, pair, "compare.rounds_ks_alpha",
+				fmt.Sprintf("KS p = %s (D %s)", formatNum(res.P), formatNum(res.D)),
+				fmt.Sprintf("p >= %s (indistinguishable round distributions)", formatNum(alpha)))
+		}
+	}
+	if e.Compare.WinnerChiAlpha.IsSet() {
+		alpha, err := ev.bound(i, "compare.winner_chi_alpha", &e.Compare.WinnerChiAlpha, env, cell.Index)
+		if err != nil {
+			return err
+		}
+		ca, cb := pairedWinnerTallies(ga, gb)
+		res, err := stats.ChiSquareHomogeneity(ca, cb)
+		if err != nil {
+			return fmt.Errorf("scenario %q: expect[%d].compare.winner_chi_alpha: cell %d: %w", ev.s.Name, i, cell.Index, err)
+		}
+		if !res.IndistinguishableAt(alpha) {
+			ev.violate(i, e, cell, -1, pair, "compare.winner_chi_alpha",
+				fmt.Sprintf("chi-square p = %s (stat %s, df %d)", formatNum(res.P), formatNum(res.Stat), res.DF),
+				fmt.Sprintf("p >= %s (homogeneous winner tallies)", formatNum(alpha)))
+		}
+	}
+	if e.Compare.MaxMeanRatio.IsSet() || e.Compare.MinMeanRatio.IsSet() {
+		meanA := stats.Mean(sim.Rounds(ga.Results))
+		meanB := stats.Mean(sim.Rounds(gb.Results))
+		ratio := meanA / meanB
+		got := fmt.Sprintf("mean(%s)/mean(%s) = %s", ga.ID, gb.ID, formatNum(ratio))
+		if e.Compare.MaxMeanRatio.IsSet() {
+			want, err := ev.bound(i, "compare.max_mean_ratio", &e.Compare.MaxMeanRatio, env, cell.Index)
+			if err != nil {
+				return err
+			}
+			if !(ratio <= want) {
+				ev.violate(i, e, cell, -1, pair, "compare.max_mean_ratio", got, "<= "+formatNum(want))
+			}
+		}
+		if e.Compare.MinMeanRatio.IsSet() {
+			want, err := ev.bound(i, "compare.min_mean_ratio", &e.Compare.MinMeanRatio, env, cell.Index)
+			if err != nil {
+				return err
+			}
+			if !(ratio >= want) {
+				ev.violate(i, e, cell, -1, pair, "compare.min_mean_ratio", got, ">= "+formatNum(want))
+			}
+		}
+	}
+	return nil
+}
+
+// evalTable checks a table predicate on every row of the reduced table.
+// Bounds see the scenario's params as bindings.
+func (ev *expectEval) evalTable(i int, e *ExpectSpec) error {
+	if ev.tbl == nil {
+		return fmt.Errorf("scenario %q: expect[%d].table: no reduced table to check", ev.s.Name, i)
+	}
+	col := -1
+	for ci, name := range ev.tbl.Columns {
+		if name == e.Table.Column {
+			col = ci
+			break
+		}
+	}
+	if col < 0 {
+		return fmt.Errorf("scenario %q: expect[%d].table.column: no column %q (columns: %s)",
+			ev.s.Name, i, e.Table.Column, strings.Join(ev.tbl.Columns, ", "))
+	}
+	env := make(map[string]float64, len(ev.s.Params))
+	for _, name := range paramNames(ev.s.Params) {
+		q := ev.s.Params[name]
+		v, err := q.Eval(ev.p.Scale, nil)
+		if err != nil {
+			return fmt.Errorf("scenario %q: params.%s: %w", ev.s.Name, name, err)
+		}
+		env[name] = v
+	}
+	checks := []struct {
+		field string
+		q     *Quantity
+		ok    func(got, want float64) bool
+		rel   string
+	}{
+		{"table.equals", &e.Table.Equals, func(g, w float64) bool { return g == w }, "=="},
+		{"table.min", &e.Table.Min, func(g, w float64) bool { return g >= w }, ">="},
+		{"table.max", &e.Table.Max, func(g, w float64) bool { return g <= w }, "<="},
+	}
+	scoped := make(map[int]bool, len(e.Table.Rows))
+	for _, r := range e.Table.Rows {
+		if r >= len(ev.tbl.Rows) {
+			return fmt.Errorf("scenario %q: expect[%d].table.rows: row %d out of range (table has %d rows)",
+				ev.s.Name, i, r, len(ev.tbl.Rows))
+		}
+		scoped[r] = true
+	}
+	for ri, row := range ev.tbl.Rows {
+		if len(scoped) > 0 && !scoped[ri] {
+			continue
+		}
+		ev.report.Checks++
+		if col >= len(row) {
+			return fmt.Errorf("scenario %q: expect[%d].table: row %d has no column %d", ev.s.Name, i, ri, col)
+		}
+		got, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			return fmt.Errorf("scenario %q: expect[%d].table: row %d column %q: value %q is not numeric",
+				ev.s.Name, i, ri, e.Table.Column, row[col])
+		}
+		for _, c := range checks {
+			if !c.q.IsSet() {
+				continue
+			}
+			want, err := c.q.Eval(ev.p.Scale, env)
+			if err != nil {
+				return fmt.Errorf("scenario %q: expect[%d].%s: %w", ev.s.Name, i, c.field, err)
+			}
+			if !c.ok(got, want) {
+				ev.violate(i, e, nil, ri, "", c.field,
+					fmt.Sprintf("column %q = %s", e.Table.Column, formatNum(got)),
+					c.rel+" "+formatNum(want))
+			}
+		}
+	}
+	return nil
+}
+
+// RunChecked executes the scenario like Run and then evaluates its expect
+// blocks. The table is returned even when expectations fail; the error is
+// the typed ExpectationErrors aggregate in that case (hard execution and
+// evaluation errors are returned as-is, with a nil report).
+func RunChecked(ctx context.Context, s *Scenario, p Params) (*Table, *ExpectReport, error) {
+	tbl, suite, err := runScenario(ctx, s, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	report, err := EvaluateExpectations(s, suite, tbl, p)
+	if err != nil {
+		return tbl, nil, err
+	}
+	return tbl, report, report.Err()
+}

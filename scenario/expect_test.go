@@ -1,0 +1,528 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// frozenSuite builds a scenario whose population is entirely stubborn:
+// nothing ever changes, so every observable (rounds, convergence,
+// plurality support, messages) is an exact constant — which makes the
+// violation messages golden-testable down to the byte.
+func frozenSuite(expect string) string {
+	return `{
+		"schema": 1, "name": "frozen",
+		"params": {"n": 100},
+		"replicas": 2,
+		"engine": "agents",
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "zeros", "count": 60, "color": 0, "stubborn": true},
+			{"name": "ones", "color": 1, "stubborn": true}
+		],
+		"stop": {"max_rounds": 5},
+		"expect": ` + expect + `
+	}`
+}
+
+// TestExpectPredicateGolden drives every predicate type through a
+// deterministic suite and pins the exact failure strings (and the exact
+// pass conditions at the boundary).
+func TestExpectPredicateGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// want are the golden violation messages, in order; empty = pass.
+		want []string
+	}{
+		{
+			name: "rounds-max-pass-boundary",
+			src:  frozenSuite(`[{"rounds": {"max": 5, "min": 5}}]`),
+		},
+		{
+			name: "rounds-max-violated",
+			src:  frozenSuite(`[{"name": "round budget", "rounds": {"max": 4}}]`),
+			want: []string{
+				`scenario "frozen": expect[0] (round budget): cell 0 (n=100), group "run": rounds.max: got 5, want <= 4`,
+			},
+		},
+		{
+			name: "rounds-max-mean-expression-violated",
+			src:  frozenSuite(`[{"rounds": {"max_mean": "n / 25"}}]`),
+			want: []string{
+				`scenario "frozen": expect[0]: cell 0 (n=100), group "run": rounds.max_mean: got 5, want <= 4`,
+			},
+		},
+		{
+			name: "rounds-min-mean-violated",
+			src:  frozenSuite(`[{"rounds": {"min_mean": 6}}]`),
+			want: []string{
+				`scenario "frozen": expect[0]: cell 0 (n=100), group "run": rounds.min_mean: got 5, want >= 6`,
+			},
+		},
+		{
+			name: "rounds-q95-violated",
+			src:  frozenSuite(`[{"rounds": {"max_q95": 4.5}}]`),
+			want: []string{
+				`scenario "frozen": expect[0]: cell 0 (n=100), group "run": rounds.max_q95: got 5, want <= 4.5`,
+			},
+		},
+		{
+			name: "converged-violated",
+			src:  frozenSuite(`[{"converged": {}}]`),
+			want: []string{
+				`scenario "frozen": expect[0]: cell 0 (n=100), group "run": converged.min_fraction: got 0/2 replicas converged (0), want >= 1`,
+			},
+		},
+		{
+			name: "converged-min-fraction-pass",
+			src:  frozenSuite(`[{"converged": {"min_fraction": 0}}]`),
+		},
+		{
+			name: "almost-consensus-violated",
+			src:  frozenSuite(`[{"almost_consensus": {"min_fraction": 0.9}}]`),
+			want: []string{
+				`scenario "frozen": expect[0]: cell 0 (n=100), group "run": almost_consensus.min_fraction: got replica 0 plurality support 0.6 (60/100), want >= 0.9`,
+			},
+		},
+		{
+			name: "almost-consensus-pass-boundary",
+			src:  frozenSuite(`[{"almost_consensus": {"min_fraction": 0.6}}]`),
+		},
+		{
+			name: "messages-min-violated-on-sampling-engine",
+			src:  frozenSuite(`[{"messages": {"min": 1}}]`),
+			want: []string{
+				`scenario "frozen": expect[0]: cell 0 (n=100), group "run": messages.min: got replica 0 sent 0 messages in 5 rounds, want >= 1`,
+			},
+		},
+		{
+			name: "messages-exact-zero-pass",
+			src:  frozenSuite(`[{"messages": {"exact": 0}}]`),
+		},
+		{
+			name: "where-disables",
+			src:  frozenSuite(`[{"where": 0, "rounds": {"max": 0}}]`),
+		},
+		{
+			name: "where-expression-in-scope",
+			src:  frozenSuite(`[{"where": "n >= 100", "rounds": {"max": 4}}]`),
+			want: []string{
+				`scenario "frozen": expect[0]: cell 0 (n=100), group "run": rounds.max: got 5, want <= 4`,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := decodeT(t, tc.src)
+			tbl, report, err := RunChecked(context.Background(), s, quickParams(2))
+			if tbl == nil {
+				t.Fatalf("RunChecked returned no table (err %v)", err)
+			}
+			if len(tc.want) == 0 {
+				if err != nil {
+					t.Fatalf("want pass, got %v", err)
+				}
+				if report.Err() != nil || len(report.Violations) != 0 {
+					t.Fatalf("want clean report, got %+v", report.Violations)
+				}
+				return
+			}
+			var verrs ExpectationErrors
+			if !errors.As(err, &verrs) {
+				t.Fatalf("want ExpectationErrors, got %T: %v", err, err)
+			}
+			if len(verrs) != len(tc.want) {
+				t.Fatalf("got %d violations, want %d:\n%v", len(verrs), len(tc.want), err)
+			}
+			for i, want := range tc.want {
+				if got := verrs[i].Error(); got != want {
+					t.Fatalf("violation %d:\n got %s\nwant %s", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestExpectWinnerPredicates: fixed-color compositions make the winner
+// predictable, so label and validity messages are golden too.
+func TestExpectWinnerPredicates(t *testing.T) {
+	// The whole population holds color 7: converged at round 0, winner 7.
+	allSeven := func(expect string) string {
+		return `{
+			"schema": 1, "name": "unanimous",
+			"params": {"n": 50},
+			"rule": {"name": "3-majority"},
+			"nodes": [{"name": "all", "color": 7}],
+			"expect": ` + expect + `
+		}`
+	}
+	s := decodeT(t, allSeven(`[{"winner": {"label": 7}}, {"rounds": {"max": 0}}]`))
+	if _, _, err := RunChecked(context.Background(), s, quickParams(1)); err != nil {
+		t.Fatalf("unanimous pass: %v", err)
+	}
+	s = decodeT(t, allSeven(`[{"winner": {"label": 3}}]`))
+	_, _, err := RunChecked(context.Background(), s, quickParams(1))
+	want := `scenario "unanimous": expect[0]: cell 0 (n=50), group "run": winner.label: got label 3 won 0/1 replicas (0), want >= 1 of replicas winning label 3`
+	if err == nil || err.Error() != want {
+		t.Fatalf("winner.label:\n got %v\nwant %s", err, want)
+	}
+
+	// A corrupted overwhelming majority wins, but its color is invalid.
+	corrupted := `{
+		"schema": 1, "name": "planted",
+		"params": {"n": 100},
+		"rule": {"name": "3-majority"},
+		"stop": {"max_rounds": "100 * n"},
+		"nodes": [
+			{"name": "honest", "count": 5, "color": 0},
+			{"name": "planted", "color": 1, "corrupted": true}
+		],
+		"expect": [{"winner": {"valid": true}}]
+	}`
+	s = decodeT(t, corrupted)
+	_, _, err = RunChecked(context.Background(), s, quickParams(1))
+	want = `scenario "planted": expect[0]: cell 0 (n=100), group "run": winner.valid: got replica 0 winner 1 has valid=false, want valid=true for every replica`
+	if err == nil || err.Error() != want {
+		t.Fatalf("winner.valid:\n got %v\nwant %s", err, want)
+	}
+}
+
+// TestExpectWinnerUniform: a symmetric balanced start passes the
+// chi-square uniformity gate; a start where one color always wins fails
+// it.
+func TestExpectWinnerUniform(t *testing.T) {
+	symmetric := `{
+		"schema": 1, "name": "symmetric",
+		"params": {"n": 200},
+		"replicas": 16,
+		"rule": {"name": "3-majority"},
+		"init": {"generator": "balanced", "k": 2},
+		"stop": {"max_rounds": "100 * n"},
+		"expect": [{"winner": {"uniform_alpha": 0.001}}]
+	}`
+	if _, _, err := RunChecked(context.Background(), decodeT(t, symmetric), quickParams(4)); err != nil {
+		t.Fatalf("symmetric start flagged as non-uniform: %v", err)
+	}
+	skewed := `{
+		"schema": 1, "name": "skewed",
+		"params": {"n": 200},
+		"replicas": 16,
+		"engine": "agents",
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "big", "count": 199, "color": 0, "stubborn": true},
+			{"name": "small", "color": 1, "stubborn": true}
+		],
+		"stop": {"max_rounds": 2},
+		"expect": [{"winner": {"uniform_alpha": 0.001}}]
+	}`
+	_, _, err := RunChecked(context.Background(), decodeT(t, skewed), quickParams(4))
+	var verrs ExpectationErrors
+	if !errors.As(err, &verrs) || verrs[0].Field != "winner.uniform_alpha" {
+		t.Fatalf("always-0 winners passed the uniformity gate: %v", err)
+	}
+}
+
+// TestExpectComparePredicates: two identical frozen groups are
+// statistically indistinguishable and have mean ratio exactly 1.
+func TestExpectComparePredicates(t *testing.T) {
+	src := func(expect string) string {
+		return `{
+			"schema": 1, "name": "twins",
+			"params": {"n": 100},
+			"replicas": 4,
+			"engine": "agents",
+			"rule": {"name": "3-majority"},
+			"stop": {"max_rounds": 5},
+			"runs": [
+				{"id": "a", "nodes": [
+					{"name": "zeros", "count": 60, "color": 0, "stubborn": true},
+					{"name": "ones", "color": 1, "stubborn": true}
+				]},
+				{"id": "b", "nodes": [
+					{"name": "zeros", "count": 60, "color": 0, "stubborn": true},
+					{"name": "ones", "color": 1, "stubborn": true}
+				]}
+			],
+			"expect": ` + expect + `
+		}`
+	}
+	pass := src(`[{"compare": {"group_a": "a", "group_b": "b",
+		"rounds_ks_alpha": 0.001, "winner_chi_alpha": 0.001,
+		"max_mean_ratio": 1, "min_mean_ratio": 1}}]`)
+	if _, _, err := RunChecked(context.Background(), decodeT(t, pass), quickParams(2)); err != nil {
+		t.Fatalf("identical groups flagged: %v", err)
+	}
+	violated := src(`[{"compare": {"group_a": "a", "group_b": "b", "min_mean_ratio": 2}}]`)
+	_, _, err := RunChecked(context.Background(), decodeT(t, violated), quickParams(2))
+	want := `scenario "twins": expect[0]: cell 0 (n=100), group "a vs b": compare.min_mean_ratio: got mean(a)/mean(b) = 1, want >= 2`
+	if err == nil || err.Error() != want {
+		t.Fatalf("compare.min_mean_ratio:\n got %v\nwant %s", err, want)
+	}
+}
+
+// TestExpectTablePredicate checks the reduced-table predicate on a custom
+// scenario — the only predicate form custom scenarios may carry.
+func TestExpectTablePredicate(t *testing.T) {
+	RegisterAdapter("expect-table-adapter", func(_ context.Context, s *Scenario, p Params) (*Table, error) {
+		n, err := s.ParamInt("n", p.Scale)
+		if err != nil {
+			return nil, err
+		}
+		tbl := s.NewTable()
+		tbl.Columns = []string{"n"}
+		tbl.AddRow(n)
+		return tbl, nil
+	})
+	src := func(expect string) string {
+		return `{
+			"schema": 1, "name": "tabled", "kind": "custom",
+			"adapter": "expect-table-adapter",
+			"params": {"n": {"quick": 10, "full": 100}},
+			"expect": ` + expect + `
+		}`
+	}
+	if _, _, err := RunChecked(context.Background(), decodeT(t, src(`[{"table": {"column": "n", "equals": "n"}}]`)), quickParams(1)); err != nil {
+		t.Fatalf("table equals: %v", err)
+	}
+	_, _, err := RunChecked(context.Background(), decodeT(t, src(`[{"table": {"column": "n", "max": 5}}]`)), quickParams(1))
+	want := `scenario "tabled": expect[0]: table row 0: table.max: got column "n" = 10, want <= 5`
+	if err == nil || err.Error() != want {
+		t.Fatalf("table.max:\n got %v\nwant %s", err, want)
+	}
+	// A missing column is an evaluation error, not a violation.
+	_, report, err := RunChecked(context.Background(), decodeT(t, src(`[{"table": {"column": "nope", "max": 5}}]`)), quickParams(1))
+	if err == nil || !strings.Contains(err.Error(), `no column "nope"`) || report != nil {
+		t.Fatalf("missing column: err = %v, report = %v", err, report)
+	}
+}
+
+// TestExpectAggregatesAcrossCells: violations collect across the whole
+// sweep instead of stopping at the first failing cell, in deterministic
+// cell order.
+func TestExpectAggregatesAcrossCells(t *testing.T) {
+	src := `{
+		"schema": 1, "name": "lattice",
+		"params": {"n": 100},
+		"sweep": [{"name": "k", "values": [2, 4]}],
+		"replicas": 2,
+		"engine": "agents",
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "zeros", "count": 60, "color": 0, "stubborn": true},
+			{"name": "ones", "color": 1, "stubborn": true}
+		],
+		"stop": {"max_rounds": 5},
+		"expect": [{"rounds": {"max": 4}}]
+	}`
+	_, report, err := RunChecked(context.Background(), decodeT(t, src), quickParams(2))
+	var verrs ExpectationErrors
+	if !errors.As(err, &verrs) {
+		t.Fatalf("want ExpectationErrors, got %v", err)
+	}
+	if len(verrs) != 2 || verrs[0].Cell != 0 || verrs[1].Cell != 1 {
+		t.Fatalf("want one violation per cell in order, got %v", err)
+	}
+	if verrs[0].CellVars != "k=2" || verrs[1].CellVars != "k=4" {
+		t.Fatalf("cell vars: %q, %q", verrs[0].CellVars, verrs[1].CellVars)
+	}
+	if !strings.HasPrefix(err.Error(), "2 expectations violated:") {
+		t.Fatalf("aggregate header: %v", err)
+	}
+	if report.Checks != 2 || report.Expectations != 1 {
+		t.Fatalf("report counters: %+v", report)
+	}
+}
+
+// TestExpectGroupScope: a group-scoped expectation only checks its group.
+func TestExpectGroupScope(t *testing.T) {
+	src := `{
+		"schema": 1, "name": "scoped",
+		"params": {"n": 100},
+		"replicas": 2,
+		"engine": "agents",
+		"rule": {"name": "3-majority"},
+		"stop": {"max_rounds": 5},
+		"runs": [
+			{"id": "frozen", "nodes": [
+				{"name": "zeros", "count": 60, "color": 0, "stubborn": true},
+				{"name": "ones", "color": 1, "stubborn": true}
+			]},
+			{"id": "live", "init": {"generator": "balanced", "k": 2},
+			 "stop": {"max_rounds": "100 * n"}}
+		],
+		"expect": [{"group": "live", "converged": {}}]
+	}`
+	if _, _, err := RunChecked(context.Background(), decodeT(t, src), quickParams(2)); err != nil {
+		t.Fatalf("group scope leaked to the frozen group: %v", err)
+	}
+}
+
+// TestExpectDeterministicAcrossWorkers: the check outcome, including the
+// violation order, is independent of the worker count.
+func TestExpectDeterministicAcrossWorkers(t *testing.T) {
+	src := `{
+		"schema": 1, "name": "det-check",
+		"params": {"n": 100},
+		"sweep": [{"name": "k", "values": [2, 3, 4]}],
+		"replicas": 3,
+		"engine": "agents",
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "zeros", "count": 60, "color": 0, "stubborn": true},
+			{"name": "ones", "color": 1, "stubborn": true}
+		],
+		"stop": {"max_rounds": 5},
+		"expect": [{"rounds": {"max": 4}}, {"converged": {}}]
+	}`
+	var msgs []string
+	for _, workers := range []int{1, 4} {
+		s := decodeT(t, src)
+		_, _, err := RunChecked(context.Background(), s, quickParams(workers))
+		if err == nil {
+			t.Fatal("expected violations")
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Fatalf("worker count changed the report:\n1: %s\n4: %s", msgs[0], msgs[1])
+	}
+}
+
+// TestExpectValidation: malformed expect sections fail decoding with
+// field-qualified errors; unknown JSON fields are rejected outright.
+func TestExpectValidation(t *testing.T) {
+	base := func(expect string) string {
+		return `{
+			"schema": 1, "name": "v",
+			"params": {"n": 50},
+			"rule": {"name": "voter"},
+			"sweep": [{"name": "mode", "strings": ["x", "y"]}],
+			"runs": [{"id": "a"}, {"id": "b"}],
+			"expect": ` + expect + `
+		}`
+	}
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			name:    "unknown-field",
+			src:     base(`[{"rounds": {"max_meen": 1}}]`),
+			wantErr: `unknown field "max_meen"`,
+		},
+		{
+			name:    "no-predicate",
+			src:     base(`[{"name": "empty"}]`),
+			wantErr: `expect[0]: an expectation needs at least one predicate`,
+		},
+		{
+			name:    "unknown-group",
+			src:     base(`[{"group": "nope", "converged": {}}]`),
+			wantErr: `expect[0].group: unknown run group "nope"`,
+		},
+		{
+			name:    "match-unknown-axis",
+			src:     base(`[{"match": {"engine": "x"}, "converged": {}}]`),
+			wantErr: `expect[0].match: "engine" does not name a string sweep axis`,
+		},
+		{
+			name:    "match-unknown-value",
+			src:     base(`[{"match": {"mode": "z"}, "converged": {}}]`),
+			wantErr: `expect[0].match: axis "mode" has no value "z" (values: x, y)`,
+		},
+		{
+			name:    "table-not-alone",
+			src:     base(`[{"table": {"column": "c", "max": 1}, "converged": {}}]`),
+			wantErr: `expect[0].table: a table predicate checks the reduced table and stands alone`,
+		},
+		{
+			name:    "table-without-bound",
+			src:     base(`[{"table": {"column": "c"}}]`),
+			wantErr: `expect[0].table: set at least one of equals, min or max`,
+		},
+		{
+			name:    "rounds-without-bound",
+			src:     base(`[{"rounds": {}}]`),
+			wantErr: `expect[0].rounds: set at least one bound`,
+		},
+		{
+			name:    "label-fraction-without-label",
+			src:     base(`[{"winner": {"label_min_fraction": 0.9}}]`),
+			wantErr: `expect[0].winner: set at least one of label, valid or uniform_alpha`,
+		},
+		{
+			name:    "messages-without-bound",
+			src:     base(`[{"messages": {}}]`),
+			wantErr: `expect[0].messages: set at least one of exact, min or max`,
+		},
+		{
+			name:    "almost-consensus-without-threshold",
+			src:     base(`[{"almost_consensus": {}}]`),
+			wantErr: `expect[0].almost_consensus.min_fraction: the support threshold is required`,
+		},
+		{
+			name:    "compare-same-group",
+			src:     base(`[{"compare": {"group_a": "a", "group_b": "a", "rounds_ks_alpha": 0.001}}]`),
+			wantErr: `expect[0].compare: group_a and group_b must differ`,
+		},
+		{
+			name:    "compare-unknown-group",
+			src:     base(`[{"compare": {"group_a": "a", "group_b": "c", "rounds_ks_alpha": 0.001}}]`),
+			wantErr: `expect[0].compare: unknown run group "c"`,
+		},
+		{
+			name:    "compare-with-expect-group",
+			src:     base(`[{"group": "a", "compare": {"group_a": "a", "group_b": "b", "rounds_ks_alpha": 0.001}}]`),
+			wantErr: `expect[0].compare: compare names its own groups`,
+		},
+		{
+			name:    "bad-bound-expression",
+			src:     base(`[{"rounds": {"max_mean": "3 *"}}]`),
+			wantErr: `expect[0].rounds.max_mean`,
+		},
+		{
+			name: "custom-with-result-predicate",
+			src: `{"schema": 1, "name": "c", "kind": "custom", "adapter": "x",
+				"expect": [{"converged": {}}]}`,
+			wantErr: `expect[0]: custom scenarios reduce straight to a table; only table predicates apply`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeBytes([]byte(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestExpectMatchScopes: a match filter limits the expectation to the
+// matching string-axis cells.
+func TestExpectMatchScopes(t *testing.T) {
+	src := `{
+		"schema": 1, "name": "matched",
+		"params": {"n": 100},
+		"sweep": [{"name": "mode", "strings": ["frozen", "alive"]}],
+		"replicas": 2,
+		"engine": "agents",
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "zeros", "count": 60, "color": 0, "stubborn": true},
+			{"name": "ones", "color": 1, "stubborn": true}
+		],
+		"stop": {"max_rounds": 5},
+		"expect": [{"match": {"mode": "frozen"}, "rounds": {"max": 4}}]
+	}`
+	_, _, err := RunChecked(context.Background(), decodeT(t, src), quickParams(2))
+	var verrs ExpectationErrors
+	if !errors.As(err, &verrs) || len(verrs) != 1 {
+		t.Fatalf("want exactly the matching cell to fail, got %v", err)
+	}
+	if verrs[0].CellVars != "mode=frozen" {
+		t.Fatalf("cell vars: %q", verrs[0].CellVars)
+	}
+}

@@ -1,7 +1,9 @@
 package scenario_test
 
 import (
+	"context"
 	"encoding/json"
+	"strconv"
 	"testing"
 
 	"github.com/ignorecomply/consensus/scenario"
@@ -23,6 +25,8 @@ func FuzzScenarioDecode(f *testing.F) {
 	f.Add([]byte(`{"schema": 1, "name": "x", "rule": {"name": "voter"}, "params": {"n": "2^4"}}`))
 	f.Add([]byte(`{"schema": 1}`))
 	f.Add([]byte(`{`))
+	f.Add([]byte(groupedSpecFuzzSeed))
+	f.Add([]byte(expectSpecFuzzSeed))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := scenario.DecodeBytes(data)
 		if err != nil {
@@ -45,6 +49,103 @@ func FuzzScenarioDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzExpectEval drives the full checked pipeline — expansion, grouped
+// execution, expectation evaluation — over fuzzed (seed, workers, round
+// budget). It must never panic, and the report must not depend on the
+// worker count.
+func FuzzExpectEval(f *testing.F) {
+	f.Add(uint64(11), uint8(1), uint8(5))
+	f.Add(uint64(0), uint8(4), uint8(1))
+	f.Add(uint64(1<<63), uint8(3), uint8(9))
+	f.Fuzz(func(t *testing.T, seed uint64, workers uint8, budget uint8) {
+		spec := `{
+			"schema": 1,
+			"name": "fuzz-eval",
+			"params": {"n": 50},
+			"replicas": 2,
+			"engine": "agents",
+			"rule": {"name": "3-majority"},
+			"nodes": [
+				{"name": "gen", "count": 30, "init": {"generator": "random-assignment", "k": 3}},
+				{"name": "frozen", "color": 9, "stubborn": true}
+			],
+			"stop": {"max_rounds": ` + strconv.Itoa(int(budget%16)+1) + `},
+			"expect": [
+				{"rounds": {"max": 4}, "converged": {"min_fraction": 1}},
+				{"messages": {"min": 1}, "almost_consensus": {"min_fraction": 0.99}}
+			]
+		}`
+		s, err := scenario.DecodeBytes([]byte(spec))
+		if err != nil {
+			t.Fatalf("fuzz spec must decode: %v", err)
+		}
+		run := func(workers int) (string, string) {
+			tbl, report, err := scenario.RunChecked(context.Background(), s,
+				scenario.Params{Seed: seed, Scale: scenario.Quick, Workers: workers})
+			if tbl == nil {
+				t.Fatalf("no table: %v", err)
+			}
+			errStr := ""
+			if err != nil {
+				errStr = err.Error()
+			}
+			enc, jerr := json.Marshal(report)
+			if jerr != nil {
+				t.Fatalf("report must marshal: %v", jerr)
+			}
+			return errStr, string(enc)
+		}
+		w := int(workers%8) + 1
+		err1, rep1 := run(w)
+		err2, rep2 := run(1)
+		if err1 != err2 {
+			t.Fatalf("workers=%d vs 1 changed the verdict:\n%s\nvs\n%s", w, err1, err2)
+		}
+		if rep1 != rep2 {
+			t.Fatalf("workers=%d vs 1 changed the report:\n%s\nvs\n%s", w, rep1, rep2)
+		}
+	})
+}
+
+const groupedSpecFuzzSeed = `{
+	"schema": 1,
+	"name": "fuzz-groups",
+	"params": {"n": 128},
+	"engine": "agents",
+	"rule": {"name": "3-majority"},
+	"nodes": [
+		{"name": "main", "count": "n - 8", "init": {"generator": "balanced", "k": 3}},
+		{"name": "holdouts", "color": 2, "stubborn": true}
+	],
+	"stop": {"max_rounds": 40},
+	"expect": [
+		{"name": "no consensus", "converged": {"min_fraction": 0}, "rounds": {"max": 40}}
+	]
+}`
+
+const expectSpecFuzzSeed = `{
+	"schema": 1,
+	"name": "fuzz-expect",
+	"params": {"n": 64},
+	"sweep": [{"name": "k", "values": [2, 4]}],
+	"replicas": 2,
+	"rule": {"name": "3-majority"},
+	"init": {"generator": "balanced", "k": "k"},
+	"stop": {"max_rounds": "100 * n"},
+	"expect": [
+		{
+			"name": "fast and unanimous",
+			"match": {},
+			"where": "k <= 4",
+			"rounds": {"max_mean": "10 * log(n)", "max": "100 * n"},
+			"converged": {"min_fraction": 1},
+			"winner": {"valid": true},
+			"almost_consensus": {"min_fraction": 0.5}
+		},
+		{"messages": {"min": 0}}
+	]
+}`
 
 const validSpecFuzzSeed = `{
 	"schema": 1,

@@ -1,0 +1,389 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/ignorecomply/consensus/internal/config"
+	"github.com/ignorecomply/consensus/internal/rng"
+	"github.com/ignorecomply/consensus/internal/rules"
+)
+
+// NodeGroupSpec describes one named subset of a run's population. A nodes
+// section replaces the init section: the groups together define the whole
+// start configuration, and may additionally override behavior per group —
+// a different rule (degree), a fixed dissenter (stubborn), a late-joining
+// group (join_round), or an adversarially planted subset (corrupted,
+// which removes the group's exclusive colors from the §5 validity set).
+//
+// Groups share one global color space: a fixed "color" picks a concrete
+// label, and a generator-based group emits labels 0..k-1 shifted by
+// "color_offset" — so two groups agree on a color by using the same label
+// and get disjoint opinion spaces by offsetting.
+//
+// Behavior overrides (rule, stubborn, join_round) run on the agents
+// engine only; pure composition (counts, colors, corrupted) works on
+// every engine.
+type NodeGroupSpec struct {
+	// Name identifies the group (lowercase slug; unique within the run).
+	Name string `json:"name"`
+	// Count is the group's node count; exactly one group may omit it and
+	// takes the remainder of n. Counts must sum to n.
+	Count Quantity `json:"count,omitempty"`
+	// Color assigns every node of the group this fixed initial color
+	// label (mutually exclusive with init).
+	Color Quantity `json:"color,omitempty"`
+	// Init generates the group's initial opinions over its count nodes
+	// (mutually exclusive with color); k defaults to the group's count.
+	Init *InitSpec `json:"init,omitempty"`
+	// ColorOffset shifts the labels a generator-based group emits
+	// (init-based groups only).
+	ColorOffset Quantity `json:"color_offset,omitempty"`
+	// Rule overrides the run's rule for this group (agents engine only).
+	Rule *RuleSpec `json:"rule,omitempty"`
+	// Stubborn nodes never update: they keep their initial opinion for
+	// the whole run (agents engine only).
+	Stubborn bool `json:"stubborn,omitempty"`
+	// JoinRound is the first round in which the group participates;
+	// before it the group holds its initial opinion (agents engine only).
+	JoinRound Quantity `json:"join_round,omitempty"`
+	// Corrupted marks the group's initial opinions as adversarially
+	// planted: colors supported only by corrupted groups are excluded
+	// from the §5 validity set, so a run won by one reports an invalid
+	// winner.
+	Corrupted bool `json:"corrupted,omitempty"`
+}
+
+// hasBehavior reports whether the group overrides per-node behavior
+// (which restricts the run to the agents engine).
+func (g *NodeGroupSpec) hasBehavior() bool {
+	return g.Rule != nil || g.Stubborn || g.JoinRound.IsSet()
+}
+
+// nodesNeedBehaviors reports whether any group in a nodes section
+// overrides behavior.
+func nodesNeedBehaviors(groups []NodeGroupSpec) bool {
+	for i := range groups {
+		if groups[i].hasBehavior() {
+			return true
+		}
+	}
+	return false
+}
+
+// nodesNeedRNG reports whether any group's generator draws randomness.
+func nodesNeedRNG(groups []ResolvedNodeGroup) bool {
+	for i := range groups {
+		if groups[i].Init != nil && config.NeedsRNG(groups[i].Init.Generator) {
+			return true
+		}
+	}
+	return false
+}
+
+// validateNodes checks a nodes section; path is the owning section's
+// prefix ("run defaults" or "runs[i]").
+func (s *Scenario) validateNodes(groups []NodeGroupSpec, path string) error {
+	fail := func(sub, format string, args ...any) error {
+		return fmt.Errorf("scenario %q: %s.%s: %s", s.Name, path, sub, fmt.Sprintf(format, args...))
+	}
+	seen := map[string]bool{}
+	uncounted := -1
+	for i := range groups {
+		g := &groups[i]
+		gpath := fmt.Sprintf("nodes[%d]", i)
+		if !validName(g.Name) {
+			return fail(gpath+".name", "group name %q must be a lowercase slug (letters, digits, dashes)", g.Name)
+		}
+		if seen[g.Name] {
+			return fail(gpath+".name", "duplicate group name %q", g.Name)
+		}
+		seen[g.Name] = true
+		if !g.Count.IsSet() {
+			if uncounted >= 0 {
+				return fail(gpath+".count", "at most one group may omit count (the remainder of n); nodes[%d] already does", uncounted)
+			}
+			uncounted = i
+		}
+		if g.Color.IsSet() == (g.Init != nil) {
+			return fail(gpath, "a group needs exactly one of color (a fixed label) or init (a generator over its nodes)")
+		}
+		if g.ColorOffset.IsSet() && g.Init == nil {
+			return fail(gpath+".color_offset", "color_offset shifts generator labels; this group has a fixed color")
+		}
+		if g.Init != nil {
+			if !config.KnownGenerator(g.Init.Generator) {
+				return fail(gpath+".init.generator", "unknown generator %q", g.Init.Generator)
+			}
+			for _, f := range []quantityField{
+				{gpath + ".init.k", &g.Init.K}, {gpath + ".init.bias", &g.Init.Bias},
+				{gpath + ".init.a", &g.Init.A}, {gpath + ".init.max_support", &g.Init.MaxSupport},
+				{gpath + ".init.s", &g.Init.S},
+			} {
+				if err := f.q.compile(path + "." + f.sub); err != nil {
+					return fmt.Errorf("scenario %q: %w", s.Name, err)
+				}
+			}
+		}
+		if g.Rule != nil {
+			if _, err := (rules.Spec{Name: g.Rule.Name, H: 1}).Factory(); err != nil {
+				return fail(gpath+".rule.name", "%v", err)
+			}
+			if g.Rule.H.IsSet() && g.Rule.Name != "h-majority" {
+				return fail(gpath+".rule.h", "h only applies to the canonical \"h-majority\" rule; %q fixes h in its name", g.Rule.Name)
+			}
+			if g.Rule.Beta.IsSet() && g.Rule.Name != "lazy-voter" {
+				return fail(gpath+".rule.beta", "beta only applies to the \"lazy-voter\" rule, not %q", g.Rule.Name)
+			}
+			if err := g.Rule.H.compile(path + "." + gpath + ".rule.h"); err != nil {
+				return fmt.Errorf("scenario %q: %w", s.Name, err)
+			}
+			if err := g.Rule.Beta.compile(path + "." + gpath + ".rule.beta"); err != nil {
+				return fmt.Errorf("scenario %q: %w", s.Name, err)
+			}
+		}
+		if g.Stubborn && g.Rule != nil {
+			return fail(gpath, "a stubborn group never updates; drop its rule override")
+		}
+		if g.Stubborn && g.JoinRound.IsSet() {
+			return fail(gpath, "a stubborn group never updates; drop its join_round")
+		}
+		for _, f := range []quantityField{
+			{gpath + ".count", &g.Count}, {gpath + ".color", &g.Color},
+			{gpath + ".color_offset", &g.ColorOffset}, {gpath + ".join_round", &g.JoinRound},
+		} {
+			if err := f.q.compile(path + "." + f.sub); err != nil {
+				return fmt.Errorf("scenario %q: %w", s.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ResolvedNodeGroup is a node group with concrete parameters.
+type ResolvedNodeGroup struct {
+	Name        string
+	Count       int
+	HasColor    bool
+	Color       int
+	ColorOffset int
+	Init        *ResolvedInit // generator groups (HasColor false)
+	Rule        *ResolvedRule // nil: the run's own rule
+	Stubborn    bool
+	JoinRound   int
+	Corrupted   bool
+}
+
+// hasBehavior mirrors NodeGroupSpec.hasBehavior on the resolved form.
+func (g *ResolvedNodeGroup) hasBehavior() bool {
+	return g.Rule != nil || g.Stubborn || g.JoinRound > 0
+}
+
+// resolveNodes evaluates a nodes section against a cell's bindings. The
+// single-group normalization lives here: one generator-based group with
+// no behavior overrides covering all n nodes *is* the homogeneous init,
+// so it collapses to (nil, init) — which makes "a homogeneous population
+// expressed as one node group" bit-exact against the ungrouped expansion
+// by construction.
+func resolveNodes(groups []NodeGroupSpec, scale Scale, n int, env map[string]float64) ([]ResolvedNodeGroup, *ResolvedInit, error) {
+	out := make([]ResolvedNodeGroup, len(groups))
+	counted := 0
+	uncounted := -1
+	for i := range groups {
+		g := &groups[i]
+		rg := &out[i]
+		rg.Name = g.Name
+		rg.Stubborn = g.Stubborn
+		rg.Corrupted = g.Corrupted
+		var err error
+		path := func(sub string) string { return fmt.Sprintf("nodes[%d].%s", i, sub) }
+		if g.Count.IsSet() {
+			if rg.Count, err = evalIntOr(&g.Count, scale, env, 0, path("count")); err != nil {
+				return nil, nil, err
+			}
+			if rg.Count < 1 {
+				return nil, nil, fmt.Errorf("%s: must be >= 1, got %d", path("count"), rg.Count)
+			}
+			counted += rg.Count
+		} else {
+			uncounted = i
+		}
+		if g.Color.IsSet() {
+			rg.HasColor = true
+			if rg.Color, err = evalIntOr(&g.Color, scale, env, 0, path("color")); err != nil {
+				return nil, nil, err
+			}
+			if rg.Color < 0 {
+				return nil, nil, fmt.Errorf("%s: must be >= 0, got %d", path("color"), rg.Color)
+			}
+		}
+		if rg.ColorOffset, err = evalIntOr(&g.ColorOffset, scale, env, 0, path("color_offset")); err != nil {
+			return nil, nil, err
+		}
+		if rg.ColorOffset < 0 {
+			return nil, nil, fmt.Errorf("%s: must be >= 0, got %d", path("color_offset"), rg.ColorOffset)
+		}
+		if rg.JoinRound, err = evalIntOr(&g.JoinRound, scale, env, 0, path("join_round")); err != nil {
+			return nil, nil, err
+		}
+		if rg.JoinRound < 0 {
+			return nil, nil, fmt.Errorf("%s: must be >= 0, got %d", path("join_round"), rg.JoinRound)
+		}
+	}
+	if uncounted >= 0 {
+		rem := n - counted
+		if rem < 1 {
+			return nil, nil, fmt.Errorf("nodes[%d].count: the remainder is %d (the other groups already hold %d of n=%d nodes)", uncounted, rem, counted, n)
+		}
+		out[uncounted].Count = rem
+	} else if counted != n {
+		return nil, nil, fmt.Errorf("nodes: group counts sum to %d, want n = %d", counted, n)
+	}
+	// Init sections need the final counts (k defaults to the group count).
+	for i := range groups {
+		g := &groups[i]
+		if g.Init == nil {
+			continue
+		}
+		rg := &out[i]
+		path := func(sub string) string { return fmt.Sprintf("nodes[%d].init.%s", i, sub) }
+		init := &ResolvedInit{Generator: g.Init.Generator}
+		var err error
+		if init.K, err = evalIntOr(&g.Init.K, scale, env, rg.Count, path("k")); err != nil {
+			return nil, nil, err
+		}
+		if init.Bias, err = evalIntOr(&g.Init.Bias, scale, env, 0, path("bias")); err != nil {
+			return nil, nil, err
+		}
+		if init.A, err = evalIntOr(&g.Init.A, scale, env, 0, path("a")); err != nil {
+			return nil, nil, err
+		}
+		if init.MaxSupport, err = evalIntOr(&g.Init.MaxSupport, scale, env, 0, path("max_support")); err != nil {
+			return nil, nil, err
+		}
+		if init.S, err = evalFloatOr(&g.Init.S, scale, env, 1, path("s")); err != nil {
+			return nil, nil, err
+		}
+		rg.Init = init
+	}
+	// Rule overrides.
+	for i := range groups {
+		g := &groups[i]
+		if g.Rule == nil {
+			continue
+		}
+		rg := &out[i]
+		rule := &ResolvedRule{Name: g.Rule.Name}
+		var err error
+		path := func(sub string) string { return fmt.Sprintf("nodes[%d].rule.%s", i, sub) }
+		if rule.H, err = evalIntOr(&g.Rule.H, scale, env, 0, path("h")); err != nil {
+			return nil, nil, err
+		}
+		if rule.Beta, err = evalFloatOr(&g.Rule.Beta, scale, env, 0, path("beta")); err != nil {
+			return nil, nil, err
+		}
+		if rule.Name == "h-majority" && rule.H < 1 {
+			return nil, nil, fmt.Errorf("%s: h-majority needs h >= 1 (set rule.h)", path("h"))
+		}
+		rg.Rule = rule
+	}
+	// Single-group normalization: one plain generator group covering the
+	// whole population is the homogeneous case.
+	if len(out) == 1 && !out[0].hasBehavior() && !out[0].Corrupted &&
+		!out[0].HasColor && out[0].ColorOffset == 0 && out[0].Init != nil {
+		return nil, out[0].Init, nil
+	}
+	return out, nil, nil
+}
+
+// groupedStart is the extra state of a heterogeneous start configuration:
+// the per-node group assignment (aligned with start.Nodes() order: slot
+// blocks in slot order, group contributions within a slot in group
+// order), and the labels supported only by corrupted groups.
+type groupedStart struct {
+	assign  []int
+	invalid []int
+}
+
+// buildGroupedStart composes the start configuration of a heterogeneous
+// run and its per-node group assignment.
+//
+// Determinism contract: when genRNG is non-nil, each group whose
+// generator draws randomness gets its own stream via genRNG.Derive(gi),
+// derived in group order on the calling goroutine — the same pre-derived
+// stream discipline as replica streams, so the start is a pure function
+// of (spec, seed) regardless of scheduling.
+func buildGroupedStart(spec *RunSpec, genRNG *rng.RNG) (*config.Config, *groupedStart, error) {
+	type slotInfo struct {
+		label   int
+		honest  int
+		corrupt int
+		contrib []int // per-group contribution to this slot
+	}
+	var slots []slotInfo
+	slotOf := map[int]int{}
+	groups := spec.Nodes
+	addContrib := func(gi, label, count int) {
+		si, ok := slotOf[label]
+		if !ok {
+			si = len(slots)
+			slotOf[label] = si
+			slots = append(slots, slotInfo{label: label, contrib: make([]int, len(groups))})
+		}
+		slots[si].contrib[gi] += count
+		if groups[gi].Corrupted {
+			slots[si].corrupt += count
+		} else {
+			slots[si].honest += count
+		}
+	}
+	for gi := range groups {
+		g := &groups[gi]
+		if g.HasColor {
+			addContrib(gi, g.Color, g.Count)
+			continue
+		}
+		var stream *rng.RNG
+		if config.NeedsRNG(g.Init.Generator) {
+			if genRNG == nil {
+				return nil, nil, fmt.Errorf("nodes[%d]: generator %q needs randomness but no generator stream was derived", gi, g.Init.Generator)
+			}
+			stream = genRNG.Derive(uint64(gi))
+		}
+		sub, err := config.Generate(g.Init.Generator, config.GenArgs{
+			N: g.Count, K: g.Init.K, Bias: g.Init.Bias, A: g.Init.A,
+			MaxSupport: g.Init.MaxSupport, S: g.Init.S, RNG: stream,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("nodes[%d] (%s): %w", gi, g.Name, err)
+		}
+		for s := 0; s < sub.Slots(); s++ {
+			if sub.Count(s) > 0 {
+				addContrib(gi, sub.Label(s)+g.ColorOffset, sub.Count(s))
+			}
+		}
+	}
+
+	counts := make([]int, len(slots))
+	labels := make([]int, len(slots))
+	var invalid []int
+	for si, sl := range slots {
+		counts[si] = sl.honest + sl.corrupt
+		labels[si] = sl.label
+		if sl.corrupt > 0 && sl.honest == 0 {
+			invalid = append(invalid, sl.label)
+		}
+	}
+	merged, err := config.NewLabeled(counts, labels)
+	if err != nil {
+		return nil, nil, fmt.Errorf("nodes: %w", err)
+	}
+	assign := make([]int, 0, spec.N)
+	for _, sl := range slots {
+		for gi, c := range sl.contrib {
+			for i := 0; i < c; i++ {
+				assign = append(assign, gi)
+			}
+		}
+	}
+	return merged, &groupedStart{assign: assign, invalid: invalid}, nil
+}

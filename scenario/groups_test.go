@@ -1,0 +1,431 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func renderT(t *testing.T, tbl *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestNodesHomogeneousNormalization: a homogeneous population expressed
+// as one node group is the ungrouped expansion — the single plain
+// generator group normalizes to the same RunSpec, so the whole suite is
+// bit-exact at a fixed (seed, workers).
+func TestNodesHomogeneousNormalization(t *testing.T) {
+	ungrouped := `{
+		"schema": 1, "name": "homo",
+		"params": {"n": 240},
+		"sweep": [{"name": "k", "values": [2, 4]}],
+		"replicas": 3,
+		"rule": {"name": "3-majority"},
+		"init": {"generator": "balanced", "k": "k"},
+		"stop": {"max_rounds": "100 * n"}
+	}`
+	grouped := `{
+		"schema": 1, "name": "homo",
+		"params": {"n": 240},
+		"sweep": [{"name": "k", "values": [2, 4]}],
+		"replicas": 3,
+		"rule": {"name": "3-majority"},
+		"nodes": [{"name": "all", "init": {"generator": "balanced", "k": "k"}}],
+		"stop": {"max_rounds": "100 * n"}
+	}`
+	su, sg := decodeT(t, ungrouped), decodeT(t, grouped)
+	specsU, err := su.Expand(quickParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specsG, err := sg.Expand(quickParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(specsU, specsG) {
+		t.Fatalf("grouped expansion differs from ungrouped:\n%+v\nvs\n%+v", specsU, specsG)
+	}
+	tu, err := Run(context.Background(), su, quickParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := Run(context.Background(), sg, quickParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderT(t, tu) != renderT(t, tg) {
+		t.Fatalf("tables differ:\n%s\nvs\n%s", renderT(t, tu), renderT(t, tg))
+	}
+}
+
+// TestNodesComposition: fixed colors, remainder counts and color offsets
+// compose the expected start configuration.
+func TestNodesComposition(t *testing.T) {
+	src := `{
+		"schema": 1, "name": "compose",
+		"params": {"n": 100},
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "zeros", "count": 60, "color": 0},
+			{"name": "ones", "color": 1}
+		],
+		"stop": {"max_rounds": 1}
+	}`
+	suite, err := ExecuteSuite(context.Background(), decodeT(t, src), quickParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := suite.Cells[0].Groups[0].Start
+	if start.N() != 100 || start.Slots() != 2 {
+		t.Fatalf("start: n=%d slots=%d", start.N(), start.Slots())
+	}
+	counts := map[int]int{}
+	for s := 0; s < start.Slots(); s++ {
+		counts[start.Label(s)] = start.Count(s)
+	}
+	if counts[0] != 60 || counts[1] != 40 {
+		t.Fatalf("composed counts: %v", counts)
+	}
+
+	// Color offsets give generator groups disjoint opinion spaces.
+	offset := `{
+		"schema": 1, "name": "offset",
+		"params": {"n": 80},
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "low", "count": 40, "init": {"generator": "balanced", "k": 2}},
+			{"name": "high", "init": {"generator": "balanced", "k": 2}, "color_offset": 10}
+		],
+		"stop": {"max_rounds": 1}
+	}`
+	suite, err = ExecuteSuite(context.Background(), decodeT(t, offset), quickParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = suite.Cells[0].Groups[0].Start
+	labels := map[int]int{}
+	for s := 0; s < start.Slots(); s++ {
+		labels[start.Label(s)] = start.Count(s)
+	}
+	want := map[int]int{0: 20, 1: 20, 10: 20, 11: 20}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("offset labels: %v, want %v", labels, want)
+	}
+}
+
+// TestNodesSharedColorMerges: a fixed-color group and a generator group
+// supporting the same label merge into one slot, and a corrupted group's
+// exclusive colors — and only those — are invalid.
+func TestNodesSharedColorMerges(t *testing.T) {
+	src := `{
+		"schema": 1, "name": "merge",
+		"params": {"n": 90},
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "gen", "count": 60, "init": {"generator": "balanced", "k": 3}},
+			{"name": "boost", "count": 10, "color": 2, "corrupted": true},
+			{"name": "planted", "color": 9, "corrupted": true}
+		],
+		"stop": {"max_rounds": 1}
+	}`
+	suite, err := ExecuteSuite(context.Background(), decodeT(t, src), quickParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := suite.Cells[0].Groups[0]
+	labels := map[int]int{}
+	for s := 0; s < g.Start.Slots(); s++ {
+		labels[g.Start.Label(s)] = g.Start.Count(s)
+	}
+	// Color 2 holds honest 20 + corrupted 10 in one slot.
+	want := map[int]int{0: 20, 1: 20, 2: 30, 9: 20}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("merged labels: %v, want %v", labels, want)
+	}
+	// Color 2 has honest support, so only 9 is invalid.
+	if got := g.grouped.invalid; !reflect.DeepEqual(got, []int{9}) {
+		t.Fatalf("invalid labels: %v, want [9]", got)
+	}
+	// The assignment covers every node, aligned with Nodes() order.
+	if len(g.grouped.assign) != 90 {
+		t.Fatalf("assignment length %d", len(g.grouped.assign))
+	}
+}
+
+// TestNodesStubbornDissenter: a stubborn minority blocks consensus
+// through the scenario layer.
+func TestNodesStubbornDissenter(t *testing.T) {
+	src := `{
+		"schema": 1, "name": "dissent",
+		"params": {"n": 200},
+		"engine": "agents",
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "majority", "count": 190, "color": 0},
+			{"name": "dissenters", "color": 1, "stubborn": true}
+		],
+		"stop": {"max_rounds": 300}
+	}`
+	suite, err := ExecuteSuite(context.Background(), decodeT(t, src), quickParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := suite.Cells[0].Groups[0].Results[0]
+	if res.Converged {
+		t.Fatalf("converged despite stubborn dissenters: %+v", res)
+	}
+	if got := res.Final.CountsView()[1]; got < 10 {
+		t.Fatalf("dissenter color has %d supporters, want >= 10", got)
+	}
+}
+
+// TestNodesPerGroupRules: groups running different rules execute and stay
+// deterministic across worker counts.
+func TestNodesPerGroupRules(t *testing.T) {
+	src := `{
+		"schema": 1, "name": "mixed-rules",
+		"params": {"n": 200},
+		"replicas": 2,
+		"engine": "agents",
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "majority", "count": 100, "init": {"generator": "balanced", "k": 4}},
+			{"name": "voters", "init": {"generator": "balanced", "k": 4}, "rule": {"name": "voter"}}
+		],
+		"stop": {"max_rounds": "200 * n"}
+	}`
+	var tables []string
+	for _, workers := range []int{1, 4} {
+		tbl, err := Run(context.Background(), decodeT(t, src), quickParams(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, renderT(t, tbl))
+	}
+	if tables[0] != tables[1] {
+		t.Fatalf("worker count changed grouped results:\n%s\nvs\n%s", tables[0], tables[1])
+	}
+}
+
+// TestNodesJoinRound: a group that joins after the horizon holds its
+// opinion; the active majority adopts it.
+func TestNodesJoinRound(t *testing.T) {
+	src := `{
+		"schema": 1, "name": "latejoin",
+		"params": {"n": 100},
+		"engine": "agents",
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "active", "count": 10, "color": 0},
+			{"name": "late", "color": 1, "join_round": 1048576}
+		],
+		"stop": {"max_rounds": 2000}
+	}`
+	suite, err := ExecuteSuite(context.Background(), decodeT(t, src), quickParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := suite.Cells[0].Groups[0].Results[0]
+	if !res.Converged || res.WinnerLabel != 1 {
+		t.Fatalf("want convergence to the held color 1, got converged=%v winner=%d", res.Converged, res.WinnerLabel)
+	}
+}
+
+// TestNodesRunGroupOverride: a run group's nodes section replaces the
+// scenario-level init wholesale.
+func TestNodesRunGroupOverride(t *testing.T) {
+	src := `{
+		"schema": 1, "name": "override",
+		"params": {"n": 100},
+		"rule": {"name": "3-majority"},
+		"init": {"generator": "balanced", "k": 2},
+		"stop": {"max_rounds": "100 * n"},
+		"runs": [
+			{"id": "plain"},
+			{"id": "fixed", "nodes": [
+				{"name": "zeros", "count": 70, "color": 0},
+				{"name": "ones", "color": 1}
+			]}
+		]
+	}`
+	suite, err := ExecuteSuite(context.Background(), decodeT(t, src), quickParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := suite.Cells[0]
+	if cell.Groups[0].grouped != nil {
+		t.Fatal("plain group picked up the run-level nodes section")
+	}
+	if cell.Groups[1].grouped == nil {
+		t.Fatal("fixed group lost its nodes section")
+	}
+	counts := map[int]int{}
+	start := cell.Groups[1].Start
+	for s := 0; s < start.Slots(); s++ {
+		counts[start.Label(s)] = start.Count(s)
+	}
+	if counts[0] != 70 || counts[1] != 30 {
+		t.Fatalf("override start: %v", counts)
+	}
+}
+
+// TestNodesValidation: malformed nodes sections fail with field-qualified
+// errors at decode or expansion time.
+func TestNodesValidation(t *testing.T) {
+	base := func(nodes, extra string) string {
+		return `{
+			"schema": 1, "name": "v",
+			"params": {"n": 100},
+			"rule": {"name": "3-majority"},
+			` + extra + `"nodes": ` + nodes + `
+		}`
+	}
+	decodeCases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			name:    "duplicate-name",
+			src:     base(`[{"name": "a", "count": 50, "color": 0}, {"name": "a", "color": 1}]`, ""),
+			wantErr: `nodes[1].name: duplicate group name "a"`,
+		},
+		{
+			name:    "two-remainders",
+			src:     base(`[{"name": "a", "color": 0}, {"name": "b", "color": 1}]`, ""),
+			wantErr: `nodes[1].count: at most one group may omit count`,
+		},
+		{
+			name:    "color-and-init",
+			src:     base(`[{"name": "a", "color": 0, "init": {"generator": "balanced", "k": 2}}]`, ""),
+			wantErr: `nodes[0]: a group needs exactly one of color`,
+		},
+		{
+			name:    "neither-color-nor-init",
+			src:     base(`[{"name": "a"}]`, ""),
+			wantErr: `nodes[0]: a group needs exactly one of color`,
+		},
+		{
+			name:    "offset-on-fixed-color",
+			src:     base(`[{"name": "a", "color": 0, "color_offset": 5}]`, ""),
+			wantErr: `nodes[0].color_offset: color_offset shifts generator labels`,
+		},
+		{
+			name:    "stubborn-with-rule",
+			src:     base(`[{"name": "a", "color": 0, "stubborn": true, "rule": {"name": "voter"}}]`, `"engine": "agents", `),
+			wantErr: `nodes[0]: a stubborn group never updates; drop its rule override`,
+		},
+		{
+			name:    "stubborn-with-join",
+			src:     base(`[{"name": "a", "color": 0, "stubborn": true, "join_round": 5}]`, `"engine": "agents", `),
+			wantErr: `nodes[0]: a stubborn group never updates; drop its join_round`,
+		},
+		{
+			name:    "nodes-and-init",
+			src:     base(`[{"name": "a", "color": 0}]`, `"init": {"generator": "balanced", "k": 2}, `),
+			wantErr: `nodes: a nodes section composes the whole start configuration; drop the init section`,
+		},
+		{
+			name:    "behavior-on-batch-engine",
+			src:     base(`[{"name": "a", "color": 0, "stubborn": true}]`, `"engine": "batch", `),
+			wantErr: `behavior overrides (rule, stubborn, join_round) need the agents engine; engine is "batch"`,
+		},
+		{
+			name:    "behavior-with-topology",
+			src:     base(`[{"name": "a", "color": 0, "stubborn": true}]`, `"topology": {"name": "complete"}, `),
+			wantErr: `behavior overrides (rule, stubborn, join_round) need the agents engine; drop the topology/network section`,
+		},
+		{
+			name:    "unknown-generator",
+			src:     base(`[{"name": "a", "init": {"generator": "nope"}}]`, ""),
+			wantErr: `nodes[0].init.generator: unknown generator "nope"`,
+		},
+		{
+			name:    "bad-group-name",
+			src:     base(`[{"name": "Bad Name", "color": 0}]`, ""),
+			wantErr: `nodes[0].name: group name "Bad Name" must be a lowercase slug`,
+		},
+	}
+	for _, tc := range decodeCases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeBytes([]byte(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	expandCases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			name:    "counts-exceed-n",
+			src:     base(`[{"name": "a", "count": 80, "color": 0}, {"name": "b", "color": 1}, {"name": "c", "count": 30, "color": 2}]`, ""),
+			wantErr: "the remainder is -10",
+		},
+		{
+			name:    "counts-mismatch",
+			src:     base(`[{"name": "a", "count": 30, "color": 0}, {"name": "b", "count": 30, "color": 1}]`, ""),
+			wantErr: "group counts sum to 60, want n = 100",
+		},
+	}
+	for _, tc := range expandCases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := decodeT(t, tc.src)
+			_, err := s.Expand(quickParams(1))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNodesGeneratorStreamOrder: grouped randomized generators are
+// deterministic and seed-sensitive (each group draws from its own derived
+// stream).
+func TestNodesGeneratorStreamOrder(t *testing.T) {
+	src := `{
+		"schema": 1, "name": "streams",
+		"params": {"n": 400},
+		"rule": {"name": "3-majority"},
+		"nodes": [
+			{"name": "a", "count": 200, "init": {"generator": "random-assignment", "k": 8}},
+			{"name": "b", "init": {"generator": "random-assignment", "k": 8}, "color_offset": 100}
+		],
+		"stop": {"max_rounds": 1}
+	}`
+	startCounts := func(seed uint64) map[int]int {
+		s := decodeT(t, src)
+		suite, err := ExecuteSuite(context.Background(), s, Params{Seed: seed, Scale: Quick, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[int]int{}
+		start := suite.Cells[0].Groups[0].Start
+		for sl := 0; sl < start.Slots(); sl++ {
+			if start.Count(sl) > 0 {
+				out[start.Label(sl)] = start.Count(sl)
+			}
+		}
+		return out
+	}
+	a1, a2 := startCounts(7), startCounts(7)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("same seed, different grouped start: %v vs %v", a1, a2)
+	}
+	b := startCounts(8)
+	if reflect.DeepEqual(a1, b) {
+		t.Fatal("different seeds produced the identical randomized grouped start")
+	}
+	// The two groups' label spaces stay disjoint.
+	for label := range a1 {
+		if label >= 8 && label < 100 {
+			t.Fatalf("label %d outside both groups' spaces", label)
+		}
+	}
+}

@@ -78,6 +78,12 @@ type Scenario struct {
 	// Reducer names the registered aggregation producing the final table
 	// (default "summary").
 	Reducer string `json:"reducer,omitempty"`
+
+	// Expect are the scenario's self-verification assertions, evaluated
+	// against the executed suite (and the reduced table) after a checked
+	// run; see expect.go. A scenario with expect blocks is its own
+	// acceptance test.
+	Expect []ExpectSpec `json:"expect,omitempty"`
 }
 
 // ExperimentMeta binds a scenario to a paper artifact.
@@ -137,6 +143,11 @@ type RunDefaults struct {
 	Network *NetworkSpec `json:"network,omitempty"`
 	// Init generates the start configuration (default singleton).
 	Init *InitSpec `json:"init,omitempty"`
+	// Nodes composes the start configuration from named heterogeneous
+	// groups instead of one generator (mutually exclusive with Init):
+	// per-group sizes, initial opinions, rule overrides, stubbornness,
+	// join rounds and adversarial corruption. See groups.go.
+	Nodes []NodeGroupSpec `json:"nodes,omitempty"`
 	// Stop bounds the run.
 	Stop *StopSpec `json:"stop,omitempty"`
 	// Adversary enables the §5 fault-tolerance regime.
