@@ -13,7 +13,8 @@
 //	              [-workers W] [-verify-determinism] [-list-scenarios]
 //	              [-check] [-check-report FILE]
 //	consensus-sim [-rule voter|lazy-voter|2-choices|3-majority|4-majority|...|2-median|undecided]
-//	              [-beta B] [-engine batch|agents|graph|cluster] [-parallel P]
+//	              [-beta B] [-engine batch|agents|graph|cluster|hybrid] [-parallel P]
+//	              [-ff-report]
 //	              [-topology complete|ring|torus|star|random-regular] [-degree D]
 //	              [-net-delay D] [-net-jitter J] [-net-loss P] [-net-retry T]
 //	              [-adversary none|boost-runner-up|revive-weakest|inject-invalid|random-noise]
@@ -59,7 +60,8 @@ func run(args []string) error {
 
 		ruleName   = fs.String("rule", "3-majority", "update rule (voter, lazy-voter, 2-choices, 3-majority, H-majority, 2-median, undecided)")
 		beta       = fs.Float64("beta", 0, "idle probability for -rule lazy-voter")
-		engineName = fs.String("engine", "batch", "execution engine: batch, agents, graph, cluster")
+		engineName = fs.String("engine", "batch", "execution engine: batch, agents, graph, cluster, hybrid")
+		ffReport   = fs.Bool("ff-report", false, "print the hybrid engine's fast-forward report (rounds skipped, stretches, envelope widths); needs -engine hybrid")
 		parallel   = fs.Int("parallel", 0, "worker shards for the agents/graph engines (0 = default, 1 = sequential bit-exact)")
 		topology   = fs.String("topology", "complete", "interaction topology for -engine graph: complete, ring, torus, star, random-regular")
 		degree     = fs.Int("degree", 4, "vertex degree for -topology random-regular")
@@ -118,6 +120,14 @@ func run(args []string) error {
 		defer cancel()
 	}
 
+	if *ffReport {
+		if *scenarioArg != "" {
+			return fmt.Errorf("-ff-report prints a single run's fast-forward report; it applies to the classic flags, not -scenario")
+		}
+		if *engineName != "hybrid" {
+			return fmt.Errorf("-ff-report prints the hybrid engine's fast-forward report; it needs -engine hybrid, got %q", *engineName)
+		}
+	}
 	if *scenarioArg != "" {
 		s, err := resolveScenario(*scenarioArg)
 		if err != nil {
@@ -186,6 +196,15 @@ func run(args []string) error {
 	}
 	if res.Messages > 0 {
 		fmt.Printf("messages exchanged: %d (%d bits/message payload)\n", res.Messages, res.BitsPerMessage)
+	}
+	if *ffReport && res.FastForward != nil {
+		ff := res.FastForward
+		fmt.Printf("fast-forward: exact %d rounds, skipped %d rounds in %d stretches, max envelope %.3g\n",
+			ff.ExactRounds, ff.SkippedRounds, len(ff.Stretches), ff.MaxEnvelope)
+		for _, st := range ff.Stretches {
+			fmt.Printf("  stretch at round %8d: %8d rounds, exit envelope %.3g\n",
+				st.StartRound, st.Rounds, st.ExitEnvelope)
+		}
 	}
 	return nil
 }
@@ -328,7 +347,7 @@ func scenarioFromFlags(f flagScenario) (*scenario.Scenario, error) {
 		s.Rule.Beta = scenario.Num(f.beta)
 	}
 	switch f.engine {
-	case "batch", "agents", "cluster":
+	case "batch", "agents", "cluster", "hybrid":
 		s.Engine = f.engine
 	case "graph":
 		topo := &scenario.TopologySpec{Name: f.topology}

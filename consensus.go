@@ -10,8 +10,9 @@
 //     2-Median and the Undecided-State Dynamics;
 //   - the Runner: one composable, context-aware entry point that executes
 //     any rule on any engine (exact batch law, per-node agents, arbitrary
-//     graph topology, goroutine message-passing cluster) with replica
-//     fan-out, all configured through functional options;
+//     graph topology, goroutine message-passing cluster, certified
+//     analytic fast-forward) with replica fan-out, all configured through
+//     functional options;
 //   - the paper's anonymous-consensus-process comparison framework:
 //     protocol dominance (Definition 2) and the stochastic-majorization
 //     footprint of the 1-step coupling (Lemma 1);
@@ -114,6 +115,25 @@ const (
 	// EngineCluster runs real message passing on the deterministic
 	// discrete-event network engine (see WithNetwork).
 	EngineCluster = sim.EngineCluster
+	// EngineHybrid runs the batch law with certified analytic fast-forward
+	// (see WithFastForward): far from decision boundaries it advances the
+	// count vector many rounds at once along the mean-field map under a
+	// rigorous concentration envelope, reaching n = 10⁸–10⁹ in
+	// milliseconds.
+	EngineHybrid = sim.EngineHybrid
+)
+
+// Hybrid-engine fast-forward types (DESIGN.md §8).
+type (
+	// FastForward tunes the hybrid engine's certified fast-forward; the
+	// zero value of every field selects its default.
+	FastForward = sim.FastForward
+	// FastForwardReport summarizes a hybrid run's fast-forward activity
+	// (Result.FastForward): exact vs skipped rounds, taken stretches and
+	// the widest certified envelope.
+	FastForwardReport = sim.FastForwardReport
+	// FFStretch describes one taken fast-forward stretch.
+	FFStretch = sim.FFStretch
 )
 
 // Network modeling (cluster engine).
@@ -251,6 +271,10 @@ var (
 	// engine under a network model (implies EngineCluster): latency,
 	// loss with pull retry, scheduled partitions.
 	WithNetwork = sim.WithNetwork
+	// WithFastForward tunes the hybrid engine's certified fast-forward
+	// and implies EngineHybrid; WithFastForward(FastForward{}) selects
+	// the engine with default tuning.
+	WithFastForward = sim.WithFastForward
 	// WithAdversary runs the §5 fault-tolerance regime on any engine:
 	// per-round corruption, almost-consensus threshold ⌈(1-ε)·n⌉ and a
 	// stability window.

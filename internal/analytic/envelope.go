@@ -1,0 +1,127 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+)
+
+// Certified fast-forward support: the quantities the hybrid engine needs
+// to replace a stretch of exact multinomial rounds by iterates of the
+// mean-field map x_{t+1} = α(x_t) with a rigorous error envelope.
+//
+// One exact AC-round sends the count vector c to Mult(n, α(c/n)), so the
+// realized fraction vector deviates from its mean α(x) by at most ε per
+// coordinate except with probability δ (Hoeffding on each binomial
+// marginal, union bound over the k live colors): that is
+// MultinomialStepNoise. Deviations accumulated over a stretch compose
+// through the map's expansion: if z_s tracks the true (stochastic)
+// trajectory and x_s the mean-field one, then
+//
+//	‖z_{s+1} − x_{s+1}‖₁ ≤ L·‖z_s − x_s‖₁ + k·ε
+//
+// where L bounds the L1→L1 Lipschitz constant of α on the segment
+// between the two points (ComposeEnvelope). The per-rule bounds live
+// here too: the identity map (Voter) has L = 1 exactly; the plurality-
+// of-h sampling map has L ≤ h by total-variation coupling (changing the
+// sampling distribution from x to y moves each of the h i.i.d. samples
+// by at most dTV(x, y), the plurality winner is a function of the sample
+// vector, and Σ_i |P_x(win=i) − P_y(win=i)| = 2·dTV(win) ≤ 2h·dTV(x, y)
+// = h·‖x−y‖₁); for the Eq. 2 map the induced-L1 Jacobian norm gives the
+// sharper local bound ThreeMajorityLipschitz.
+
+// MultinomialStepNoise returns the per-coordinate deviation ε of one
+// exact multinomial round around its mean: for c' ~ Mult(n, α),
+// P(∃i: |c'_i/n − α_i| > ε) ≤ δ with ε = sqrt(ln(2k/δ) / (2n)), by
+// Hoeffding per coordinate and a union bound over the k live colors.
+// The bound never undercovers (the envelope coverage test pins this
+// empirically); it is loose for small-mean coordinates, which only makes
+// the fast-forward more conservative.
+func MultinomialStepNoise(n, k int, delta float64) (float64, error) {
+	if n < 1 {
+		return 0, errors.New("analytic: step noise needs n >= 1")
+	}
+	if k < 1 {
+		return 0, errors.New("analytic: step noise needs k >= 1")
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, errors.New("analytic: step noise needs delta in (0, 1)")
+	}
+	return math.Sqrt(math.Log(2*float64(k)/delta) / (2 * float64(n))), nil
+}
+
+// ComposeEnvelope advances the certified L1 deviation envelope by one
+// fast-forwarded round: the carried deviation expands through the map's
+// local Lipschitz bound and the skipped exact step would have added one
+// round of fresh sampling noise (k·ε in L1 for per-coordinate noise ε
+// over k live colors, passed pre-multiplied as stepNoise).
+//
+//consensus:hotpath
+func ComposeEnvelope(e, lipschitz, stepNoise float64) float64 {
+	return lipschitz*e + stepNoise
+}
+
+// HMajorityLipschitz returns the global L1→L1 Lipschitz bound of the
+// plurality-of-h mean-field map on the simplex: h, by the coupling
+// argument above. h = 1 and h = 2 collapse to Voter (identity), so the
+// bound is 1 there.
+func HMajorityLipschitz(h int) float64 {
+	if h <= 2 {
+		return 1
+	}
+	return float64(h)
+}
+
+// ThreeMajorityLipschitz returns an upper bound on the L1→L1 Lipschitz
+// constant of the Eq. 2 map α_i(x) = x_i(1 + x_i − ‖x‖₂²), valid on the
+// intersection of the simplex with the L1 ball of the given radius
+// around x. The induced L1 operator norm of the Jacobian is the largest
+// column absolute sum; column j sums to
+//
+//	(1 + 2x_j − ‖x‖₂² − 2x_j²) + 2x_j(1 − x_j)
+//
+// (the diagonal term is nonnegative on the simplex), and each factor is
+// maximized independently over the ball: x_j up by the radius, ‖x‖₂²
+// down by twice the radius (coordinates are ≤ 1). The result is capped
+// at HMajorityLipschitz(3) = 3, the global coupling bound.
+//
+//consensus:hotpath
+func ThreeMajorityLipschitz(x []float64, radius float64) float64 {
+	if radius < 0 {
+		radius = 0
+	}
+	l2 := 0.0
+	for _, v := range x {
+		l2 += v * v
+	}
+	l2lo := l2 - 2*radius
+	if l2lo < 0 {
+		l2lo = 0
+	}
+	best := 0.0
+	for _, v := range x {
+		hi := v + radius
+		if hi > 1 {
+			hi = 1
+		}
+		lo := v - radius
+		if lo < 0 {
+			lo = 0
+		}
+		diag := 1 + 2*hi - l2lo - 2*lo*lo
+		// 2q(1−q) over q ∈ [lo, hi] peaks at q = 1/2.
+		q := hi
+		if lo <= 0.5 && 0.5 <= hi {
+			q = 0.5
+		} else if lo > 0.5 {
+			q = lo
+		}
+		col := diag + 2*q*(1-q)
+		if col > best {
+			best = col
+		}
+	}
+	if best > 3 {
+		return 3
+	}
+	return best
+}

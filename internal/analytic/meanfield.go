@@ -11,10 +11,50 @@ import "errors"
 // does all the symmetry-breaking work and why 2-Choices, sharing the same
 // expectation, can still be slow (§1.2).
 
+// MeanFieldStepper iterates x_{t+1} = alpha(x_t) in place over two
+// reusable buffers: one Step is two O(k) buffer touches and zero
+// steady-state allocations, where the one-shot trajectory helpers used
+// to allocate and copy a fresh vector per round. The hybrid engine's
+// stretch planner and the trajectory helpers below both run on it.
+//
+// The zero value is ready to use; Reset before the first Step.
+type MeanFieldStepper struct {
+	cur, next []float64
+}
+
+// Reset points the stepper at x0, growing the buffers if needed.
+func (s *MeanFieldStepper) Reset(x0 []float64) {
+	s.cur = append(s.cur[:0], x0...)
+	if cap(s.next) < len(x0) {
+		s.next = make([]float64, len(x0))
+	}
+	s.next = s.next[:len(x0)]
+}
+
+// X returns the current point. It is a live view into the stepper's
+// buffer: valid until the next Step or Reset, do not retain.
+func (s *MeanFieldStepper) X() []float64 { return s.cur }
+
+// Step advances one round through alpha (the process-function
+// convention: write α(x) into out and return it). It reports false —
+// leaving the point unchanged — when alpha returns a slice of a
+// different length.
+//
+//consensus:hotpath
+func (s *MeanFieldStepper) Step(alpha func(x, out []float64) []float64) bool {
+	next := alpha(s.cur, s.next)
+	if len(next) != len(s.cur) {
+		return false
+	}
+	s.cur, s.next = next, s.cur
+	return true
+}
+
 // MeanFieldTrajectory iterates x_{t+1} = alpha(x_t) for the given number
 // of rounds and returns the trajectory including x_0 (rounds+1 vectors).
 // alpha must map a probability vector to a probability vector of the same
-// length.
+// length. Only the retained trajectory copies allocate; the iteration
+// itself runs in place on a MeanFieldStepper.
 func MeanFieldTrajectory(alpha func(x, out []float64) []float64, x0 []float64, rounds int) ([][]float64, error) {
 	if alpha == nil {
 		return nil, errors.New("analytic: nil process function")
@@ -22,16 +62,15 @@ func MeanFieldTrajectory(alpha func(x, out []float64) []float64, x0 []float64, r
 	if rounds < 0 {
 		return nil, errors.New("analytic: negative round count")
 	}
+	var st MeanFieldStepper
+	st.Reset(x0)
 	traj := make([][]float64, 0, rounds+1)
-	cur := append([]float64(nil), x0...)
-	traj = append(traj, append([]float64(nil), cur...))
+	traj = append(traj, append([]float64(nil), x0...))
 	for t := 0; t < rounds; t++ {
-		next := alpha(cur, nil)
-		if len(next) != len(cur) {
+		if !st.Step(alpha) {
 			return nil, errors.New("analytic: process function changed dimension")
 		}
-		cur = next
-		traj = append(traj, append([]float64(nil), cur...))
+		traj = append(traj, append([]float64(nil), st.X()...))
 	}
 	return traj, nil
 }
@@ -51,10 +90,11 @@ func MeanFieldRoundsToDominance(x0 []float64, threshold float64, maxRounds int) 
 	if threshold <= 0 || threshold > 1 {
 		return 0, errors.New("analytic: threshold must be in (0, 1]")
 	}
-	cur := append([]float64(nil), x0...)
+	var st MeanFieldStepper
+	st.Reset(x0)
 	for t := 0; t <= maxRounds; t++ {
 		maxX := 0.0
-		for _, v := range cur {
+		for _, v := range st.X() {
 			if v > maxX {
 				maxX = v
 			}
@@ -62,7 +102,7 @@ func MeanFieldRoundsToDominance(x0 []float64, threshold float64, maxRounds int) 
 		if maxX >= threshold {
 			return t, nil
 		}
-		cur = ThreeMajorityAlpha(cur, nil)
+		st.Step(ThreeMajorityAlpha)
 	}
 	return -1, nil
 }

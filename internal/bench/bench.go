@@ -36,6 +36,11 @@ type Point struct {
 	// SpeedupVsP1 is the round-throughput ratio against the parallel=1
 	// point of the same (engine, rule, n, k); 0 when no such point exists.
 	SpeedupVsP1 float64 `json:"speedup_vs_p1,omitempty"`
+	// RunNs is the average wall-clock nanoseconds per complete run
+	// (start configuration to consensus or budget). The hybrid-engine
+	// acceptance pin lives here: the n = 10⁹ h-Majority cell must
+	// complete a full run under 1e9 ns (TestPR8PinsBillionNodeHybridCell).
+	RunNs float64 `json:"run_ns,omitempty"`
 }
 
 // Report is the schema of BENCH_PR<i>.json.
@@ -98,6 +103,7 @@ func plan(scale string, maxParallel int) ([]workload, error) {
 		w = []workload{
 			{consensus.EngineBatch, "3-majority", 100_000, 8, []int{1}, 400},
 			{consensus.EngineBatch, "5-majority", 100_000, 8, []int{1}, 400},
+			{consensus.EngineHybrid, "5-majority", 100_000, 2, []int{1}, 200},
 			{consensus.EngineAgents, "3-majority", 10_000, 8, caps([]int{1, 2, 4}), 60},
 			{consensus.EngineGraph, "3-majority", 10_000, 8, caps([]int{1}), 60},
 			{consensus.EngineCluster, "3-majority", 10_000, 8, caps([]int{1}), 60},
@@ -106,6 +112,8 @@ func plan(scale string, maxParallel int) ([]workload, error) {
 		w = []workload{
 			{consensus.EngineBatch, "3-majority", 1_000_000, 8, []int{1}, 400},
 			{consensus.EngineBatch, "5-majority", 1_000_000, 8, []int{1}, 400},
+			{consensus.EngineHybrid, "5-majority", 1_000_000, 2, []int{1}, 200},
+			{consensus.EngineHybrid, "5-majority", 100_000_000, 2, []int{1}, 100},
 			{consensus.EngineAgents, "3-majority", 10_000, 8, caps(sweep), 200},
 			{consensus.EngineAgents, "3-majority", 100_000, 8, caps(sweep), 60},
 			{consensus.EngineGraph, "3-majority", 100_000, 8, caps(sweep), 60},
@@ -119,6 +127,15 @@ func plan(scale string, maxParallel int) ([]workload, error) {
 			// ns/round within 2× of each other is the n-independence pin.
 			{consensus.EngineBatch, "5-majority", 100_000, 8, []int{1}, 400},
 			{consensus.EngineBatch, "5-majority", 1_000_000, 8, []int{1}, 400},
+			// The hybrid engine in its biased two-color regime (certified
+			// stretches engage): the 1e5 cell matches the smoke gate, and
+			// the n = 10⁸ / 10⁹ cells record the acceptance points — a full
+			// h-Majority run at n = 10⁹ must complete in under a second
+			// (run_ns < 1e9, pinned by TestPR8PinsBillionNodeHybridCell).
+			{consensus.EngineHybrid, "5-majority", 100_000, 2, []int{1}, 200},
+			{consensus.EngineHybrid, "5-majority", 1_000_000, 2, []int{1}, 200},
+			{consensus.EngineHybrid, "5-majority", 100_000_000, 2, []int{1}, 100},
+			{consensus.EngineHybrid, "5-majority", 1_000_000_000, 2, []int{1}, 100},
 			{consensus.EngineAgents, "3-majority", 10_000, 8, caps(sweep), 400},
 			{consensus.EngineAgents, "3-majority", 100_000, 8, caps(sweep), 120},
 			{consensus.EngineAgents, "3-majority", 1_000_000, 8, caps(sweep), 30},
@@ -184,8 +201,14 @@ func Run(scale string, seed uint64, maxParallel int, progress func(string)) (*Re
 
 // measure times one cell: seeded runs of the workload's rule from a
 // balanced start, repeated until wl.minRounds rounds have accumulated.
+// Hybrid cells run from the biased regime instead (leader head start of
+// n/10): that is where certified stretches engage, and the regime the
+// e13 acceptance scenario checks for distributional equivalence.
 func measure(wl workload, parallel int, seed uint64) (Point, error) {
 	start := consensus.BalancedConfig(wl.n, wl.k)
+	if wl.engine == consensus.EngineHybrid {
+		start = consensus.BiasedConfig(wl.n, wl.k, wl.n/10)
+	}
 	factory, ok := ruleFactories[wl.rule]
 	if !ok {
 		return Point{}, fmt.Errorf("bench: unknown rule %q", wl.rule)
@@ -193,6 +216,7 @@ func measure(wl workload, parallel int, seed uint64) (Point, error) {
 
 	var (
 		rounds  int
+		runs    int
 		elapsed time.Duration
 		mallocs uint64
 		bytes   uint64
@@ -229,6 +253,7 @@ func measure(wl workload, parallel int, seed uint64) (Point, error) {
 			continue
 		}
 		rounds += res.Rounds
+		runs++
 		elapsed += d
 		mallocs += m1.Mallocs - m0.Mallocs
 		bytes += m1.TotalAlloc - m0.TotalAlloc
@@ -246,5 +271,6 @@ func measure(wl workload, parallel int, seed uint64) (Point, error) {
 		NsPerRound:     float64(elapsed.Nanoseconds()) / float64(rounds),
 		AllocsPerRound: float64(mallocs) / float64(rounds),
 		BytesPerRound:  float64(bytes) / float64(rounds),
+		RunNs:          float64(elapsed.Nanoseconds()) / float64(runs),
 	}, nil
 }

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestPR8PinsBillionNodeHybridCell pins the hybrid engine's acceptance
+// point: the checked-in BENCH_PR8.json must carry an n = 10⁹ h-Majority
+// cell whose complete run — start configuration to consensus — finished
+// in under one second of wall clock. The certified fast-forward is what
+// makes that possible; if a change makes the planner stop engaging, the
+// run falls back to exact rounds and this cell blows past the budget the
+// next time the report is recorded.
+func TestPR8PinsBillionNodeHybridCell(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_PR8.json")
+	if err != nil {
+		t.Fatalf("BENCH_PR8.json must be checked in at the repo root: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_PR8.json does not parse: %v", err)
+	}
+	if rep.Scale != "full" {
+		t.Errorf("BENCH_PR8.json records scale %q, want the full acceptance sweep", rep.Scale)
+	}
+	found := false
+	for _, pt := range rep.Points {
+		if pt.Engine != "hybrid" || pt.N != 1_000_000_000 {
+			continue
+		}
+		found = true
+		if pt.RunNs <= 0 {
+			t.Errorf("hybrid %s n=1e9 cell has no run_ns", pt.Rule)
+		} else if pt.RunNs >= 1e9 {
+			t.Errorf("hybrid %s n=1e9 full run took %.3fs, acceptance budget is < 1s", pt.Rule, pt.RunNs/1e9)
+		}
+	}
+	if !found {
+		t.Fatal("BENCH_PR8.json has no hybrid n=1e9 cell")
+	}
+}

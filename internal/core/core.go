@@ -53,6 +53,35 @@ type ACProcess interface {
 	Alpha(c *config.Config, out []float64) []float64
 }
 
+// MeanFielder is implemented by rules whose expectation dynamics — the
+// mean-field map x_{t+1} = α(x_t) of Eq. 1/Eq. 2 — are available in
+// evaluable form together with a certified Lipschitz bound. The hybrid
+// engine's certified fast-forward is built on this contract: it iterates
+// the map instead of sampling rounds and composes the sampling noise of
+// each skipped round through the Lipschitz expansion (internal/analytic,
+// DESIGN.md §8). Implementations may use receiver scratch and follow the
+// same not-concurrency-safe contract as Step.
+type MeanFielder interface {
+	Rule
+	// MeanFieldStep writes α(x) into out (len(out) == len(x); x is a
+	// probability vector over slots) and reports whether the map is
+	// evaluable at this support size — h-Majority's enumerated map is
+	// bounded by rules.StepEnumerationMaxTerms.
+	MeanFieldStep(x, out []float64) bool
+	// MeanFieldLipschitz returns an upper bound on the L1→L1 Lipschitz
+	// constant of the map, valid on the intersection of the simplex with
+	// the L1 ball of the given radius around x.
+	MeanFieldLipschitz(x []float64, radius float64) float64
+	// MeanFieldExact reports whether one exact round of the rule is
+	// Mult(n, α(x)) — the AC one-step law (Definition 1) the
+	// fast-forward's exit resample draws from. 2-Choices shares the
+	// Eq. 2 map in expectation (footnote 2) but its one-round law is not
+	// multinomial (§2.2), so it reports false and the hybrid engine
+	// never fast-forwards it: exposing its map here serves trajectory
+	// analysis only.
+	MeanFieldExact() bool
+}
+
 // Factory creates fresh rule instances. Replica runners use it so each
 // goroutine owns its rule's scratch space.
 type Factory func() Rule

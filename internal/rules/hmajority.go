@@ -53,6 +53,7 @@ const StepEnumerationMaxTerms = 100_000
 
 var _ core.Rule = (*HMajority)(nil)
 var _ core.NodeRule = (*HMajority)(nil)
+var _ core.MeanFielder = (*HMajority)(nil)
 
 // NewHMajority returns an h-Majority rule. It panics for h < 1
 // (programmer error).
@@ -116,6 +117,38 @@ func (m *HMajority) stepPerNode(c *config.Config, r *rng.RNG) {
 	}
 	copy(counts, m.next)
 }
+
+// MeanFieldStep implements core.MeanFielder: the plurality-of-h map by
+// exact enumeration, evaluable while the live support stays within the
+// per-round term bound (StepEnumerationMaxTerms — the same cutoff as the
+// count-based Step, so wherever the exact law is affordable the
+// mean-field map is too).
+func (m *HMajority) MeanFieldStep(x, out []float64) bool {
+	live := 0
+	for _, v := range x {
+		if v > 0 {
+			live++
+		}
+	}
+	if analytic.HMajorityTerms(m.h, live, StepEnumerationMaxTerms) == 0 {
+		return false
+	}
+	return m.enum.Alpha(x, m.h, out) == nil
+}
+
+// MeanFieldLipschitz implements core.MeanFielder: the h = 3 map is
+// exactly Eq. 2 with its sharper local bound; otherwise the global
+// coupling bound h.
+func (m *HMajority) MeanFieldLipschitz(x []float64, radius float64) float64 {
+	if m.h == 3 {
+		return analytic.ThreeMajorityLipschitz(x, radius)
+	}
+	return analytic.HMajorityLipschitz(m.h)
+}
+
+// MeanFieldExact implements core.MeanFielder: h-Majority is an
+// AC-process, one round is Mult(n, α(x)).
+func (m *HMajority) MeanFieldExact() bool { return true }
 
 // Samples implements core.NodeRule.
 func (m *HMajority) Samples() int { return m.h }

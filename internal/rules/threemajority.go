@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"github.com/ignorecomply/consensus/internal/analytic"
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/core"
 	"github.com/ignorecomply/consensus/internal/rng"
@@ -19,8 +20,9 @@ type ThreeMajority struct {
 }
 
 var (
-	_ core.ACProcess = (*ThreeMajority)(nil)
-	_ core.NodeRule  = (*ThreeMajority)(nil)
+	_ core.ACProcess   = (*ThreeMajority)(nil)
+	_ core.NodeRule    = (*ThreeMajority)(nil)
+	_ core.MeanFielder = (*ThreeMajority)(nil)
 )
 
 // NewThreeMajority returns a 3-Majority rule.
@@ -50,6 +52,22 @@ func (m *ThreeMajority) Step(c *config.Config, r *rng.RNG) {
 	m.Alpha(c, m.alpha)
 	core.ACStep(c, r, m.alpha)
 }
+
+// MeanFieldStep implements core.MeanFielder: the Eq. 2 map.
+func (m *ThreeMajority) MeanFieldStep(x, out []float64) bool {
+	analytic.ThreeMajorityAlpha(x, out)
+	return true
+}
+
+// MeanFieldLipschitz implements core.MeanFielder via the local
+// induced-L1 Jacobian bound of the Eq. 2 map.
+func (m *ThreeMajority) MeanFieldLipschitz(x []float64, radius float64) float64 {
+	return analytic.ThreeMajorityLipschitz(x, radius)
+}
+
+// MeanFieldExact implements core.MeanFielder: 3-Majority is an
+// AC-process, one round is Mult(n, α(x)).
+func (m *ThreeMajority) MeanFieldExact() bool { return true }
 
 // Samples implements core.NodeRule.
 func (m *ThreeMajority) Samples() int { return 3 }

@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"github.com/ignorecomply/consensus/internal/analytic"
 	"github.com/ignorecomply/consensus/internal/config"
 	"github.com/ignorecomply/consensus/internal/core"
 	"github.com/ignorecomply/consensus/internal/rng"
@@ -30,6 +31,7 @@ type TwoChoices struct {
 
 var _ core.Rule = (*TwoChoices)(nil)
 var _ core.NodeRule = (*TwoChoices)(nil)
+var _ core.MeanFielder = (*TwoChoices)(nil)
 
 // NewTwoChoices returns a 2-Choices rule.
 func NewTwoChoices() *TwoChoices { return &TwoChoices{} }
@@ -72,6 +74,28 @@ func (t *TwoChoices) Step(c *config.Config, r *rng.RNG) {
 		counts[i] = t.keepers[i] + t.switchers[i]
 	}
 }
+
+// MeanFieldStep implements core.MeanFielder: in expectation 2-Choices
+// and 3-Majority agree (footnote 2), so the map is the shared expected
+// next-fraction expression — algebraically Eq. 2.
+func (t *TwoChoices) MeanFieldStep(x, out []float64) bool {
+	analytic.ExpectedNextFraction(x, out)
+	return true
+}
+
+// MeanFieldLipschitz implements core.MeanFielder: same map as Eq. 2,
+// same bound.
+func (t *TwoChoices) MeanFieldLipschitz(x []float64, radius float64) float64 {
+	return analytic.ThreeMajorityLipschitz(x, radius)
+}
+
+// MeanFieldExact implements core.MeanFielder: false — the one-round law
+// is keeper/switcher, not Mult(n, α(x)) (2-Choices is not an
+// AC-process, §2.2), so the hybrid engine never fast-forwards it. The
+// map is exposed for trajectory analysis only; this is deliberate and
+// mirrors the paper's point that 2-Choices' behavior near ties is not
+// captured by its expectation dynamics.
+func (t *TwoChoices) MeanFieldExact() bool { return false }
 
 // Samples implements core.NodeRule.
 func (t *TwoChoices) Samples() int { return 2 }

@@ -23,8 +23,9 @@ type Voter struct {
 }
 
 var (
-	_ core.ACProcess = (*Voter)(nil)
-	_ core.NodeRule  = (*Voter)(nil)
+	_ core.ACProcess   = (*Voter)(nil)
+	_ core.NodeRule    = (*Voter)(nil)
+	_ core.MeanFielder = (*Voter)(nil)
 )
 
 // NewVoter returns a Voter rule.
@@ -46,6 +47,23 @@ func (v *Voter) Step(c *config.Config, r *rng.RNG) {
 	c.Fractions(v.alpha)
 	core.ACStep(c, r, v.alpha)
 }
+
+// MeanFieldStep implements core.MeanFielder: the Voter map is the
+// identity (Eq. 1) — expectation dynamics never move, consensus is pure
+// finite-n noise, so the hybrid engine's drift criterion keeps Voter on
+// exact sampling every round.
+func (v *Voter) MeanFieldStep(x, out []float64) bool {
+	copy(out, x)
+	return true
+}
+
+// MeanFieldLipschitz implements core.MeanFielder: the identity map has
+// Lipschitz constant exactly 1.
+func (v *Voter) MeanFieldLipschitz([]float64, float64) float64 { return 1 }
+
+// MeanFieldExact implements core.MeanFielder: one Voter round is
+// Mult(n, x).
+func (v *Voter) MeanFieldExact() bool { return true }
 
 // Samples implements core.NodeRule.
 func (v *Voter) Samples() int { return 1 }

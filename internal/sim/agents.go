@@ -281,5 +281,8 @@ func runAgents(rule core.NodeRule, factory core.Factory, start *config.Config, r
 		return nil, err
 	}
 	defer st.close()
-	return runLoop(st.c, r, o, st.step, func() *config.Config { return st.c }, func() []int { return st.nodes })
+	return runLoop(st.c, r, o, func(round int) int {
+		st.step(round)
+		return 1
+	}, func() *config.Config { return st.c }, func() []int { return st.nodes })
 }

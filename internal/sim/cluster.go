@@ -64,7 +64,7 @@ func runCluster(factory func() (core.NodeRule, error), start *config.Config, r *
 	defer sys.Close()
 
 	res, err := runLoop(sys.Config(), r, o,
-		func(int) { sys.Step() },
+		func(int) int { sys.Step(); return 1 },
 		sys.Config,
 		sys.Colors)
 	if err != nil {

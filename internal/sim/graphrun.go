@@ -195,7 +195,10 @@ func runGraph(rule core.NodeRule, factory core.Factory, g graph.Graph, colors []
 		return nil, err
 	}
 	defer st.close()
-	return runLoop(c, r, o, st.step, func() *config.Config { return c }, func() []int { return st.nodes })
+	return runLoop(c, r, o, func(round int) int {
+		st.step(round)
+		return 1
+	}, func() *config.Config { return c }, func() []int { return st.nodes })
 }
 
 // graphStartColors expands a configuration into per-vertex colors in slot

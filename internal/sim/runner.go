@@ -35,6 +35,15 @@ const (
 	// loss, partitions; zero-latency lockstep by default), with exact
 	// message accounting.
 	EngineCluster
+	// EngineHybrid runs the batch law with certified analytic
+	// fast-forward: far from decision boundaries it advances the count
+	// vector many rounds at once along the mean-field map x_{t+1} = α(x_t)
+	// under a rigorous concentration envelope, handing back to exact
+	// sampling near ties, extinctions, stop predicates and adversaries
+	// (WithFastForward, DESIGN.md §8). Result.Rounds counts the virtual
+	// (skipped) rounds; runs are bit-exact for a fixed seed like every
+	// other engine.
+	EngineHybrid
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +57,8 @@ func (e Engine) String() string {
 		return "graph"
 	case EngineCluster:
 		return "cluster"
+	case EngineHybrid:
+		return "hybrid"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -232,6 +243,8 @@ func (rn *Runner) runOnce(start *config.Config, r *rng.RNG, o options) (*Result,
 	switch o.engine {
 	case EngineBatch:
 		return runBatch(rule, start, r, o)
+	case EngineHybrid:
+		return runHybrid(rule, start, r, o)
 	case EngineAgents:
 		nodeRule, err := asNodeRule(rule, o.engine)
 		if err != nil {

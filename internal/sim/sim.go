@@ -84,6 +84,12 @@ type Result struct {
 	// Stable reports whether, from AlmostConsensusRound on, the same color
 	// kept almost-consensus support for the required window.
 	Stable bool
+
+	// FastForward summarizes the certified fast-forward activity of a
+	// hybrid-engine run (nil on every other engine): rounds skipped
+	// analytically, stretch count and envelope widths. For a fixed seed
+	// the report is bit-identical across runs and worker counts.
+	FastForward *FastForwardReport
 }
 
 type options struct {
@@ -111,6 +117,9 @@ type options struct {
 
 	behaviors     *behaviors
 	invalidLabels []int
+
+	ff    FastForward
+	ffSet bool
 
 	rng     *rng.RNG
 	seed    uint64
@@ -285,9 +294,21 @@ func buildOptions(opts []Option) (options, error) {
 	if o.parallel < 0 {
 		return o, errors.New("sim: parallelism must be >= 0 (0 = GOMAXPROCS)")
 	}
-	if o.engineSet && (o.engine < EngineBatch || o.engine > EngineCluster) {
+	if o.engineSet && (o.engine < EngineBatch || o.engine > EngineHybrid) {
 		return o, errors.New("sim: unknown engine")
 	}
+	if o.ffSet {
+		if err := o.ff.validate(); err != nil {
+			return o, err
+		}
+		if !o.engineSet {
+			o.engine = EngineHybrid
+			o.engineSet = true
+		} else if o.engine != EngineHybrid {
+			return o, errors.New("sim: WithFastForward requires the hybrid engine")
+		}
+	}
+	o.ff = o.ff.withDefaults()
 	if o.graph != nil {
 		if !o.engineSet {
 			o.engine = EngineGraph
@@ -371,17 +392,26 @@ func runBatch(rule core.Rule, start *config.Config, r *rng.RNG, o options) (*Res
 		return nil, errors.New("sim: node behaviors need the agents engine")
 	}
 	c := start.Clone()
-	return runLoop(c, r, o, func(round int) {
+	return runLoop(c, r, o, func(round int) int {
 		rule.Step(c, r)
+		return 1
 	}, func() *config.Config { return c }, nil)
 }
 
-// runLoop drives the shared round loop. step executes one round; current
-// returns the live configuration (which step may replace). nodes, when
-// non-nil, returns the live per-node slot assignment of the engine, so
-// that adversarial corruption of the aggregate counts can be reflected
-// onto concrete node states; nil means the engine is purely aggregate.
-func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int), current func() *config.Config, nodes func() []int) (*Result, error) {
+// runLoop drives the shared round loop. step executes the round it is
+// given — or, on the hybrid engine, a certified stretch of rounds
+// starting there — and returns how many rounds it advanced (>= 1; every
+// exact engine returns 1). Bookkeeping (color times, traces, observers,
+// stop predicates, adversarial corruption) runs at the last executed
+// round of each stride; the hybrid engine only strides past rounds whose
+// observables are certified not to change, and disables striding
+// entirely when an observer, stop predicate or adversary is attached.
+// current returns the live configuration (which step may replace).
+// nodes, when non-nil, returns the live per-node slot assignment of the
+// engine, so that adversarial corruption of the aggregate counts can be
+// reflected onto concrete node states; nil means the engine is purely
+// aggregate.
+func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int) int, current func() *config.Config, nodes func() []int) (*Result, error) {
 	if err := o.ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -473,7 +503,11 @@ func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int), curr
 		if err := o.ctx.Err(); err != nil {
 			return nil, err
 		}
-		step(round)
+		if stride := step(round); stride > 1 {
+			// step certified and executed rounds round..round+stride-1
+			// (never past the round budget); observe at the last one.
+			round += stride - 1
+		}
 		if o.adv != nil {
 			res.Corrupted += cor.apply(current(), nodes, o.adv, r)
 		}

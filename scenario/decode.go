@@ -90,8 +90,9 @@ func (s *Scenario) Validate() error {
 		// silently run a different experiment than the file describes.
 		if len(s.Runs) > 0 || s.Rule != nil || len(s.Sweep) > 0 || s.Replicas.IsSet() ||
 			len(s.Derived) > 0 || s.Engine != "" || s.Parallelism != nil || s.Topology != nil ||
+			s.FastForward != nil ||
 			s.Init != nil || len(s.Nodes) > 0 || s.Stop != nil || s.Adversary != nil || s.Metrics != nil {
-			return fail("kind", "%q scenarios are driven entirely by their adapter, which reads only params: drop runs/rule/sweep/replicas/derived/engine/parallelism/topology/init/nodes/stop/adversary/metrics", KindCustom)
+			return fail("kind", "%q scenarios are driven entirely by their adapter, which reads only params: drop runs/rule/sweep/replicas/derived/engine/parallelism/topology/fast_forward/init/nodes/stop/adversary/metrics", KindCustom)
 		}
 		if s.Reducer != "" {
 			return fail("reducer", "%q scenarios produce their table in the adapter; drop the reducer", KindCustom)
@@ -227,6 +228,14 @@ func (s *Scenario) Validate() error {
 				return fail(fmt.Sprintf("runs[%d]", i), "a network section implies the cluster engine; engine is %q", eff.Engine)
 			}
 		}
+		if eff.FastForward != nil {
+			if eff.Topology != nil || eff.Network != nil {
+				return fail(fmt.Sprintf("runs[%d]", i), "a fast_forward section implies the hybrid engine; drop the topology/network section")
+			}
+			if eff.Engine != "" && eff.Engine != "hybrid" {
+				return fail(fmt.Sprintf("runs[%d]", i), "a fast_forward section implies the hybrid engine; engine is %q", eff.Engine)
+			}
+		}
 	}
 	if s.Reducer != "" && !validName(s.Reducer) {
 		return fail("reducer", "reducer name %q must be a lowercase slug", s.Reducer)
@@ -259,9 +268,9 @@ func (s *Scenario) validateDefaults(d *RunDefaults, path string) error {
 		}
 	}
 	switch d.Engine {
-	case "", "batch", "agents", "graph", "cluster":
+	case "", "batch", "agents", "graph", "cluster", "hybrid":
 	default:
-		return fail("engine", "unknown engine %q (want batch, agents, graph or cluster)", d.Engine)
+		return fail("engine", "unknown engine %q (want batch, agents, graph, cluster or hybrid)", d.Engine)
 	}
 	// The graph-engine/topology pairing is checked on the *effective*
 	// groups (Validate), not per section: the topology may come from the
@@ -309,6 +318,20 @@ func (s *Scenario) validateDefaults(d *RunDefaults, path string) error {
 				if err := f.q.compile(ppath + "." + f.sub); err != nil {
 					return fmt.Errorf("scenario %q: %w", s.Name, err)
 				}
+			}
+		}
+	}
+	if d.FastForward != nil {
+		for _, f := range []quantityField{
+			{"fast_forward.min_stretch", &d.FastForward.MinStretch},
+			{"fast_forward.max_stretch", &d.FastForward.MaxStretch},
+			{"fast_forward.delta", &d.FastForward.Delta},
+			{"fast_forward.gap_factor", &d.FastForward.GapFactor},
+			{"fast_forward.drift_factor", &d.FastForward.DriftFactor},
+			{"fast_forward.extinction_floor", &d.FastForward.ExtinctionFloor},
+		} {
+			if err := f.q.compile(path + "." + f.sub); err != nil {
+				return fmt.Errorf("scenario %q: %w", s.Name, err)
 			}
 		}
 	}
@@ -445,6 +468,9 @@ func (s *Scenario) effectiveGroups() []RunGroup {
 		}
 		if eff.Network == nil {
 			eff.Network = s.Network
+		}
+		if eff.FastForward == nil {
+			eff.FastForward = s.FastForward
 		}
 		if eff.Init == nil && eff.Nodes == nil {
 			eff.Init = s.Init

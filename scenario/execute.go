@@ -21,6 +21,7 @@ const (
 	EngineAgents  = sim.EngineAgents
 	EngineGraph   = sim.EngineGraph
 	EngineCluster = sim.EngineCluster
+	EngineHybrid  = sim.EngineHybrid
 )
 
 // SuiteResult is an executed suite: every run's Result, grouped by sweep
@@ -235,6 +236,16 @@ func executeRun(ctx context.Context, spec *RunSpec, start *config.Config, g grap
 	}
 	if spec.Network != nil {
 		opts = append(opts, sim.WithNetwork(buildNetwork(spec.Network)))
+	}
+	if spec.FastForward != nil {
+		opts = append(opts, sim.WithFastForward(sim.FastForward{
+			MinStretch:      spec.FastForward.MinStretch,
+			MaxStretch:      spec.FastForward.MaxStretch,
+			Delta:           spec.FastForward.Delta,
+			GapFactor:       spec.FastForward.GapFactor,
+			DriftFactor:     spec.FastForward.DriftFactor,
+			ExtinctionFloor: spec.FastForward.ExtinctionFloor,
+		}))
 	}
 	if spec.StopWhen != nil {
 		pred, ok := lookupStopPredicate(spec.StopWhen.Name)
