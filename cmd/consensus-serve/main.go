@@ -1,0 +1,103 @@
+// Command consensus-serve runs the suite service: an HTTP daemon that
+// executes scenario suites on a bounded worker pool, deduplicates work
+// through a content-addressed result cache, and streams progress over
+// SSE. See DESIGN.md §9 and the README quickstart.
+//
+// Usage:
+//
+//	consensus-serve -addr :8080
+//
+// Submit a scenario, wait for the result, resubmit to hit the cache:
+//
+//	curl -s -X POST --data-binary @scenarios/e01_threemajority_upper.json \
+//	  'http://localhost:8080/jobs?scale=quick&seed=1&wait=1'
+//
+// On SIGINT/SIGTERM the daemon drains: new submissions get 503, queued
+// jobs are cancelled, running jobs get -drain-timeout to finish (after
+// which their contexts are cancelled — the engines observe that within a
+// round, mid-stretch included).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ignorecomply/consensus/internal/serve"
+
+	// Register the paper-experiment reducers, adapters and stop
+	// predicates so the daemon executes the same documents consensus-sim
+	// does.
+	_ "github.com/ignorecomply/consensus/internal/expt"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		jobs         = flag.Int("jobs", 2, "concurrent suite executions")
+		queue        = flag.Int("queue", 16, "queued-job bound (full queue answers 429 + Retry-After)")
+		suiteWorkers = flag.Int("suite-workers", 0, "per-suite replica worker pool (0 = GOMAXPROCS)")
+		cacheMB      = flag.Int64("cache-mb", 64, "result cache budget in MiB")
+		retryAfter   = flag.Int("retry-after", 2, "Retry-After seconds hinted on 429")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget for running jobs on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "consensus-serve: ", log.LstdFlags)
+	srv := serve.NewServer(serve.Config{
+		JobWorkers:        *jobs,
+		QueueDepth:        *queue,
+		SuiteWorkers:      *suiteWorkers,
+		CacheBytes:        *cacheMB << 20,
+		RetryAfterSeconds: *retryAfter,
+		Log:               logger,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (jobs=%d queue=%d cache=%dMiB)", *addr, *jobs, *queue, *cacheMB)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received; draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain forced: %v", err)
+	}
+	// Drain first (stops accepting work), then close the listener: SSE
+	// subscribers of finished jobs get their terminal events before the
+	// connections die.
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	logger.Printf("bye")
+}

@@ -30,7 +30,11 @@
 // are described as data and executed through the declarative scenario
 // layer (the scenario sibling package); the twelve paper experiments ship
 // as checked-in specs under scenarios/ and are reachable here through
-// Experiments and ExperimentByID.
+// Experiments and ExperimentByID. Because a suite's result is a pure
+// function of (canonical scenario, seed, scale) — scenario.Canonicalize
+// and scenario.Hash make that identity explicit — suites can also be
+// executed as a service: cmd/consensus-serve is an HTTP daemon with a
+// content-addressed result cache and streaming progress (DESIGN.md §9).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results; cmd/consensus-bench regenerates every table.

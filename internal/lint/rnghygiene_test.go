@@ -1,13 +1,28 @@
 package lint
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestRNGHygiene loads one checked engine package (every construct
-// flagged) and the three allowlisted shapes (facade, bench, command) in
-// the same run: the latter must stay diagnostic-free.
+// flagged) and the allowlisted shapes (facade, bench, command, service
+// daemon) in the same run: the latter must stay diagnostic-free.
 func TestRNGHygiene(t *testing.T) {
 	testAnalyzer(t, RNGHygieneAnalyzer,
-		"internal/sim", "internal/rng", "internal/bench", "cmd/tool")
+		"internal/sim", "internal/rng", "internal/bench", "cmd/tool",
+		"internal/serve")
+}
+
+// TestHygieneAllowlistStaysNarrow pins the wall-clock allowlist exactly:
+// widening it (say, to all of internal/) would quietly exempt engine
+// packages from the determinism contract, so any growth must be a
+// deliberate edit to this test too.
+func TestHygieneAllowlistStaysNarrow(t *testing.T) {
+	want := []string{"cmd", "examples", "internal/bench", "internal/serve"}
+	if !reflect.DeepEqual(hygieneAllowed, want) {
+		t.Fatalf("hygieneAllowed = %v, want exactly %v", hygieneAllowed, want)
+	}
 }
 
 func TestPathHasSegmentPrefix(t *testing.T) {

@@ -1,0 +1,17 @@
+// Package serve is the rnghygiene fixture for the service allowlist
+// entry: the HTTP daemon legitimately reads the wall clock (uptime
+// gauges, drain deadlines), so no diagnostics. Determinism of the suites
+// it executes is the scenario layer's concern, not the daemon's.
+package serve
+
+import "time"
+
+// Uptime reports how long the daemon has been running.
+func Uptime(started time.Time) time.Duration {
+	return time.Since(started)
+}
+
+// Deadline computes a drain deadline from now.
+func Deadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget)
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key content-addresses one suite result. The determinism contract makes
+// this exact: a suite's table and expect report are a pure function of
+// (spec, seed, scale) — worker counts and scheduling never matter — so
+// two submissions with equal keys are the same computation, byte for
+// byte. Hash is scenario.Hash (canonical-form SHA-256), which is what
+// lets the key survive cosmetic spec edits.
+type Key struct {
+	// Hash is the scenario's canonical hash (scenario.Hash).
+	Hash string
+	// Seed is the suite's base seed.
+	Seed uint64
+	// Scale is the resolved scale name ("quick" or "full").
+	Scale string
+}
+
+// Cache is a byte-budget LRU over marshaled result payloads. It stores
+// the exact bytes a completed execution produced, so a hit is
+// byte-identical to the response the original submission received.
+type Cache struct {
+	mu        sync.Mutex
+	maxBytes  int64
+	bytes     int64
+	ll        *list.List // front = most recently used
+	entries   map[Key]*list.Element
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  Key
+	data []byte
+}
+
+// NewCache returns a cache evicting least-recently-used entries once the
+// stored payload bytes exceed maxBytes. maxBytes <= 0 disables storage
+// entirely (every Put is dropped, every Get misses).
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the payload cached under k, marking it most recently used.
+// The returned slice is the cache's own storage: callers must treat it as
+// read-only.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put stores data under k, evicting least-recently-used entries until the
+// byte budget holds. A payload larger than the whole budget is not
+// stored. Re-putting an existing key replaces its payload.
+func (c *Cache) Put(k Key, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int64(len(data)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.entries[k]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += int64(len(data)) - int64(len(ent.data))
+		ent.data = data
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, data: data})
+		c.bytes += int64(len(data))
+	}
+	for c.bytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.entries, ent.key)
+		c.bytes -= int64(len(ent.data))
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the stored payload bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Evictions returns how many entries the byte budget has evicted.
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

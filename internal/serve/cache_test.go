@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func k(hash string, seed uint64, scale string) Key {
+	return Key{Hash: hash, Seed: seed, Scale: scale}
+}
+
+func TestCachePutGet(t *testing.T) {
+	c := NewCache(1 << 20)
+	key := k("aaaa", 1, "quick")
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(key, []byte("payload"))
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if c.Len() != 1 || c.Bytes() != int64(len("payload")) {
+		t.Fatalf("Len=%d Bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+// TestCacheKeyDiscrimination: differing seeds and scales are different
+// computations and must miss, even for the same scenario hash.
+func TestCacheKeyDiscrimination(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Put(k("aaaa", 1, "quick"), []byte("r1"))
+	for _, key := range []Key{
+		k("aaaa", 2, "quick"),
+		k("aaaa", 1, "full"),
+		k("bbbb", 1, "quick"),
+	} {
+		if _, ok := c.Get(key); ok {
+			t.Errorf("key %+v aliased a different computation", key)
+		}
+	}
+	if got, ok := c.Get(k("aaaa", 1, "quick")); !ok || string(got) != "r1" {
+		t.Fatalf("original key lost: %q, %v", got, ok)
+	}
+}
+
+// TestCacheByteBudgetEviction: the byte budget is respected by evicting
+// least-recently-used entries, and recently-touched entries survive.
+func TestCacheByteBudgetEviction(t *testing.T) {
+	c := NewCache(100)
+	payload := bytes.Repeat([]byte("x"), 40)
+	c.Put(k("a", 1, "quick"), payload)
+	c.Put(k("b", 1, "quick"), payload)
+	// Touch "a" so "b" is the LRU entry.
+	if _, ok := c.Get(k("a", 1, "quick")); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put(k("c", 1, "quick"), payload) // 120 bytes > 100: evicts "b"
+	if c.Bytes() > 100 {
+		t.Fatalf("budget violated: %d bytes stored", c.Bytes())
+	}
+	if _, ok := c.Get(k("b", 1, "quick")); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, h := range []string{"a", "c"} {
+		if _, ok := c.Get(k(h, 1, "quick")); !ok {
+			t.Fatalf("recently-used entry %s evicted", h)
+		}
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
+	}
+}
+
+// TestCacheOversizePayload: a payload larger than the whole budget is
+// dropped instead of flushing everything else.
+func TestCacheOversizePayload(t *testing.T) {
+	c := NewCache(100)
+	c.Put(k("a", 1, "quick"), bytes.Repeat([]byte("x"), 40))
+	c.Put(k("big", 1, "quick"), bytes.Repeat([]byte("y"), 101))
+	if _, ok := c.Get(k("big", 1, "quick")); ok {
+		t.Fatal("oversize payload stored")
+	}
+	if _, ok := c.Get(k("a", 1, "quick")); !ok {
+		t.Fatal("oversize put flushed existing entries")
+	}
+}
+
+// TestCacheReplace: re-putting a key replaces its payload and accounts
+// bytes correctly.
+func TestCacheReplace(t *testing.T) {
+	c := NewCache(1 << 10)
+	key := k("a", 1, "quick")
+	c.Put(key, []byte("short"))
+	c.Put(key, []byte("a longer payload"))
+	got, ok := c.Get(key)
+	if !ok || string(got) != "a longer payload" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if c.Len() != 1 || c.Bytes() != int64(len("a longer payload")) {
+		t.Fatalf("Len=%d Bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+// TestCacheZeroBudget: a non-positive budget disables storage.
+func TestCacheZeroBudget(t *testing.T) {
+	c := NewCache(0)
+	c.Put(k("a", 1, "quick"), []byte("x"))
+	if c.Len() != 0 {
+		t.Fatal("zero-budget cache stored an entry")
+	}
+}
+
+// TestCacheManyEvictions: filling well past the budget keeps the
+// accounting exact.
+func TestCacheManyEvictions(t *testing.T) {
+	c := NewCache(1000)
+	for i := 0; i < 100; i++ {
+		c.Put(k(fmt.Sprintf("h%03d", i), 1, "quick"), bytes.Repeat([]byte("z"), 100))
+	}
+	if c.Bytes() != 1000 || c.Len() != 10 {
+		t.Fatalf("Bytes=%d Len=%d, want 1000 and 10", c.Bytes(), c.Len())
+	}
+	if c.Evictions() != 90 {
+		t.Fatalf("evictions = %d, want 90", c.Evictions())
+	}
+	// The survivors are the 10 most recent.
+	for i := 90; i < 100; i++ {
+		if _, ok := c.Get(k(fmt.Sprintf("h%03d", i), 1, "quick")); !ok {
+			t.Fatalf("recent entry h%03d missing", i)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+
+	"github.com/ignorecomply/consensus/scenario"
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+const (
+	// StatusQueued: accepted, waiting for a worker.
+	StatusQueued JobStatus = "queued"
+	// StatusRunning: executing on a worker.
+	StatusRunning JobStatus = "running"
+	// StatusDone: executed (or served from cache); Result holds the
+	// payload. Expectation violations are still "done" — a deterministic
+	// suite that violates its expect blocks is a result, and a cacheable
+	// one.
+	StatusDone JobStatus = "done"
+	// StatusFailed: execution errored.
+	StatusFailed JobStatus = "failed"
+	// StatusCancelled: cancelled before completing.
+	StatusCancelled JobStatus = "cancelled"
+)
+
+// terminal reports whether the status is final.
+func (s JobStatus) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Event is one server-sent event: a name, a monotonically increasing
+// per-job id, and a pre-marshaled JSON payload.
+type Event struct {
+	ID   int
+	Name string
+	Data []byte
+}
+
+// Job is one submitted suite execution. The job id IS the cache key
+// (rendered), which is what collapses concurrent identical submissions
+// onto one execution: the jobs map can hold at most one live job per key.
+type Job struct {
+	// ID is the content-derived job id.
+	ID string
+	// Key is the result-cache key the job computes.
+	Key Key
+	// Scenario is the decoded spec.
+	Scenario *scenario.Scenario
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	status JobStatus
+	errMsg string
+	result []byte
+	// events is the replay buffer: a subscriber arriving at any point —
+	// including after completion — receives the full deterministic event
+	// sequence. maxEvents caps it; overflow drops progress events (the
+	// terminal event is always kept).
+	events    []Event
+	dropped   int
+	maxEvents int
+	nextID    int
+	subs      map[chan Event]struct{}
+	done      chan struct{}
+}
+
+func newJob(ctx context.Context, id string, key Key, s *scenario.Scenario, maxEvents int) *Job {
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		ID: id, Key: key, Scenario: s,
+		ctx: jctx, cancel: cancel,
+		status:    StatusQueued,
+		maxEvents: maxEvents,
+		subs:      make(map[chan Event]struct{}),
+		done:      make(chan struct{}),
+	}
+	j.publish("status", statusPayload{Status: StatusQueued})
+	return j
+}
+
+// statusPayload is the data of lifecycle ("status") events.
+type statusPayload struct {
+	Status JobStatus `json:"status"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// Status returns the job's current state and failure detail.
+func (j *Job) Status() (JobStatus, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.errMsg
+}
+
+// Result returns the terminal payload (done jobs only).
+func (j *Job) Result() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation: a queued job is skipped by the worker
+// pool; a running job observes its context (the engines poll it every
+// round, and mid-stretch in the hybrid planner).
+func (j *Job) Cancel() { j.cancel() }
+
+// publish appends an event to the replay buffer and fans it out to live
+// subscribers. Sends never block: a subscriber that cannot keep up (its
+// channel buffer is full) misses live events but can re-subscribe for the
+// replay.
+func (j *Job) publish(name string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(`{"error":"event marshal failed"}`)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.publishLocked(name, data)
+}
+
+func (j *Job) publishLocked(name string, data []byte) {
+	j.nextID++
+	ev := Event{ID: j.nextID, Name: name, Data: data}
+	if len(j.events) < j.maxEvents {
+		j.events = append(j.events, ev)
+	} else {
+		j.dropped++
+	}
+	// Every subscriber receives the same event; delivery order across
+	// subscribers is immaterial.
+	for ch := range j.subs { //lint:ordered
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// begin moves a queued job to running; false means the job was cancelled
+// while queued and must be skipped.
+func (j *Job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	if j.ctx.Err() != nil {
+		j.finishLocked(StatusCancelled, "cancelled while queued", nil)
+		return false
+	}
+	j.status = StatusRunning
+	data, _ := json.Marshal(statusPayload{Status: StatusRunning})
+	j.publishLocked("status", data)
+	return true
+}
+
+// finish moves the job to a terminal state, emits the terminal event
+// (named after the status; for done jobs its data is the full result
+// payload, expect report included), closes every subscriber and the done
+// channel.
+func (j *Job) finish(status JobStatus, errMsg string, result []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(status, errMsg, result)
+}
+
+func (j *Job) finishLocked(status JobStatus, errMsg string, result []byte) {
+	if j.status.terminal() {
+		return
+	}
+	j.status = status
+	j.errMsg = errMsg
+	j.result = result
+	var data []byte
+	if status == StatusDone {
+		data = result
+	} else {
+		data, _ = json.Marshal(statusPayload{Status: status, Error: errMsg})
+	}
+	j.publishLocked(string(status), data)
+	for ch := range j.subs {
+		close(ch)
+		delete(j.subs, ch)
+	}
+	close(j.done)
+	j.cancel()
+}
+
+// subscribe returns the replayable event prefix and a channel of live
+// events (closed at the terminal event). unsubscribe must be called when
+// the subscriber leaves; it is idempotent with the terminal close.
+func (j *Job) subscribe() (replay []Event, live <-chan Event, unsubscribe func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]Event(nil), j.events...)
+	if j.status.terminal() {
+		ch := make(chan Event)
+		close(ch)
+		return replay, ch, func() {}
+	}
+	ch := make(chan Event, j.maxEvents+8)
+	j.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics are the daemon's monotonic counters, exposed as
+// Prometheus-style text on GET /metrics (gauges — queue depth, cache
+// bytes — are read live from the server at render time).
+type Metrics struct {
+	// Submitted counts POST /jobs requests that resolved to a job or a
+	// cached result (everything but rejections and bad requests).
+	Submitted atomic.Uint64
+	// Rejected counts submissions refused with 429 (queue full).
+	Rejected atomic.Uint64
+	// CacheHits and CacheMisses count submissions served from /
+	// missing the result cache.
+	CacheHits   atomic.Uint64
+	CacheMisses atomic.Uint64
+	// Joined counts submissions collapsed onto an in-flight identical job
+	// (singleflight).
+	Joined atomic.Uint64
+	// Executed, Failed and Cancelled count terminal job outcomes.
+	Executed  atomic.Uint64
+	Failed    atomic.Uint64
+	Cancelled atomic.Uint64
+}
+
+// counter writes one metric in the Prometheus text exposition format.
+func counter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// gauge writes one gauge metric.
+func gauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// render writes every counter.
+func (m *Metrics) render(w io.Writer) {
+	counter(w, "consensus_serve_submitted_total", "submissions resolved to a job or cached result", m.Submitted.Load())
+	counter(w, "consensus_serve_rejected_total", "submissions refused with 429 (queue full)", m.Rejected.Load())
+	counter(w, "consensus_serve_cache_hits_total", "submissions served from the result cache", m.CacheHits.Load())
+	counter(w, "consensus_serve_cache_misses_total", "submissions not found in the result cache", m.CacheMisses.Load())
+	counter(w, "consensus_serve_joined_total", "submissions collapsed onto an in-flight identical job", m.Joined.Load())
+	counter(w, "consensus_serve_executed_total", "suite executions completed", m.Executed.Load())
+	counter(w, "consensus_serve_failed_total", "suite executions failed", m.Failed.Load())
+	counter(w, "consensus_serve_cancelled_total", "jobs cancelled", m.Cancelled.Load())
+}

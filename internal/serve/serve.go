@@ -1,0 +1,572 @@
+// Package serve implements consensus-serve: a long-running HTTP daemon
+// executing scenario suites with a content-addressed result cache, a
+// bounded job queue with backpressure, per-job cancellation, graceful
+// drain, and per-run progress streaming over SSE.
+//
+// The service is a thin front on the repo's determinism contract: a
+// suite's result is a pure function of (canonical scenario, seed, scale),
+// so results are cached by content — the cache key is
+// (scenario.Hash, seed, scale) — and two concurrent identical
+// submissions collapse onto one execution (the job id IS the rendered
+// key). See DESIGN.md §9 for the cache-key contract, the
+// queue/backpressure semantics and the streaming protocol.
+//
+// Endpoints:
+//
+//	POST /jobs?seed=S&scale=quick|full[&wait=1]  submit scenario JSON
+//	GET  /jobs/{id}                              job status + result
+//	GET  /jobs/{id}/stream                       SSE progress + result
+//	POST /jobs/{id}/cancel                       cancel a job
+//	GET  /metrics                                counters (Prometheus text)
+//	GET  /healthz                                liveness
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/ignorecomply/consensus/scenario"
+)
+
+// Config tunes a Server. Zero values select the defaults.
+type Config struct {
+	// JobWorkers is the number of concurrent suite executions (default 2).
+	JobWorkers int
+	// QueueDepth bounds the jobs accepted but not yet running; a full
+	// queue rejects submissions with 429 + Retry-After (default 16).
+	QueueDepth int
+	// SuiteWorkers bounds each suite's replica worker pool
+	// (scenario.Params.Workers; default 0 = GOMAXPROCS).
+	SuiteWorkers int
+	// CacheBytes is the result cache's byte budget (default 64 MiB).
+	CacheBytes int64
+	// RetryAfterSeconds is the Retry-After hint on 429 (default 2).
+	RetryAfterSeconds int
+	// MaxBodyBytes bounds a submitted scenario document (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxEvents caps each job's event replay buffer (default 4096).
+	MaxEvents int
+	// CompletedJobs bounds how many terminal jobs stay addressable via
+	// GET /jobs/{id} (default 256; results themselves live in the cache).
+	CompletedJobs int
+	// Log receives operational messages (default log.Default()).
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 2
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 4096
+	}
+	if c.CompletedJobs <= 0 {
+		c.CompletedJobs = 256
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// Server is the consensus-serve daemon. Create with NewServer; it
+// implements http.Handler.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *Cache
+	metrics *Metrics
+	started time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	workersWG  chan struct{} // one token per exited worker
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	doneRing []string // terminal job ids, oldest first
+	draining bool
+
+	// run executes one job and returns the marshaled result payload;
+	// tests substitute it to exercise queueing, caching and streaming
+	// without real suites.
+	run func(ctx context.Context, j *Job) ([]byte, error)
+}
+
+// NewServer builds a Server and starts its worker pool.
+func NewServer(cfg Config) *Server {
+	s := newServer(cfg)
+	s.start()
+	return s
+}
+
+// newServer builds a Server without starting the worker pool, so
+// same-package tests can substitute s.run first.
+func newServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		cache:      NewCache(cfg.CacheBytes),
+		metrics:    &Metrics{},
+		started:    time.Now(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		workersWG:  make(chan struct{}, cfg.JobWorkers),
+		jobs:       make(map[string]*Job),
+	}
+	s.run = s.executeSuite
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// start launches the worker pool.
+func (s *Server) start() {
+	for w := 0; w < s.cfg.JobWorkers; w++ {
+		go s.worker()
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// jobID renders a cache key as the job id: a 128-bit prefix of the
+// canonical hash plus the seed and scale, so ids are both content-derived
+// and human-scannable.
+func jobID(k Key) string {
+	return fmt.Sprintf("%s-%d-%s", k.Hash[:32], k.Seed, k.Scale)
+}
+
+// jobView is the job descriptor every endpoint renders. It carries no
+// timestamps and no execution provenance: a cache hit and the original
+// execution must serve byte-identical bodies (provenance travels in the
+// X-Cache header instead).
+type jobView struct {
+	ID     string          `json:"id"`
+	Status JobStatus       `json:"status"`
+	Hash   string          `json:"hash"`
+	Seed   uint64          `json:"seed"`
+	Scale  string          `json:"scale"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func viewOf(j *Job) jobView {
+	status, errMsg := j.Status()
+	return jobView{
+		ID: j.ID, Status: status,
+		Hash: j.Key.Hash, Seed: j.Key.Seed, Scale: j.Key.Scale,
+		Error: errMsg, Result: j.Result(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// handleSubmit accepts a scenario document, resolves it to a
+// content-addressed job, and answers from the cache, an in-flight
+// identical job, or a fresh enqueue — in that order. With wait=1 the
+// response blocks until the job is terminal.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	spec, err := scenario.DecodeBytes(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	seed := uint64(1)
+	if q := r.URL.Query().Get("seed"); q != "" {
+		seed, err = strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("seed: %v", err))
+			return
+		}
+	}
+	scale := scenario.Quick
+	if q := r.URL.Query().Get("scale"); q != "" {
+		scale, err = scenario.ParseScale(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	hash, err := scenario.Hash(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := Key{Hash: hash, Seed: seed, Scale: scale.String()}
+	id := jobID(key)
+	wait := r.URL.Query().Get("wait") != ""
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	// Cache first: the result exists, no job needed. A synthetic done job
+	// keeps /jobs/{id} and /stream answerable even when the original
+	// entry aged out of the ring.
+	if data, ok := s.cache.Get(key); ok {
+		j, exists := s.jobs[id]
+		if !exists || !isDone(j) {
+			j = newJob(s.baseCtx, id, key, spec, s.cfg.MaxEvents)
+			j.finish(StatusDone, "", data)
+			s.putJobLocked(j)
+		}
+		s.mu.Unlock()
+		s.metrics.Submitted.Add(1)
+		s.metrics.CacheHits.Add(1)
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Location", "/jobs/"+id)
+		writeJSON(w, http.StatusOK, viewOf(j))
+		return
+	}
+
+	// Singleflight: an identical submission is already queued or running —
+	// join it instead of executing twice.
+	if j, ok := s.jobs[id]; ok {
+		if status, _ := j.Status(); !status.terminal() {
+			s.mu.Unlock()
+			s.metrics.Submitted.Add(1)
+			s.metrics.Joined.Add(1)
+			w.Header().Set("X-Cache", "join")
+			w.Header().Set("Location", "/jobs/"+id)
+			s.respond(w, r, j, wait, http.StatusAccepted)
+			return
+		}
+		// Terminal but not cached (failed, cancelled, or evicted):
+		// resubmission replaces it.
+	}
+
+	j := newJob(s.baseCtx, id, key, spec, s.cfg.MaxEvents)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.metrics.Rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("job queue full (%d queued); retry after %ds", s.cfg.QueueDepth, s.cfg.RetryAfterSeconds))
+		return
+	}
+	s.putJobLocked(j)
+	s.mu.Unlock()
+	s.metrics.Submitted.Add(1)
+	s.metrics.CacheMisses.Add(1)
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Location", "/jobs/"+id)
+	s.respond(w, r, j, wait, http.StatusAccepted)
+}
+
+// respond renders a job descriptor, long-polling for the terminal state
+// when wait is set.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, j *Job, wait bool, code int) {
+	if wait {
+		select {
+		case <-j.Done():
+			code = http.StatusOK
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, code, viewOf(j))
+}
+
+func isDone(j *Job) bool {
+	status, _ := j.Status()
+	return status == StatusDone
+}
+
+// putJobLocked registers a job and prunes the oldest terminal entries
+// past the CompletedJobs bound (results live in the cache; only the
+// descriptor ring is bounded). Callers hold s.mu.
+func (s *Server) putJobLocked(j *Job) {
+	s.jobs[j.ID] = j
+	if status, _ := j.Status(); status.terminal() {
+		s.doneRing = append(s.doneRing, j.ID)
+	} else {
+		// The worker moves it to the ring at completion; see worker().
+	}
+	s.pruneRingLocked()
+}
+
+func (s *Server) pruneRingLocked() {
+	for len(s.doneRing) > s.cfg.CompletedJobs {
+		id := s.doneRing[0]
+		s.doneRing = s.doneRing[1:]
+		if j, ok := s.jobs[id]; ok {
+			if status, _ := j.Status(); status.terminal() {
+				delete(s.jobs, id)
+			}
+		}
+	}
+}
+
+// retire moves a now-terminal job into the bounded descriptor ring.
+func (s *Server) retire(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs[j.ID] == j {
+		s.doneRing = append(s.doneRing, j.ID)
+		s.pruneRingLocked()
+	}
+}
+
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	s.respond(w, r, j, r.URL.Query().Get("wait") != "", http.StatusOK)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, viewOf(j))
+}
+
+// handleStream serves the job's event sequence as server-sent events:
+// the buffered replay first (deterministic, in expansion order), then
+// live events, ending with the terminal event (for done jobs, the full
+// result payload with its expect report).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, unsubscribe := j.subscribe()
+	defer unsubscribe()
+	writeEvent := func(ev Event) bool {
+		_, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Name, ev.Data)
+		flusher.Flush()
+		return err == nil
+	}
+	last := 0
+	for _, ev := range replay {
+		if !writeEvent(ev) {
+			return
+		}
+		last = ev.ID
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return
+			}
+			if ev.ID <= last {
+				continue // already replayed
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w)
+	s.mu.Lock()
+	jobs := int64(len(s.jobs))
+	s.mu.Unlock()
+	gauge(w, "consensus_serve_queue_depth", "jobs accepted but not yet running", int64(len(s.queue)))
+	gauge(w, "consensus_serve_jobs", "jobs addressable via GET /jobs/{id}", jobs)
+	gauge(w, "consensus_serve_cache_entries", "result cache entries", int64(s.cache.Len()))
+	gauge(w, "consensus_serve_cache_bytes", "result cache payload bytes", s.cache.Bytes())
+	gauge(w, "consensus_serve_cache_evictions", "result cache evictions", int64(s.cache.Evictions()))
+	gauge(w, "consensus_serve_uptime_seconds", "seconds since the server started", int64(time.Since(s.started).Seconds()))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// worker executes queued jobs until the queue closes (Drain).
+func (s *Server) worker() {
+	defer func() { s.workersWG <- struct{}{} }()
+	for j := range s.queue {
+		if !j.begin() {
+			s.metrics.Cancelled.Add(1)
+			s.retire(j)
+			continue
+		}
+		payload, err := s.run(j.ctx, j)
+		switch {
+		case err == nil:
+			s.cache.Put(j.Key, payload)
+			j.finish(StatusDone, "", payload)
+			s.metrics.Executed.Add(1)
+		case errors.Is(err, context.Canceled) || errors.Is(j.ctx.Err(), context.Canceled):
+			j.finish(StatusCancelled, "cancelled", nil)
+			s.metrics.Cancelled.Add(1)
+		default:
+			j.finish(StatusFailed, err.Error(), nil)
+			s.metrics.Failed.Add(1)
+			s.cfg.Log.Printf("serve: job %s failed: %v", j.ID, err)
+		}
+		s.retire(j)
+	}
+}
+
+// resultPayload is the cached unit: the reduced table plus the expect
+// report of one checked suite execution. Marshaled exactly once, at
+// execution — cache hits serve these bytes verbatim.
+type resultPayload struct {
+	Scenario string                 `json:"scenario"`
+	Hash     string                 `json:"hash"`
+	Seed     uint64                 `json:"seed"`
+	Scale    string                 `json:"scale"`
+	Passed   bool                   `json:"passed"`
+	Table    *scenario.Table        `json:"table"`
+	Report   *scenario.ExpectReport `json:"report"`
+}
+
+// executeSuite runs one job through the scenario layer, streaming its
+// progress events to subscribers. Expectation violations are a done
+// result (Passed false), not a failure: the suite is deterministic, so
+// the violating report is as cacheable as a passing one.
+func (s *Server) executeSuite(ctx context.Context, j *Job) ([]byte, error) {
+	scale, err := scenario.ParseScale(j.Key.Scale)
+	if err != nil {
+		return nil, err
+	}
+	p := scenario.Params{
+		Seed:    j.Key.Seed,
+		Scale:   scale,
+		Workers: s.cfg.SuiteWorkers,
+		Progress: func(ev scenario.ProgressEvent) {
+			j.publish("progress", ev)
+		},
+	}
+	tbl, report, err := scenario.RunChecked(ctx, j.Scenario, p)
+	if report == nil {
+		return nil, err
+	}
+	payload := resultPayload{
+		Scenario: j.Scenario.Name,
+		Hash:     j.Key.Hash,
+		Seed:     j.Key.Seed,
+		Scale:    j.Key.Scale,
+		Passed:   len(report.Violations) == 0,
+		Table:    tbl,
+		Report:   report,
+	}
+	return json.Marshal(payload)
+}
+
+// Drain gracefully shuts the server down: new submissions are refused
+// with 503, queued jobs are cancelled, and running jobs get until ctx's
+// deadline to finish before their contexts are cancelled (the engines
+// observe that within a round). Drain returns once every worker has
+// exited.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("serve: already draining")
+	}
+	s.draining = true
+	for _, j := range s.jobs {
+		if status, _ := j.Status(); status == StatusQueued {
+			j.Cancel()
+		}
+	}
+	s.mu.Unlock()
+	close(s.queue)
+
+	done := make(chan struct{})
+	go func() {
+		for w := 0; w < s.cfg.JobWorkers; w++ {
+			<-s.workersWG
+		}
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline: cancel running jobs and wait for the prompt return.
+		forced = ctx.Err()
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	return forced
+}

@@ -1,0 +1,531 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tinySpec is a CI-sized suite with a passing expect block: one cell,
+// two replicas, deterministic at seed 1.
+const tinySpec = `{
+	"schema": 1,
+	"name": "serve-tiny",
+	"sweep": [{"name": "n", "values": [64]}],
+	"replicas": "2",
+	"rule": {"name": "3-majority"},
+	"init": {"generator": "balanced", "k": "2"},
+	"stop": {"max_rounds": "2000"},
+	"expect": [{"name": "converges", "converged": {"min_fraction": 1}}]
+}`
+
+// tinySpecCosmetic is tinySpec with whitespace collapsed and number
+// formatting changed — same canonical hash, so the same cache key.
+const tinySpecCosmetic = `{"schema":1,"name":"serve-tiny","sweep":[{"name":"n","values":[6.4e1]}],"replicas":"2","rule":{"name":"3-majority"},"init":{"generator":"balanced","k":"2"},"stop":{"max_rounds":"2000"},"expect":[{"name":"converges","converged":{"min_fraction":1}}]}`
+
+// otherSpec differs semantically from tinySpec (n=128).
+const otherSpec = `{
+	"schema": 1,
+	"name": "serve-tiny",
+	"sweep": [{"name": "n", "values": [128]}],
+	"replicas": "2",
+	"rule": {"name": "3-majority"},
+	"init": {"generator": "balanced", "k": "2"},
+	"stop": {"max_rounds": "2000"}
+}`
+
+// newTestServer builds a server, applies mod (if any) before the worker
+// pool starts — so tests can substitute s.run race-free — and wires it to
+// an httptest listener.
+func newTestServer(t *testing.T, cfg Config, mod func(*Server)) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	s := newServer(cfg)
+	if mod != nil {
+		mod(s)
+	}
+	s.start()
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec, query string) (*http.Response, jobView) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs?"+query, "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobView
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("bad job view %q: %v", body, err)
+		}
+	}
+	resp.Body = io.NopCloser(strings.NewReader(string(body)))
+	return resp, v
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) (int, jobView) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("bad job view %q: %v", body, err)
+		}
+	}
+	return resp.StatusCode, v
+}
+
+func waitStatus(t *testing.T, ts *httptest.Server, id string, want JobStatus) jobView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		code, v := getJob(t, ts, id)
+		if code == http.StatusOK && v.Status == want {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return jobView{}
+}
+
+// TestSubmitExecuteAndCacheHitByteIdentical is the in-package half of the
+// acceptance criterion: submit → done with a passing expect report, then
+// an identical (cosmetically edited) resubmission is served from cache
+// without re-execution and both response bodies are byte-identical.
+func TestSubmitExecuteAndCacheHitByteIdentical(t *testing.T) {
+	var executions atomic.Int64
+	_, ts := newTestServer(t, Config{}, func(s *Server) {
+		real := s.run
+		s.run = func(ctx context.Context, j *Job) ([]byte, error) {
+			executions.Add(1)
+			return real(ctx, j)
+		}
+	})
+
+	resp, v := submit(t, ts, tinySpec, "seed=1&scale=quick&wait=1")
+	firstBody, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, firstBody)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first submission X-Cache = %q, want miss", got)
+	}
+	if v.Status != StatusDone || v.Scale != "quick" || v.Seed != 1 {
+		t.Fatalf("bad terminal view: %+v", v)
+	}
+	var payload resultPayload
+	if err := json.Unmarshal(v.Result, &payload); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if !payload.Passed || payload.Report == nil || len(payload.Report.Violations) != 0 {
+		t.Fatalf("expect report not passing: %+v", payload.Report)
+	}
+	if payload.Table == nil || len(payload.Table.Rows) == 0 {
+		t.Fatal("payload table empty")
+	}
+
+	resp2, v2 := submit(t, ts, tinySpecCosmetic, "seed=1&scale=quick&wait=1")
+	secondBody, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit = %d: %s", resp2.StatusCode, secondBody)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("resubmission X-Cache = %q, want hit", got)
+	}
+	if string(firstBody) != string(secondBody) {
+		t.Fatalf("cached response differs from executed response:\n%s\nvs\n%s", secondBody, firstBody)
+	}
+	if v2.ID != v.ID {
+		t.Fatalf("cosmetic edit changed the job id: %s vs %s", v2.ID, v.ID)
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("cache hit re-executed: %d executions", n)
+	}
+
+	// Different seed and different scale are different computations.
+	for _, q := range []string{"seed=2&scale=quick&wait=1", "seed=1&scale=full&wait=1"} {
+		resp, _ := submit(t, ts, tinySpec, q)
+		if got := resp.Header.Get("X-Cache"); got != "miss" {
+			t.Fatalf("%s: X-Cache = %q, want miss", q, got)
+		}
+	}
+	if n := executions.Load(); n != 3 {
+		t.Fatalf("seed/scale variants must execute: %d executions, want 3", n)
+	}
+}
+
+// blockingServer installs a fake executor that blocks until released (or
+// its context is cancelled) and returns the started-notification channel
+// plus an idempotent release function.
+func blockingServer(t *testing.T, cfg Config) (*Server, *httptest.Server, chan string, func()) {
+	t.Helper()
+	started := make(chan string, 64)
+	release := make(chan struct{})
+	var once sync.Once
+	s, ts := newTestServer(t, cfg, func(s *Server) {
+		s.run = func(ctx context.Context, j *Job) ([]byte, error) {
+			started <- j.ID
+			select {
+			case <-release:
+				return []byte(`{"fake":"` + j.ID + `"}`), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	})
+	return s, ts, started, func() { once.Do(func() { close(release) }) }
+}
+
+// TestSingleflightCollapsesConcurrentIdenticalSubmissions: while an
+// identical job is queued or running, further submissions join it —
+// exactly one execution happens.
+func TestSingleflightCollapsesConcurrentIdenticalSubmissions(t *testing.T) {
+	s, ts, started, release := blockingServer(t, Config{JobWorkers: 1})
+	defer release()
+
+	resp, first := submit(t, ts, tinySpec, "seed=1&scale=quick")
+	if resp.StatusCode != http.StatusAccepted || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	<-started // running now
+
+	var wg sync.WaitGroup
+	joins := make([]string, 8)
+	for i := range joins {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, v := submit(t, ts, tinySpecCosmetic, "seed=1&scale=quick")
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("join %d: status %d", i, resp.StatusCode)
+			}
+			if got := resp.Header.Get("X-Cache"); got != "join" {
+				t.Errorf("join %d: X-Cache %q", i, got)
+			}
+			joins[i] = v.ID
+		}(i)
+	}
+	wg.Wait()
+	for i, id := range joins {
+		if id != first.ID {
+			t.Fatalf("join %d targeted job %s, want %s", i, id, first.ID)
+		}
+	}
+	release()
+	waitStatus(t, ts, first.ID, StatusDone)
+	if got := s.metrics.Joined.Load(); got != 8 {
+		t.Fatalf("joined = %d, want 8", got)
+	}
+	if got := s.metrics.Executed.Load(); got != 1 {
+		t.Fatalf("executed = %d, want 1", got)
+	}
+	select {
+	case id := <-started:
+		t.Fatalf("second execution started: %s", id)
+	default:
+	}
+}
+
+// TestQueueBackpressure: a full queue answers 429 with a Retry-After
+// hint and doesn't register the job.
+func TestQueueBackpressure(t *testing.T) {
+	_, ts, started, release := blockingServer(t, Config{JobWorkers: 1, QueueDepth: 1, RetryAfterSeconds: 7})
+	defer release()
+
+	specFor := func(n int) string {
+		return fmt.Sprintf(`{"schema":1,"name":"serve-bp","sweep":[{"name":"n","values":[%d]}],
+			"replicas":"1","rule":{"name":"3-majority"},"init":{"generator":"balanced","k":"2"},
+			"stop":{"max_rounds":"2000"}}`, n)
+	}
+	// A occupies the worker, B the queue slot, C must bounce.
+	respA, a := submit(t, ts, specFor(64), "")
+	if respA.StatusCode != http.StatusAccepted {
+		t.Fatalf("A: %d", respA.StatusCode)
+	}
+	<-started
+	respB, _ := submit(t, ts, specFor(128), "")
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("B: %d", respB.StatusCode)
+	}
+	respC, _ := submit(t, ts, specFor(256), "")
+	if respC.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("C: %d, want 429", respC.StatusCode)
+	}
+	if got := respC.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want 7", got)
+	}
+	release()
+	waitStatus(t, ts, a.ID, StatusDone)
+}
+
+// TestCancelRunningAndQueued: cancellation reaches a running job through
+// its context and skips a queued one, and neither pollutes the cache.
+func TestCancelRunningAndQueued(t *testing.T) {
+	s, ts, started, release := blockingServer(t, Config{JobWorkers: 1})
+	defer release()
+
+	_, a := submit(t, ts, tinySpec, "seed=1")
+	<-started
+	_, b := submit(t, ts, otherSpec, "seed=1")
+
+	// Cancel the queued job first, then the running one.
+	for _, id := range []string{b.ID, a.ID} {
+		resp, err := http.Post(ts.URL+"/jobs/"+id+"/cancel", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel %s: %d", id, resp.StatusCode)
+		}
+	}
+	waitStatus(t, ts, a.ID, StatusCancelled)
+	waitStatus(t, ts, b.ID, StatusCancelled)
+	if got := s.metrics.Cancelled.Load(); got != 2 {
+		t.Fatalf("cancelled = %d, want 2", got)
+	}
+
+	// A cancelled job is not a result: resubmitting executes afresh.
+	resp, _ := submit(t, ts, tinySpec, "seed=1")
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("resubmit after cancel: X-Cache %q, want miss", got)
+	}
+	<-started
+	release()
+	waitStatus(t, ts, a.ID, StatusDone)
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+func parseSSE(body string) []sseEvent {
+	var out []sseEvent
+	for _, frame := range strings.Split(body, "\n\n") {
+		var ev sseEvent
+		for _, line := range strings.Split(frame, "\n") {
+			if rest, ok := strings.CutPrefix(line, "event: "); ok {
+				ev.name = rest
+			}
+			if rest, ok := strings.CutPrefix(line, "data: "); ok {
+				ev.data = rest
+			}
+		}
+		if ev.name != "" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestStreamObservesLifecycle is the streaming half of the acceptance
+// criterion: the SSE stream shows queued → running → per-run progress in
+// expansion order → the terminal done event carrying the expect report.
+func TestStreamObservesLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+
+	_, v := submit(t, ts, tinySpec, "seed=1&scale=quick")
+	resp, err := http.Get(ts.URL + "/jobs/" + v.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body) // the stream ends at the terminal event
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := parseSSE(string(body))
+
+	var names []string
+	for _, ev := range events {
+		names = append(names, ev.name)
+	}
+	want := []string{"status", "status", "progress", "progress", "progress", "progress", "done"}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Fatalf("event sequence %v, want %v", names, want)
+	}
+	if !strings.Contains(events[0].data, string(StatusQueued)) ||
+		!strings.Contains(events[1].data, string(StatusRunning)) {
+		t.Fatalf("lifecycle events wrong: %+v", events[:2])
+	}
+	kinds := []string{"suite-start", "run-done", "run-done", "cell-done"}
+	for i, kind := range kinds {
+		var pe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(events[2+i].data), &pe); err != nil {
+			t.Fatal(err)
+		}
+		if pe.Kind != kind {
+			t.Fatalf("progress %d kind %q, want %q", i, pe.Kind, kind)
+		}
+	}
+	var payload resultPayload
+	if err := json.Unmarshal([]byte(events[len(events)-1].data), &payload); err != nil {
+		t.Fatalf("done event payload: %v", err)
+	}
+	if !payload.Passed || payload.Report == nil {
+		t.Fatalf("done event lacks the expect report: %+v", payload)
+	}
+
+	// A late subscriber to the finished job replays the same sequence.
+	resp2, err := http.Get(ts.URL + "/jobs/" + v.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, _ := io.ReadAll(resp2.Body)
+	if string(body2) != string(body) {
+		t.Fatalf("replayed stream differs:\n%s\nvs\n%s", body2, body)
+	}
+}
+
+// TestDrain: draining refuses new work, cancels queued jobs, lets the
+// running job finish, and Drain returns cleanly.
+func TestDrain(t *testing.T) {
+	s, ts, started, release := blockingServer(t, Config{JobWorkers: 1})
+
+	_, a := submit(t, ts, tinySpec, "seed=1")
+	<-started
+	_, b := submit(t, ts, otherSpec, "seed=1")
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+
+	// Draining state: submissions and health checks answer 503.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := submit(t, ts, tinySpec, "seed=99")
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining server kept accepting submissions")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", hresp.StatusCode)
+	}
+
+	release()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitStatus(t, ts, a.ID, StatusDone)
+	waitStatus(t, ts, b.ID, StatusCancelled)
+}
+
+// TestDrainDeadlineForcesCancellation: a running job that outlives the
+// drain budget has its context cancelled, and Drain reports the forcing.
+func TestDrainDeadlineForcesCancellation(t *testing.T) {
+	s, ts, started, release := blockingServer(t, Config{JobWorkers: 1})
+	defer release()
+
+	_, a := submit(t, ts, tinySpec, "seed=1")
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("forced drain reported no error")
+	}
+	waitStatus(t, ts, a.ID, StatusCancelled)
+}
+
+// TestSubmitValidation: malformed documents and parameters are 400s with
+// the strict decoder's field-qualified messages; unknown jobs are 404s.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	cases := []struct {
+		spec, query string
+		want        int
+	}{
+		{`{`, "", http.StatusBadRequest},
+		{`{"schema":1,"name":"x","rule":{"name":"3-majority"},"init":{"generator":"balanced","k":"2"},"bogus":1}`, "", http.StatusBadRequest},
+		{tinySpec, "seed=notanumber", http.StatusBadRequest},
+		{tinySpec, "scale=medium", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := submit(t, ts, c.spec, c.query)
+		if resp.StatusCode != c.want {
+			body, _ := io.ReadAll(resp.Body)
+			t.Errorf("submit(%.30q, %q) = %d, want %d (%s)", c.spec, c.query, resp.StatusCode, c.want, body)
+		}
+	}
+	code, _ := getJob(t, ts, "nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", code)
+	}
+}
+
+// TestMetricsEndpoint: the counters and gauges render and move.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	submitAndWait := func() {
+		resp, _ := submit(t, ts, tinySpec, "seed=1&wait=1")
+		resp.Body.Close()
+	}
+	submitAndWait()
+	submitAndWait() // cache hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"consensus_serve_submitted_total 2",
+		"consensus_serve_cache_hits_total 1",
+		"consensus_serve_cache_misses_total 1",
+		"consensus_serve_executed_total 1",
+		"consensus_serve_queue_depth 0",
+		"consensus_serve_cache_entries 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

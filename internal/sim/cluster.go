@@ -67,10 +67,10 @@ func runCluster(factory func() (core.NodeRule, error), start *config.Config, r *
 		func(int) int { sys.Step(); return 1 },
 		sys.Config,
 		sys.Colors)
-	if err != nil {
-		return nil, err
+	// A partial (cancelled) result still carries its message accounting.
+	if res != nil {
+		res.Messages = sys.Messages()
+		res.BitsPerMessage = sys.BitsPerMessage()
 	}
-	res.Messages = sys.Messages()
-	res.BitsPerMessage = sys.BitsPerMessage()
-	return res, nil
+	return res, err
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 
 	"github.com/ignorecomply/consensus/internal/analytic"
@@ -180,6 +181,10 @@ type ffController struct {
 	tun       FastForward
 	rep       *FastForwardReport
 	maxRounds int
+	// ctx is the run's context: plan polls it every extension iteration so
+	// a cancellation arriving mid-stretch stops the planning loop promptly
+	// instead of only being observed at the next round boundary.
+	ctx context.Context
 	// eligible is the run-level gate: the rule must expose an exact
 	// (multinomial) mean-field contract and the run must carry no
 	// per-round observable the planner cannot certify.
@@ -197,6 +202,7 @@ func newFFController(rule core.Rule, c *config.Config, r *rng.RNG, o options) *f
 		tun:       o.ff,
 		rep:       &FastForwardReport{Stretches: make([]FFStretch, 0, 8)},
 		maxRounds: o.maxRounds,
+		ctx:       o.ctx,
 	}
 	if mf, ok := rule.(core.MeanFielder); ok && mf.MeanFieldExact() &&
 		o.adv == nil && o.observer == nil && o.stopWhen == nil {
@@ -238,9 +244,13 @@ func (f *ffController) step(round int) int {
 // plan tries to certify a fast-forward stretch starting at round. On
 // success it returns the stretch length m >= MinStretch with the
 // mean-field exit point x_m in f.cur and the exit envelope in f.exitEnv;
-// otherwise it returns 0 and the next round runs exactly. The decision
-// is a pure function of the count vector, so fixed seeds reproduce
-// bit-exactly.
+// otherwise it returns 0 and the next round runs exactly. On an
+// uncancelled context the decision is a pure function of the count
+// vector, so fixed seeds reproduce bit-exactly; a cancellation arriving
+// mid-planning stops extending the stretch (the already-certified prefix
+// still commits — those rounds are certified work), so the run loop
+// observes the cancellation promptly instead of after a full MaxStretch
+// plan.
 //
 //consensus:hotpath
 func (f *ffController) plan(round int) int {
@@ -269,6 +279,9 @@ func (f *ffController) plan(round int) int {
 	e := 0.0
 	m := 0
 	for m < maxStretch {
+		if f.ctx.Err() != nil {
+			break
+		}
 		// The Lipschitz bound must hold on the segment between the true
 		// and mean-field points — the L1 ball of radius e around x.
 		lips := f.mf.MeanFieldLipschitz(f.cur, e)
@@ -335,11 +348,12 @@ func runHybrid(rule core.Rule, start *config.Config, r *rng.RNG, o options) (*Re
 	c := start.Clone()
 	ctl := newFFController(rule, c, r, o)
 	res, err := runLoop(c, r, o, ctl.step, func() *config.Config { return c }, nil)
-	if err != nil {
-		return nil, err
+	// Attach the report even to a partial (cancelled) result: the taken
+	// stretches are completed, certified work.
+	if res != nil {
+		res.FastForward = ctl.rep
 	}
-	res.FastForward = ctl.rep
-	return res, nil
+	return res, err
 }
 
 // resizeFloats returns buf with exactly n elements, reusing capacity.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -410,4 +411,97 @@ func FuzzFastForward(f *testing.F) {
 			t.Fatalf("stretches sum to %d, report says %d", sum, rep.SkippedRounds)
 		}
 	})
+}
+
+// errAfterCtx is a context whose Err flips to context.Canceled after a
+// fixed number of Err calls. It makes "cancel during a fast-forward
+// stretch" deterministic: the run loop polls Err once before the loop and
+// once per round, and the planner polls it once per extension iteration,
+// so cancelAt lands the cancellation at an exact poll — no goroutines, no
+// timing.
+type errAfterCtx struct {
+	context.Context
+	calls    int
+	cancelAt int
+}
+
+func (c *errAfterCtx) Err() error {
+	c.calls++
+	if c.calls >= c.cancelAt {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestHybridCancelMidStretchReturnsCompletedWork is the regression test
+// for cancellation observed mid-stretch: cancelling while the planner is
+// extending a fast-forward stretch must (a) stop the planning loop
+// promptly instead of running it to MaxStretch, (b) still commit the
+// already-certified prefix, and (c) return the partial Result for the
+// work completed so far alongside the error — the single-run mirror of
+// TestRunReplicasReturnsCompletedWorkOnLateCancel.
+func TestHybridCancelMidStretchReturnsCompletedWork(t *testing.T) {
+	// A mildly-biased large start under loosened tuning: the first stretch
+	// certifies 7 rounds, long enough to land a cancellation inside it.
+	start := config.TwoBlock(10_000_000, 4_500_000)
+	tun := FastForward{MinStretch: 2, Delta: 1e-3, GapFactor: 1, DriftFactor: 0.5, ExtinctionFloor: 1}
+	mk := func() *Runner {
+		return NewFactoryRunner(func() core.Rule { return rules.NewThreeMajority() },
+			WithFastForward(tun), WithSeed(42))
+	}
+
+	// Precondition: uncancelled, the run fast-forwards immediately and its
+	// first stretch is long enough to land a cancellation inside.
+	full, err := mk().Run(context.Background(), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.FastForward == nil || len(full.FastForward.Stretches) == 0 {
+		t.Fatalf("precondition: uncancelled run took no stretch: %+v", full.FastForward)
+	}
+	first := full.FastForward.Stretches[0]
+	if first.StartRound != 1 {
+		t.Fatalf("precondition: first stretch starts at round %d, want 1", first.StartRound)
+	}
+	if first.Rounds < 4 {
+		t.Fatalf("precondition: first stretch of %d rounds is too short to cancel inside", first.Rounds)
+	}
+
+	// Err polls: 1 = pre-loop, 2 = round 1, then one per planning
+	// iteration — cancelAt 5 cancels at the third extension of the first
+	// stretch, after two rounds were certified.
+	ctx := &errAfterCtx{Context: context.Background(), cancelAt: 5}
+	res, err := mk().Run(ctx, start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("mid-stretch cancellation discarded the completed work; want the partial Result")
+	}
+	rep := res.FastForward
+	if rep == nil || len(rep.Stretches) != 1 {
+		t.Fatalf("partial result lost its fast-forward report: %+v", rep)
+	}
+	got := rep.Stretches[0].Rounds
+	if got < tun.MinStretch || got >= first.Rounds {
+		t.Fatalf("cancelled stretch covers %d rounds, want in [%d, %d): planning must stop at the cancellation and keep only the certified prefix",
+			got, tun.MinStretch, first.Rounds)
+	}
+	if res.Rounds != rep.ExactRounds+rep.SkippedRounds {
+		t.Fatalf("partial accounting broken: rounds %d != exact %d + skipped %d",
+			res.Rounds, rep.ExactRounds, rep.SkippedRounds)
+	}
+	// Promptness: after the cancelling poll, the run may observe the
+	// cancellation at most once more (the next round boundary) before
+	// returning.
+	if ctx.calls > ctx.cancelAt+1 {
+		t.Fatalf("run kept polling after cancellation: %d Err calls, cancel at %d", ctx.calls, ctx.cancelAt)
+	}
+
+	// A context cancelled before the run starts still returns no result.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, err := mk().Run(pre, start); err == nil || res != nil {
+		t.Fatalf("pre-cancelled run returned (%v, %v), want (nil, context.Canceled)", res, err)
+	}
 }

@@ -125,7 +125,10 @@ func (rn *Runner) instance() (core.Rule, error) {
 }
 
 // Run executes the process on a copy of start and returns the unified
-// Result. ctx cancellation is checked every round on every engine.
+// Result. ctx cancellation is checked every round on every engine (and,
+// on the hybrid engine, inside fast-forward planning); a mid-run
+// cancellation returns the partial Result for the rounds completed so
+// far alongside the error.
 func (rn *Runner) Run(ctx context.Context, start *config.Config) (*Result, error) {
 	o, err := rn.buildRunOptions(ctx)
 	if err != nil {

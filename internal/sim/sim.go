@@ -411,6 +411,11 @@ func runBatch(rule core.Rule, start *config.Config, r *rng.RNG, o options) (*Res
 // engine, so that adversarial corruption of the aggregate counts can be
 // reflected onto concrete node states; nil means the engine is purely
 // aggregate.
+//
+// Cancellation: a context cancelled before the first round returns
+// (nil, err); a context cancelled mid-run returns the partial Result for
+// the rounds completed so far together with the error, so callers keep
+// the work already done.
 func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int) int, current func() *config.Config, nodes func() []int) (*Result, error) {
 	if err := o.ctx.Err(); err != nil {
 		return nil, err
@@ -501,7 +506,12 @@ func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int) int, 
 	}
 	for round := 1; round <= o.maxRounds; round++ {
 		if err := o.ctx.Err(); err != nil {
-			return nil, err
+			// Mid-run cancellation must not discard the rounds already
+			// executed: finish the partial Result at the last completed
+			// round and return it alongside the error (the run-level
+			// mirror of RunReplicas' completed-work contract).
+			finish(res, current(), round-1, o, valid)
+			return res, err
 		}
 		if stride := step(round); stride > 1 {
 			// step certified and executed rounds round..round+stride-1

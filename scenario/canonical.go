@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Canonicalize returns the scenario's canonical serialization: a single
+// compact JSON document with struct fields in declaration order, object
+// keys sorted, numbers in Go's shortest round-trip form, and every null
+// member (an unset Quantity or omitted optional section) stripped. Two
+// specs that differ only cosmetically — whitespace, key order inside
+// per-scale quantities, number formatting like 1000 vs 1e3 vs 1000.0 —
+// canonicalize to identical bytes; any semantic edit changes them.
+//
+// This is the content-address contract of the result cache
+// (internal/serve): a cache key derived from Hash survives cosmetic spec
+// edits but never aliases two different experiments. The scenario is
+// validated first, so only well-formed specs have a canonical form.
+func Canonicalize(s *Scenario) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// Marshal once through the spec structs (declaration-ordered fields,
+	// Quantity raw forms), then re-marshal through the generic JSON model:
+	// encoding/json sorts map keys and renders each number in its shortest
+	// round-trip form, which normalizes the cosmetic freedom the strict
+	// decoder preserves.
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: canonicalize: %w", s.Name, err)
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("scenario %q: canonicalize: %w", s.Name, err)
+	}
+	out, err := json.Marshal(stripNulls(v))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: canonicalize: %w", s.Name, err)
+	}
+	return out, nil
+}
+
+// Hash returns the canonical hash of the scenario: the lowercase hex
+// SHA-256 of its Canonicalize bytes. Together with a seed and a scale it
+// fully addresses a suite result (the determinism contract: identical
+// spec + Params reproduce identical tables), which is what makes results
+// cacheable by content.
+func Hash(s *Scenario) (string, error) {
+	canon, err := Canonicalize(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// stripNulls removes null object members recursively. Unset quantities
+// marshal as JSON null (so specs round-trip through the encoder), but a
+// null member and an absent member mean the same thing to the strict
+// decoder — the canonical form keeps neither. Array elements are
+// positional and are never dropped.
+func stripNulls(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if t[k] == nil {
+				delete(t, k)
+				continue
+			}
+			t[k] = stripNulls(t[k])
+		}
+		return t
+	case []any:
+		for i := range t {
+			t[i] = stripNulls(t[i])
+		}
+		return t
+	default:
+		return v
+	}
+}

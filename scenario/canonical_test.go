@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ignorecomply/consensus/scenarios"
+)
+
+var updateHashes = flag.Bool("update-hashes", false, "rewrite testdata/scenario_hashes.json from the checked-in scenarios")
+
+// TestCanonicalizeCosmeticInvariance: cache keys must survive cosmetic
+// spec edits. Whitespace, member order, per-scale key order and number
+// formatting all canonicalize away; any semantic edit changes the hash.
+func TestCanonicalizeCosmeticInvariance(t *testing.T) {
+	base := `{
+		"schema": 1,
+		"name": "canon-test",
+		"params": {"n": 1000, "reps": {"quick": 2, "full": 8}},
+		"rule": {"name": "3-majority"},
+		"init": {"generator": "balanced", "k": "2"},
+		"replicas": "reps"
+	}`
+	cosmetic := []string{
+		// Whitespace and indentation collapsed.
+		`{"schema":1,"name":"canon-test","params":{"n":1000,"reps":{"quick":2,"full":8}},"rule":{"name":"3-majority"},"init":{"generator":"balanced","k":"2"},"replicas":"reps"}`,
+		// Per-scale variant keys reordered.
+		`{"schema":1,"name":"canon-test","params":{"n":1000,"reps":{"full":8,"quick":2}},"rule":{"name":"3-majority"},"init":{"generator":"balanced","k":"2"},"replicas":"reps"}`,
+		// Number formatting: 1e3 and 1000.0 mean 1000.
+		`{"schema":1,"name":"canon-test","params":{"n":1e3,"reps":{"quick":2,"full":8}},"rule":{"name":"3-majority"},"init":{"generator":"balanced","k":"2"},"replicas":"reps"}`,
+		`{"schema":1,"name":"canon-test","params":{"n":1000.0,"reps":{"quick":2,"full":8}},"rule":{"name":"3-majority"},"init":{"generator":"balanced","k":"2"},"replicas":"reps"}`,
+	}
+	semantic := []string{
+		// Different population.
+		`{"schema":1,"name":"canon-test","params":{"n":2000,"reps":{"quick":2,"full":8}},"rule":{"name":"3-majority"},"init":{"generator":"balanced","k":"2"},"replicas":"reps"}`,
+		// Different rule.
+		`{"schema":1,"name":"canon-test","params":{"n":1000,"reps":{"quick":2,"full":8}},"rule":{"name":"2-choices"},"init":{"generator":"balanced","k":"2"},"replicas":"reps"}`,
+		// Different full-scale budget (quick runs are unaffected, but the
+		// spec is a different experiment).
+		`{"schema":1,"name":"canon-test","params":{"n":1000,"reps":{"quick":2,"full":9}},"rule":{"name":"3-majority"},"init":{"generator":"balanced","k":"2"},"replicas":"reps"}`,
+	}
+
+	hashOf := func(src string) string {
+		t.Helper()
+		s, err := DecodeBytes([]byte(src))
+		if err != nil {
+			t.Fatalf("decode: %v\nspec: %s", err, src)
+		}
+		h, err := Hash(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	want := hashOf(base)
+	for i, src := range cosmetic {
+		if got := hashOf(src); got != want {
+			t.Errorf("cosmetic variant %d changed the hash: %s != %s", i, got, want)
+		}
+	}
+	for i, src := range semantic {
+		if got := hashOf(src); got == want {
+			t.Errorf("semantic variant %d kept the hash %s; a different experiment must hash differently", i, want)
+		}
+	}
+}
+
+// TestCanonicalizeIsStable: canonical bytes are a fixed point — decoding
+// the canonical form and canonicalizing again reproduces them, and they
+// contain no null members.
+func TestCanonicalizeIsStable(t *testing.T) {
+	for _, name := range scenarios.Names() {
+		data, err := scenarios.Read(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := DecodeBytes(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		canon, err := Canonicalize(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if strings.Contains(string(canon), "null") {
+			t.Errorf("%s: canonical form contains null members:\n%s", name, canon)
+		}
+		s2, err := DecodeBytes(canon)
+		if err != nil {
+			t.Fatalf("%s: canonical form does not decode: %v\n%s", name, err, canon)
+		}
+		canon2, err := Canonicalize(s2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if string(canon) != string(canon2) {
+			t.Errorf("%s: canonicalization is not a fixed point:\n%s\nvs\n%s", name, canon, canon2)
+		}
+	}
+}
+
+// TestScenarioHashesGolden pins the canonical hash of every checked-in
+// scenario. A diff here means cache keys changed: either the spec was
+// edited semantically (update the golden with -update-hashes and expect
+// cold caches) or the canonicalization algorithm drifted (a bug — old
+// and new servers would double-execute identical work).
+func TestScenarioHashesGolden(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "scenario_hashes.json")
+	got := make(map[string]string)
+	for _, name := range scenarios.Names() {
+		data, err := scenarios.Read(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := DecodeBytes(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h, err := Hash(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got[name] = h
+	}
+
+	if *updateHashes {
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-hashes): %v", err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, h := range got {
+		if want[name] == "" {
+			t.Errorf("%s: no golden hash pinned (regenerate with -update-hashes)", name)
+			continue
+		}
+		if h != want[name] {
+			t.Errorf("%s: hash %s differs from golden %s (cache keys changed; see the golden's contract)", name, h, want[name])
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("golden pins %s, which no longer exists", name)
+		}
+	}
+}

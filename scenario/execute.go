@@ -152,6 +152,15 @@ func ExecuteSuite(ctx context.Context, s *Scenario, p Params) (*SuiteResult, err
 		})
 	}
 
+	var prog *progressTracker
+	if p.Progress != nil {
+		prog = newProgressTracker(p.Progress, s.Name, len(jobs), len(suite.Cells))
+		for i := range jobs {
+			prog.lastOfCell[i] = i == len(jobs)-1 || jobs[i+1].spec.Cell != jobs[i].spec.Cell
+		}
+		prog.start()
+	}
+
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -171,6 +180,19 @@ func ExecuteSuite(ctx context.Context, s *Scenario, p Params) (*SuiteResult, err
 				res, err := executeRun(ctx, j.spec, j.start, j.g, j.grouped, j.stream)
 				*j.slot = res
 				errs[idx] = err
+				if prog != nil {
+					var ev *ProgressEvent
+					if err == nil && res != nil {
+						ev = &ProgressEvent{
+							Kind: ProgressRunDone, Scenario: s.Name,
+							Total: len(jobs), Cells: len(suite.Cells),
+							Cell: j.spec.Cell, Group: j.spec.Group, Replica: j.spec.Replica,
+							GroupID: j.spec.GroupID,
+							Rounds:  res.Rounds, Converged: res.Converged,
+						}
+					}
+					prog.done(idx, ev)
+				}
 			}
 		}()
 	}
@@ -185,6 +207,20 @@ dispatch:
 	close(queue)
 	wg.Wait()
 
+	// A context cancelled only after the last run finished must not
+	// discard the fully-computed suite (the suite-level mirror of
+	// Runner.RunReplicas' completed-work contract): report cancellation
+	// only when it actually cost a run.
+	complete := true
+	for i := range jobs {
+		if errs[i] != nil || *jobs[i].slot == nil {
+			complete = false
+			break
+		}
+	}
+	if complete {
+		return suite, nil
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -193,7 +229,7 @@ dispatch:
 			return nil, fmt.Errorf("scenario %q: %s: %w", s.Name, jobs[i].runName, err)
 		}
 	}
-	return suite, nil
+	return nil, fmt.Errorf("scenario %q: suite incomplete without a cause", s.Name)
 }
 
 // executeRun performs one replica through the Runner.

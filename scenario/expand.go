@@ -18,6 +18,15 @@ type Params struct {
 	// Workers bounds the executor's worker pool (0 = GOMAXPROCS). Workers
 	// never affects results, only wall-clock time.
 	Workers int
+	// Progress, when non-nil, observes suite execution: one suite-start
+	// event, one run-done event per completed run, and a cell-done event
+	// after each cell's last run. Events arrive in expansion order
+	// regardless of worker scheduling (out-of-order completions are
+	// buffered), so for a fixed (spec, seed, scale) the event sequence is
+	// identical at any worker count. The callback is never invoked
+	// concurrently and never affects results; see ProgressFunc for the
+	// blocking caveat.
+	Progress ProgressFunc
 }
 
 // DefaultParams returns quick-scale parameters with a fixed seed.

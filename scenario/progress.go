@@ -1,0 +1,123 @@
+package scenario
+
+import "sync"
+
+// ProgressKind enumerates the suite progress event kinds.
+type ProgressKind string
+
+const (
+	// ProgressSuiteStart is emitted once, before any run executes, with
+	// the suite's totals.
+	ProgressSuiteStart ProgressKind = "suite-start"
+	// ProgressRunDone is emitted once per completed run, in expansion
+	// order.
+	ProgressRunDone ProgressKind = "run-done"
+	// ProgressCellDone is emitted when a cell's last run completes, after
+	// that run's ProgressRunDone.
+	ProgressCellDone ProgressKind = "cell-done"
+)
+
+// ProgressEvent is one observation of suite execution. Events are emitted
+// in expansion order — the deterministic cell-major order Expand defines —
+// regardless of worker scheduling, so for a fixed (spec, seed, scale) the
+// full event sequence is identical at any worker count. The sequence is:
+// one suite-start, then per run one run-done (Done counting 1..Total),
+// with a cell-done after the last run of each cell.
+type ProgressEvent struct {
+	// Kind is the event kind.
+	Kind ProgressKind `json:"kind"`
+	// Scenario names the executing spec.
+	Scenario string `json:"scenario"`
+	// Done and Total count completed runs over the whole suite.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Cells is the suite's cell count.
+	Cells int `json:"cells"`
+	// Cell locates the event's sweep cell (-1 on suite-start), Group and
+	// Replica the finished run within it (-1 except on run-done).
+	Cell    int `json:"cell"`
+	Group   int `json:"group"`
+	Replica int `json:"replica"`
+	// GroupID is the finished run's group display id (run-done only).
+	GroupID string `json:"group_id,omitempty"`
+	// Rounds and Converged summarize the finished run (run-done only).
+	Rounds    int  `json:"rounds,omitempty"`
+	Converged bool `json:"converged,omitempty"`
+}
+
+// ProgressFunc observes suite execution (Params.Progress). The executor
+// never invokes it concurrently, and the callback must not block for
+// long: workers flush completion events while holding the tracker's lock,
+// so a stalled callback stalls the pool. Progress observation never
+// affects results.
+type ProgressFunc func(ProgressEvent)
+
+// progressTracker reorders worker completions back into expansion order:
+// a run finishing out of order is buffered until every earlier run has
+// finished, then the ready prefix is flushed through the callback under
+// one lock. This trades a little latency for a deterministic event
+// sequence — the same determinism contract the results themselves obey.
+type progressTracker struct {
+	fn       ProgressFunc
+	scenario string
+	total    int
+	cells    int
+
+	mu sync.Mutex
+	// events buffers one completion event per job, nil until the job
+	// finishes (and nil forever for a failed job, which emits nothing —
+	// the suite is about to abort with its error).
+	events []*ProgressEvent
+	ready  []bool
+	// lastOfCell marks the jobs whose completion completes their cell.
+	lastOfCell []bool
+	next       int
+}
+
+func newProgressTracker(fn ProgressFunc, scenario string, total, cells int) *progressTracker {
+	return &progressTracker{
+		fn:         fn,
+		scenario:   scenario,
+		total:      total,
+		cells:      cells,
+		events:     make([]*ProgressEvent, total),
+		ready:      make([]bool, total),
+		lastOfCell: make([]bool, total),
+	}
+}
+
+// start emits the suite-start event (called before any worker runs).
+func (pt *progressTracker) start() {
+	pt.fn(ProgressEvent{
+		Kind: ProgressSuiteStart, Scenario: pt.scenario,
+		Total: pt.total, Cells: pt.cells,
+		Cell: -1, Group: -1, Replica: -1,
+	})
+}
+
+// done records job idx's completion and flushes the ready prefix in
+// expansion order. ev is nil for a failed run.
+func (pt *progressTracker) done(idx int, ev *ProgressEvent) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	pt.events[idx] = ev
+	pt.ready[idx] = true
+	for pt.next < pt.total && pt.ready[pt.next] {
+		i := pt.next
+		pt.next++
+		e := pt.events[i]
+		pt.events[i] = nil
+		if e == nil {
+			continue
+		}
+		e.Done = pt.next
+		pt.fn(*e)
+		if pt.lastOfCell[i] {
+			pt.fn(ProgressEvent{
+				Kind: ProgressCellDone, Scenario: pt.scenario,
+				Done: pt.next, Total: pt.total, Cells: pt.cells,
+				Cell: e.Cell, Group: -1, Replica: -1,
+			})
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+const progressSpec = `{
+	"schema": 1,
+	"name": "progress-test",
+	"sweep": [{"name": "n", "values": [64, 128, 256]}],
+	"replicas": "3",
+	"rule": {"name": "3-majority"},
+	"init": {"generator": "balanced", "k": "2"},
+	"stop": {"max_rounds": "2000"}
+}`
+
+func collectProgress(t *testing.T, workers int) ([]ProgressEvent, *SuiteResult) {
+	t.Helper()
+	s, err := DecodeBytes([]byte(progressSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []ProgressEvent
+	p := Params{Seed: 7, Scale: Quick, Workers: workers,
+		Progress: func(ev ProgressEvent) { events = append(events, ev) }}
+	suite, err := ExecuteSuite(context.Background(), s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, suite
+}
+
+// TestProgressSequence pins the event shape: one suite-start with the
+// totals, one run-done per run with Done counting up in expansion order,
+// and one cell-done right after each cell's last run.
+func TestProgressSequence(t *testing.T) {
+	events, suite := collectProgress(t, 1)
+	total, cells := 9, 3 // 3 sweep cells × 3 replicas
+
+	if len(events) != 1+total+cells {
+		t.Fatalf("got %d events, want %d (start + %d runs + %d cells)", len(events), 1+total+cells, total, cells)
+	}
+	first := events[0]
+	if first.Kind != ProgressSuiteStart || first.Total != total || first.Cells != cells ||
+		first.Scenario != "progress-test" || first.Done != 0 || first.Cell != -1 {
+		t.Fatalf("bad suite-start event: %+v", first)
+	}
+
+	done, cellDone := 0, 0
+	for _, ev := range events[1:] {
+		switch ev.Kind {
+		case ProgressRunDone:
+			done++
+			if ev.Done != done || ev.Total != total {
+				t.Fatalf("run-done out of order: %+v at position %d", ev, done)
+			}
+			if ev.Cell != (done-1)/3 || ev.Replica != (done-1)%3 {
+				t.Fatalf("run-done not in expansion order: %+v (done=%d)", ev, done)
+			}
+			if ev.Rounds <= 0 || !ev.Converged {
+				t.Fatalf("run-done missing its run summary: %+v", ev)
+			}
+			res := suite.Cells[ev.Cell].Groups[ev.Group].Results[ev.Replica]
+			if ev.Rounds != res.Rounds || ev.Converged != res.Converged {
+				t.Fatalf("run-done summary %+v disagrees with the result (rounds=%d converged=%v)", ev, res.Rounds, res.Converged)
+			}
+		case ProgressCellDone:
+			if done%3 != 0 || ev.Cell != done/3-1 {
+				t.Fatalf("cell-done misplaced: %+v after %d runs", ev, done)
+			}
+			if ev.Done != done || ev.Replica != -1 {
+				t.Fatalf("bad cell-done event: %+v", ev)
+			}
+			cellDone++
+		default:
+			t.Fatalf("unexpected event kind %q mid-suite: %+v", ev.Kind, ev)
+		}
+	}
+	if done != total || cellDone != cells {
+		t.Fatalf("saw %d run-done and %d cell-done events, want %d and %d", done, cellDone, total, cells)
+	}
+}
+
+// TestProgressWorkerIndependent: the event sequence is part of the
+// determinism contract — scheduling may finish runs in any order, but
+// the reorder buffer must emit the identical sequence at any worker
+// count.
+func TestProgressWorkerIndependent(t *testing.T) {
+	sequential, _ := collectProgress(t, 1)
+	for _, workers := range []int{2, 8} {
+		parallel, _ := collectProgress(t, workers)
+		if !reflect.DeepEqual(sequential, parallel) {
+			t.Fatalf("workers=%d changed the progress sequence:\n%+v\nvs workers=1:\n%+v", workers, parallel, sequential)
+		}
+	}
+}
+
+// TestProgressDoesNotAffectResults: observation is passive — the suite
+// with a callback attached reduces to the same table as without.
+func TestProgressDoesNotAffectResults(t *testing.T) {
+	s, err := DecodeBytes([]byte(progressSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(context.Background(), s, Params{Seed: 7, Scale: Quick, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Run(context.Background(), s, Params{Seed: 7, Scale: Quick, Workers: 4,
+		Progress: func(ProgressEvent) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Rows, observed.Rows) {
+		t.Fatalf("progress observation changed the table:\n%v\nvs\n%v", observed.Rows, plain.Rows)
+	}
+}
