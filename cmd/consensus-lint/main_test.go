@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goMod = "module example.test/tmp\n\ngo 1.24\n"
+
+// writeModule lays out a throwaway module for driver tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runIn(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	t.Chdir(dir)
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestExitCodes pins the driver contract: 0 clean, 1 diagnostics found,
+// 2 usage or load/type error.
+func TestExitCodes(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod":   goMod,
+			"ok/ok.go": "package ok\n\n// Add adds.\nfunc Add(a, b int) int { return a + b }\n",
+		})
+		code, stdout, stderr := runIn(t, dir, "./...")
+		if code != 0 || stdout != "" {
+			t.Fatalf("clean module: code=%d stdout=%q stderr=%q", code, stdout, stderr)
+		}
+	})
+	t.Run("diagnostics", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod":     goMod,
+			"bad/bad.go": "package bad\n\nimport \"math/rand\"\n\n// Draw draws.\nfunc Draw() int { return rand.Int() }\n",
+		})
+		code, stdout, stderr := runIn(t, dir, "./...")
+		if code != 1 {
+			t.Fatalf("module with finding: code=%d stdout=%q stderr=%q", code, stdout, stderr)
+		}
+		if !strings.Contains(stdout, "rnghygiene") || !strings.Contains(stdout, "bad/bad.go:3:8") {
+			t.Errorf("diagnostic output missing analyzer or root-relative position: %q", stdout)
+		}
+		if !strings.Contains(stderr, "1 diagnostic(s)") {
+			t.Errorf("stderr summary missing: %q", stderr)
+		}
+	})
+	t.Run("type error", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod":           goMod,
+			"broken/broken.go": "package broken\n\nfunc X() int { return undefinedName }\n",
+		})
+		code, _, stderr := runIn(t, dir, "./...")
+		if code != 2 {
+			t.Fatalf("type error must exit 2: code=%d stderr=%q", code, stderr)
+		}
+	})
+	t.Run("usage error", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"go.mod": goMod})
+		if code, _, _ := runIn(t, dir, "-only", "nosuchanalyzer", "./..."); code != 2 {
+			t.Fatalf("unknown analyzer must exit 2: code=%d", code)
+		}
+		if code, _, _ := runIn(t, dir, "-json", "-sarif", "./..."); code != 2 {
+			t.Fatal("-json with -sarif must exit 2")
+		}
+	})
+}
+
+// TestJSONAndSARIFOutput smoke-checks the machine formats end to end
+// through the driver (the byte-exact schemas are golden-tested in
+// internal/lint).
+func TestJSONAndSARIFOutput(t *testing.T) {
+	files := map[string]string{
+		"go.mod":     goMod,
+		"bad/bad.go": "package bad\n\nimport \"math/rand\"\n\n// Draw draws.\nfunc Draw() int { return rand.Int() }\n",
+	}
+	t.Run("json", func(t *testing.T) {
+		dir := writeModule(t, files)
+		code, stdout, _ := runIn(t, dir, "-json", "./...")
+		if code != 1 {
+			t.Fatalf("code=%d", code)
+		}
+		var diags []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+		}
+		if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+			t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout)
+		}
+		if len(diags) == 0 || diags[0].File != "bad/bad.go" || diags[0].Analyzer != "rnghygiene" {
+			t.Errorf("unexpected -json payload: %+v", diags)
+		}
+	})
+	t.Run("sarif", func(t *testing.T) {
+		dir := writeModule(t, files)
+		code, stdout, _ := runIn(t, dir, "-sarif", "./...")
+		if code != 1 {
+			t.Fatalf("code=%d", code)
+		}
+		var doc struct {
+			Version string `json:"version"`
+			Runs    []struct {
+				Results []struct {
+					RuleID string `json:"ruleId"`
+				} `json:"results"`
+			} `json:"runs"`
+		}
+		if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+			t.Fatalf("-sarif output is not JSON: %v", err)
+		}
+		if doc.Version != "2.1.0" || len(doc.Runs) != 1 || len(doc.Runs[0].Results) == 0 {
+			t.Errorf("unexpected SARIF shape: %s", stdout)
+		}
+	})
+}
+
+// TestList sanity-checks that the dataflow tier is registered.
+func TestList(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod})
+	code, stdout, _ := runIn(t, dir, "-list")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	for _, name := range []string{"detrange", "goroutinefree", "streamflow", "ctxpoll", "strictsync"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list missing %s:\n%s", name, stdout)
+		}
+	}
+}

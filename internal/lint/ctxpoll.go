@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// CtxPollAnalyzer enforces the cancellation contract on long-running
+// functions: every loop in a //consensus:longrun function whose trip
+// count is not statically bounded must poll its context — call
+// ctx.Err() or receive from ctx.Done() — either directly in the loop
+// body or inside a function the body calls, followed through static
+// calls across every package of the load.
+//
+// "Statically bounded" is deliberately conservative:
+//
+//   - `range` over anything except a channel or a function is bounded
+//     (slices, arrays, maps, strings, integers all have finite extent).
+//   - a `for` with a condition comparing against a compile-time constant
+//     or a len()/cap() call is bounded (for i := 0; i < len(xs); i++).
+//   - everything else — `for {}`, `for cond()`, `for m < target` where
+//     target is a variable, `range ch` — is unbounded and must poll.
+//
+// This is exactly the shape of the PR 9 hybrid-engine bug: the
+// fast-forward planner's stretch loop (`for m < maxStretch`) ran
+// arbitrarily long without ever observing cancellation. The fixture
+// suite pins that shape.
+//
+// The analyzer reports one diagnostic per offending loop and attaches a
+// suggested fix inserting a poll as the loop's first statement when the
+// enclosing function has an in-scope context.Context named ctx.
+var CtxPollAnalyzer = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "requires //consensus:longrun functions to poll ctx in every statically-unbounded loop",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(p *Pass) {
+	c := &ctxPollPass{p: p, polls: make(map[*ProgFunc]bool)}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !IsLongrun(fn) {
+				continue
+			}
+			c.checkFunc(fn)
+		}
+	}
+}
+
+type ctxPollPass struct {
+	p *Pass
+	// polls memoizes "does this function (transitively) poll a context"
+	// across the whole load.
+	polls map[*ProgFunc]bool
+}
+
+// checkFunc walks every loop lexically inside fn — including loops in
+// nested function literals, which inherit the longrun contract because
+// they run on the annotated function's goroutine (or are the worker
+// bodies the annotation is really about).
+func (c *ctxPollPass) checkFunc(fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		body, pos, bounded := c.loopOf(n)
+		if body == nil || bounded {
+			return true
+		}
+		if c.bodyPolls(body, c.p.Info, make(map[*ProgFunc]bool)) {
+			return true
+		}
+		d := Diagnostic{
+			Pos: pos,
+			Message: fmt.Sprintf("unbounded loop in longrun %s never polls its context; add a ctx.Err()/ctx.Done() check",
+				FuncDisplayName(fn)),
+		}
+		if fix, ok := c.pollFix(fn, n, body); ok {
+			d.SuggestedFixes = []SuggestedFix{fix}
+		}
+		c.p.Report(d)
+		return true
+	})
+}
+
+// loopOf classifies n: returns the loop body and position when n is a
+// loop statement, with bounded=true when its trip count is statically
+// finite.
+func (c *ctxPollPass) loopOf(n ast.Node) (body *ast.BlockStmt, pos token.Pos, bounded bool) {
+	switch x := n.(type) {
+	case *ast.RangeStmt:
+		return x.Body, x.For, c.boundedRange(x)
+	case *ast.ForStmt:
+		return x.Body, x.For, c.boundedFor(x)
+	}
+	return nil, token.NoPos, false
+}
+
+// boundedRange: every range is bounded except over a channel (blocks
+// until close) or an iterator function (arbitrary yields).
+func (c *ctxPollPass) boundedRange(r *ast.RangeStmt) bool {
+	tv, ok := c.p.Info.Types[r.X]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// boundedFor: a for statement is bounded when its condition compares
+// against a compile-time constant or a len()/cap() call. &&/|| conditions
+// are bounded if either operand is.
+func (c *ctxPollPass) boundedFor(f *ast.ForStmt) bool {
+	return f.Cond != nil && c.boundedCond(f.Cond)
+}
+
+func (c *ctxPollPass) boundedCond(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND, token.LOR:
+			return c.boundedCond(x.X) || c.boundedCond(x.Y)
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.NEQ:
+			return c.boundedOperand(x.X) || c.boundedOperand(x.Y)
+		}
+	}
+	return false
+}
+
+// boundedOperand: a comparison bound that does not move during the loop —
+// a compile-time constant, a len()/cap() call, or a niladic method call
+// (`i < c.Slots()`), the accessor shape every bounded scan in this module
+// uses. Plain variables (`m < maxStretch`, `round <= o.maxRounds`) stay
+// unbounded: that is exactly the PR 9 planner-bug shape, where the bound
+// is large enough that the loop must still observe cancellation.
+func (c *ctxPollPass) boundedOperand(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := c.p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() != constant.Unknown {
+		return true
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if b, ok := c.p.Info.Uses[fun].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if len(call.Args) == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bodyPolls reports whether the loop body polls a context: calls .Err()
+// or receives .Done() on a context.Context-typed expression, directly or
+// inside any statically-called function, anywhere in the load. `select`
+// with a Done() case and `<-ctx.Done()` both count.
+func (c *ctxPollPass) bodyPolls(body *ast.BlockStmt, info *types.Info, visiting map[*ProgFunc]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") && isContextType(info, sel.X) {
+				found = true
+				return false
+			}
+		}
+		callee := StaticCallee(info, call)
+		if callee == nil {
+			return true
+		}
+		decl := c.p.Prog.DeclOf(callee)
+		if decl == nil {
+			return true
+		}
+		if c.funcPolls(decl, visiting) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// funcPolls memoizes whether fn's body polls a context (transitively).
+func (c *ctxPollPass) funcPolls(fn *ProgFunc, visiting map[*ProgFunc]bool) bool {
+	if v, ok := c.polls[fn]; ok {
+		return v
+	}
+	if visiting[fn] {
+		return false // recursion: optimistically assume no poll on the back-edge
+	}
+	visiting[fn] = true
+	v := c.bodyPolls(fn.Decl.Body, fn.Pkg.Info, visiting)
+	delete(visiting, fn)
+	c.polls[fn] = v
+	return v
+}
+
+// isContextType reports whether e's type is context.Context.
+func isContextType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// pollFix builds the suggested fix: insert `if ctx.Err() != nil { return }`
+// (or break, for loops whose function returns values) as the loop's first
+// statement — but only when an identifier `ctx` of type context.Context is
+// in scope at the loop.
+func (c *ctxPollPass) pollFix(fn *ast.FuncDecl, loop ast.Node, body *ast.BlockStmt) (SuggestedFix, bool) {
+	if !ctxInScope(c.p.Info, fn, loop.Pos()) {
+		return SuggestedFix{}, false
+	}
+	var at token.Pos
+	var indent string
+	if len(body.List) > 0 {
+		at = body.List[0].Pos()
+		// This module indents with tabs, so column n means n-1 tabs.
+		col := c.p.Fset.Position(at).Column
+		for i := 1; i < col; i++ {
+			indent += "\t"
+		}
+	} else {
+		at = body.Lbrace + 1
+	}
+	text := "if ctx.Err() != nil {\n" + indent + "\tbreak\n" + indent + "}\n" + indent
+	return SuggestedFix{
+		Message: "poll ctx.Err() at the top of the loop",
+		Edits:   []TextEdit{{Pos: at, End: at, NewText: []byte(text)}},
+	}, true
+}
+
+// ctxInScope reports whether an identifier `ctx` with type
+// context.Context is visible at pos inside fn (parameter, receiver-field
+// shadow, or local).
+func ctxInScope(info *types.Info, fn *ast.FuncDecl, pos token.Pos) bool {
+	scope := info.Scopes[fn.Type]
+	if scope == nil {
+		return false
+	}
+	inner := scope.Innermost(pos)
+	if inner == nil {
+		inner = scope
+	}
+	_, obj := inner.LookupParent("ctx", pos)
+	if obj == nil {
+		return false
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn != nil && tn.Name() == "Context" && tn.Pkg() != nil && tn.Pkg().Path() == "context"
+}

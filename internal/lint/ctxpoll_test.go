@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestCtxPoll(t *testing.T) {
+	testAnalyzer(t, CtxPollAnalyzer, "ctxpoll")
+}

@@ -11,10 +11,12 @@ import (
 // contract: worker pools are spawned once at construction (PR 5's lanes,
 // PR 2's shards), so no `go` statement may execute inside a round. The
 // analyzer rejects any `go` statement lexically inside a
-// //consensus:hotpath function or reachable from one through
-// same-package static calls (methods and functions resolved at compile
-// time; calls through interfaces or function values are outside the
-// static horizon and remain the alloc tests' job).
+// //consensus:hotpath function or reachable from one through static
+// calls — followed across every package of the load via the Program
+// call graph, so a hotpath calling a helper in a sibling internal
+// package that spawns is caught too. Calls through interfaces or
+// function values are outside the static horizon and remain the alloc
+// tests' job.
 var GoroutineFreeAnalyzer = &Analyzer{
 	Name: "goroutinefree",
 	Doc:  "forbids go statements reachable from //consensus:hotpath functions",
@@ -22,42 +24,51 @@ var GoroutineFreeAnalyzer = &Analyzer{
 }
 
 func runGoroutineFree(p *Pass) {
-	// Map every package-local function/method object to its declaration
-	// so static calls can be followed.
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	var hot []*ast.FuncDecl
+	var hot []*ProgFunc
 	for _, f := range p.Files {
 		for _, d := range f.Decls {
 			fn, ok := d.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
+			if !ok || fn.Body == nil || !IsHotpath(fn) {
 				continue
 			}
-			if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
-				decls[obj] = fn
+			obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
 			}
-			if IsHotpath(fn) {
-				hot = append(hot, fn)
+			if pf := p.Prog.DeclOf(obj); pf != nil {
+				hot = append(hot, pf)
 			}
 		}
 	}
 	for _, fn := range hot {
-		visited := make(map[*ast.FuncDecl]bool)
-		if pos, chain, found := findGo(p, decls, fn, visited); found {
+		visited := make(map[*ProgFunc]bool)
+		if pos, chain, found := findGo(p.Prog, fn, visited); found {
 			site := p.Fset.Position(pos)
 			if len(chain) == 0 {
-				p.Reportf(pos, "hotpath %s launches a goroutine; pools must be spawned at construction, not per round", FuncDisplayName(fn))
+				p.Reportf(pos, "hotpath %s launches a goroutine; pools must be spawned at construction, not per round", FuncDisplayName(fn.Decl))
 			} else {
-				p.Reportf(fn.Name.Pos(), "hotpath %s reaches a go statement (%s, via %s); pools must be spawned at construction, not per round",
-					FuncDisplayName(fn), site, strings.Join(chain, " -> "))
+				p.Reportf(fn.Decl.Name.Pos(), "hotpath %s reaches a go statement (%s, via %s); pools must be spawned at construction, not per round",
+					FuncDisplayName(fn.Decl), site, strings.Join(chain, " -> "))
 			}
 		}
 	}
 }
 
-// findGo searches fn's body (and, transitively, same-package callees)
-// for a go statement. It returns the statement position and the call
-// chain below fn (empty when the go statement is in fn itself).
-func findGo(p *Pass, decls map[*types.Func]*ast.FuncDecl, fn *ast.FuncDecl, visited map[*ast.FuncDecl]bool) (token.Pos, []string, bool) {
+// chainName renders a callee for the diagnostic chain: package-qualified
+// when the call crossed a package boundary.
+func chainName(from, to *ProgFunc) string {
+	name := FuncDisplayName(to.Decl)
+	if from.Pkg != to.Pkg {
+		return to.Pkg.Types.Name() + "." + name
+	}
+	return name
+}
+
+// findGo searches fn's body (and, transitively, statically-called
+// functions anywhere in the load) for a go statement. It returns the
+// statement position and the call chain below fn (empty when the go
+// statement is in fn itself).
+func findGo(prog *Program, fn *ProgFunc, visited map[*ProgFunc]bool) (token.Pos, []string, bool) {
 	if visited[fn] {
 		return token.NoPos, nil, false
 	}
@@ -68,7 +79,7 @@ func findGo(p *Pass, decls map[*types.Func]*ast.FuncDecl, fn *ast.FuncDecl, visi
 		foundChain []string
 		found      bool
 	)
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
 		if found {
 			return false
 		}
@@ -77,17 +88,17 @@ func findGo(p *Pass, decls map[*types.Func]*ast.FuncDecl, fn *ast.FuncDecl, visi
 			foundPos, found = x.Go, true
 			return false
 		case *ast.CallExpr:
-			callee := staticCallee(p, x)
+			callee := StaticCallee(fn.Pkg.Info, x)
 			if callee == nil {
 				return true
 			}
-			decl, ok := decls[callee]
-			if !ok {
-				return true // out-of-package or interface call
+			decl := prog.DeclOf(callee)
+			if decl == nil {
+				return true // outside the load or interface call
 			}
-			if pos, chain, ok := findGo(p, decls, decl, visited); ok {
+			if pos, chain, ok := findGo(prog, decl, visited); ok {
 				foundPos = pos
-				foundChain = append([]string{FuncDisplayName(decl)}, chain...)
+				foundChain = append([]string{chainName(fn, decl)}, chain...)
 				found = true
 				return false
 			}
@@ -95,26 +106,4 @@ func findGo(p *Pass, decls map[*types.Func]*ast.FuncDecl, fn *ast.FuncDecl, visi
 		return true
 	})
 	return foundPos, foundChain, found
-}
-
-// staticCallee resolves a call to its compile-time *types.Func, or nil
-// for builtins, conversions, function values and interface calls.
-func staticCallee(p *Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		if sel, ok := p.Info.Selections[fun]; ok {
-			// Interface method calls have no body to follow.
-			if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
-				return nil
-			}
-		}
-		id = fun.Sel
-	default:
-		return nil
-	}
-	obj, _ := p.Info.Uses[id].(*types.Func)
-	return obj
 }

@@ -5,3 +5,10 @@ import "testing"
 func TestGoroutineFree(t *testing.T) {
 	testAnalyzer(t, GoroutineFreeAnalyzer, "goroutinefree")
 }
+
+// TestGoroutineFreeCrossPackage pins the call-graph upgrade: a hotpath
+// calling a spawning helper in a sibling package, which the old
+// same-package walk could not see (DESIGN.md §7).
+func TestGoroutineFreeCrossPackage(t *testing.T) {
+	testAnalyzer(t, GoroutineFreeAnalyzer, "internal/hotcall")
+}

@@ -29,15 +29,17 @@ type expectation struct {
 func testAnalyzer(t *testing.T, a *Analyzer, paths ...string) {
 	t.Helper()
 	l := NewLoader()
-	var pkgs []*Package
+	l.FixtureRoot = filepath.Join("testdata", "src")
 	for _, path := range paths {
 		dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
-		pkg, err := l.LoadDir(dir, path)
-		if err != nil {
+		if _, err := l.LoadDir(dir, path); err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		pkgs = append(pkgs, pkg)
 	}
+	// Analyze the whole import closure — the requested fixtures plus any
+	// fixture packages they pulled in — so cross-package analyzers see
+	// every declaration and helper packages stay want-checked too.
+	pkgs := l.FixturePackages()
 	var wants []*expectation
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {

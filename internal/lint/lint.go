@@ -50,6 +50,22 @@ const (
 	// allocating constructs and goroutine launches. It goes in the
 	// function's doc comment.
 	HotpathDirective = "consensus:hotpath"
+	// LongrunDirective marks a function whose loops may run for a long
+	// time (round loops, worker drains, planners): every loop in it
+	// without a statically-bounded trip count must poll its context. It
+	// goes in the function's doc comment.
+	LongrunDirective = "consensus:longrun"
+	// SchemaDirective marks a struct type as a strict-schema root: every
+	// struct reachable from it through exported fields is part of the
+	// declarative spec surface checked by strictsync. It goes in the type
+	// declaration's doc comment.
+	SchemaDirective = "consensus:schema"
+	// StrictWalkDirective marks a function as one of the strict-schema
+	// walkers (decode/validate/expand/canonicalize/evaluate): strictsync
+	// requires every exported schema field to be read somewhere in the
+	// static call graph rooted at the walkers. It goes in the function's
+	// doc comment.
+	StrictWalkDirective = "consensus:strictwalk"
 	// OrderedDirective waives a detrange diagnostic: the author asserts
 	// the map iteration's effects are order-insensitive. Same line as the
 	// `for` or the line directly above.
@@ -59,13 +75,36 @@ const (
 	// steady-state capacity). Same line as the construct or the line
 	// directly above.
 	AllocDirective = "lint:alloc"
+	// ConfinedDirective waives a streamflow diagnostic: the author asserts
+	// the derived RNG stream, despite flowing into more than one lane
+	// shape, is dynamically confined to a single goroutine at a time. Same
+	// line as the Derive site (or the flagged sink) or the line above.
+	ConfinedDirective = "lint:confined"
 )
+
+// TextEdit is one byte-range replacement of a suggested fix. Pos..End is
+// replaced by NewText; an insertion has Pos == End.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// SuggestedFix is one self-contained edit set fixing a diagnostic.
+// Applying every edit of one fix (consensus-lint -fix) must leave the
+// package building and the diagnostic gone.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
 
 // Diagnostic is one finding, positioned in the shared FileSet.
 type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// SuggestedFixes are machine-applicable resolutions, best first.
+	SuggestedFixes []SuggestedFix
 }
 
 // Analyzer is one named check run over a type-checked package.
@@ -89,6 +128,11 @@ type Pass struct {
 	Path string
 	Pkg  *types.Package
 	Info *types.Info
+	// Prog is the whole-load view: every package of the Run, plus the
+	// cross-package static call graph (callgraph.go). Dataflow analyzers
+	// (goroutinefree, ctxpoll, strictsync) use it to follow calls into
+	// sibling packages of the same load.
+	Prog *Program
 
 	analyzer *Analyzer
 	report   func(Diagnostic)
@@ -100,6 +144,13 @@ type Pass struct {
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Analyzer: p.analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully-formed diagnostic (used by analyzers that attach
+// suggested fixes).
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.analyzer.Name
+	p.report(d)
 }
 
 // fileOf returns the *ast.File containing pos.
@@ -154,18 +205,30 @@ func (p *Pass) Waived(pos token.Pos, directive string) bool {
 	return false
 }
 
-// IsHotpath reports whether fn carries the //consensus:hotpath directive
-// in its doc comment.
-func IsHotpath(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
+// HasDirective reports whether the doc comment group carries the given
+// directive.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
 		return false
 	}
-	for _, c := range fn.Doc.List {
-		if strings.Contains(c.Text, "//"+HotpathDirective) {
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, "//"+directive) {
 			return true
 		}
 	}
 	return false
+}
+
+// IsHotpath reports whether fn carries the //consensus:hotpath directive
+// in its doc comment.
+func IsHotpath(fn *ast.FuncDecl) bool {
+	return HasDirective(fn.Doc, HotpathDirective)
+}
+
+// IsLongrun reports whether fn carries the //consensus:longrun directive
+// in its doc comment.
+func IsLongrun(fn *ast.FuncDecl) bool {
+	return HasDirective(fn.Doc, LongrunDirective)
 }
 
 // FuncDisplayName renders fn for diagnostics: "Name" or "(Recv).Name".
@@ -202,7 +265,10 @@ func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
 	return obj != nil && obj.Pos() >= lo && obj.Pos() <= hi
 }
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the full suite in reporting order: the syntactic
+// tier (detrange, rnghygiene, hotalloc, copylocks) followed by the
+// dataflow tier (goroutinefree, streamflow, ctxpoll, strictsync), which
+// follows the cross-package static call graph.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetRangeAnalyzer,
@@ -210,6 +276,9 @@ func Analyzers() []*Analyzer {
 		HotAllocAnalyzer,
 		GoroutineFreeAnalyzer,
 		CopyLocksAnalyzer,
+		StreamFlowAnalyzer,
+		CtxPollAnalyzer,
+		StrictSyncAnalyzer,
 	}
 }
 
@@ -239,9 +308,13 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run applies every analyzer to every package and returns the diagnostics
-// sorted by file position.
+// Run applies every analyzer to every package and returns the
+// diagnostics in deterministic reporting order: sorted by (file, line,
+// column, analyzer, message). Sorting by the position tuple — not by
+// token.Pos, which encodes FileSet load order — keeps text, JSON and
+// SARIF output byte-stable however the packages were enumerated.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := NewProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -251,17 +324,32 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Path:     pkg.Path,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
 				analyzer: a,
 				report:   func(d Diagnostic) { diags = append(diags, d) },
 			}
 			a.Run(pass)
 		}
 	}
+	if len(pkgs) == 0 {
+		return diags
+	}
+	fset := pkgs[0].Fset
 	sort.Slice(diags, func(i, j int) bool {
-		if diags[i].Pos != diags[j].Pos {
-			return diags[i].Pos < diags[j].Pos
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
 	return diags
 }

@@ -85,14 +85,59 @@ type Loader struct {
 	// IncludeTests adds in-package _test.go files to each package's
 	// check. External (_test package) files are never loaded.
 	IncludeTests bool
+	// FixtureRoot, when set, resolves imports against that directory
+	// before the source importer: an import path "internal/spawner" in a
+	// fixture loads testdata/src/internal/spawner as a fixture package.
+	// This is what lets cross-package fixtures (the goroutinefree and
+	// ctxpoll call-graph cases) type-check offline.
+	FixtureRoot string
 
-	imp types.Importer
+	imp      types.Importer
+	fixtures map[string]*Package
+	loading  map[string]bool
 }
 
 // NewLoader returns a loader with a fresh FileSet and source importer.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{
+		Fset:     fset,
+		imp:      importer.ForCompiler(fset, "source", nil),
+		fixtures: make(map[string]*Package),
+		loading:  make(map[string]bool),
+	}
+}
+
+// loaderImporter routes imports through the loader: fixture packages
+// first (when FixtureRoot is set), the shared source importer otherwise.
+type loaderImporter struct{ l *Loader }
+
+func (li loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := li.l
+	if l.FixtureRoot != "" {
+		if pkg, ok := l.fixtures[path]; ok {
+			return pkg.Types, nil
+		}
+		fdir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(fdir); err == nil && st.IsDir() {
+			if l.loading[path] {
+				return nil, fmt.Errorf("lint: fixture import cycle through %q", path)
+			}
+			pkg, err := l.LoadDir(fdir, path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	if from, ok := l.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return l.imp.Import(path)
 }
 
 // LoadModule loads every buildable package under the module rooted at
@@ -188,8 +233,12 @@ func (l *Loader) LoadDirAsModulePackage(root, dir string) (*Package, error) {
 
 // LoadDir loads the single package in dir under the given import path.
 // The analyzer test harness uses it to load testdata/src/<path> fixtures;
-// fixtures may import the standard library only.
+// fixtures may import the standard library and, when FixtureRoot is set,
+// other fixture packages under it.
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.fixtures[path]; ok {
+		return pkg, nil
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -204,7 +253,30 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
-	return l.check(dir, path, names)
+	l.loading[path] = true
+	pkg, err := l.check(dir, path, names)
+	delete(l.loading, path)
+	if err != nil {
+		return nil, err
+	}
+	l.fixtures[path] = pkg
+	return pkg, nil
+}
+
+// FixturePackages returns every fixture package loaded so far — the
+// packages requested via LoadDir plus the fixture imports they pulled in
+// — sorted by import path.
+func (l *Loader) FixturePackages() []*Package {
+	paths := make([]string, 0, len(l.fixtures))
+	for p := range l.fixtures {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.fixtures[p])
+	}
+	return out
 }
 
 func (l *Loader) check(dir, path string, names []string) (*Package, error) {
@@ -217,7 +289,7 @@ func (l *Loader) check(dir, path string, names []string) (*Package, error) {
 		files = append(files, f)
 	}
 	info := newInfo()
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: loaderImporter{l}}
 	tpkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)

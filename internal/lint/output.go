@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the driver's output layer: the text, JSON and SARIF
+// renderings of a diagnostic list, plus suggested-fix application.
+// Every format renders file names module-root-relative (forward
+// slashes), so golden files and CI artifacts are machine-independent,
+// and consumes the already-sorted diagnostics from Run, so output is
+// byte-stable run to run.
+
+// relFile renders filename relative to root; files outside root (or an
+// empty root) keep their full path. Always forward slashes.
+func relFile(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// WriteText renders diagnostics in the classic one-line-per-finding
+// compiler format: file:line:col: analyzer: message.
+func WriteText(w io.Writer, root string, fset *token.FileSet, diags []Diagnostic) {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", relFile(root, pos.Filename), pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+}
+
+type jsonEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+type jsonFix struct {
+	Message string     `json:"message"`
+	Edits   []jsonEdit `json:"edits"`
+}
+
+type jsonDiagnostic struct {
+	File           string    `json:"file"`
+	Line           int       `json:"line"`
+	Column         int       `json:"column"`
+	Analyzer       string    `json:"analyzer"`
+	Message        string    `json:"message"`
+	SuggestedFixes []jsonFix `json:"suggested_fixes,omitempty"`
+}
+
+// WriteJSON renders diagnostics as a JSON array (always an array — an
+// empty run emits [], which is what CI's jq 'length == 0' gate checks).
+func WriteJSON(w io.Writer, root string, fset *token.FileSet, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		jd := jsonDiagnostic{
+			File:     relFile(root, pos.Filename),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		for _, fix := range d.SuggestedFixes {
+			jf := jsonFix{Message: fix.Message}
+			for _, e := range fix.Edits {
+				start := fset.Position(e.Pos)
+				end := start
+				if e.End.IsValid() {
+					end = fset.Position(e.End)
+				}
+				jf.Edits = append(jf.Edits, jsonEdit{
+					File:    relFile(root, start.Filename),
+					Start:   start.Offset,
+					End:     end.Offset,
+					NewText: string(e.NewText),
+				})
+			}
+			jd.SuggestedFixes = append(jd.SuggestedFixes, jf)
+		}
+		out = append(out, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 — the minimal subset GitHub code scanning and the golden
+// tests pin: schema/version, one run, a driver with one rule per
+// analyzer, and one result per diagnostic.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log. The rule table
+// lists every analyzer that ran (not just the ones that fired), so a
+// clean run still documents the suite.
+func WriteSARIF(w io.Writer, root string, fset *token.FileSet, analyzers []*Analyzer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relFile(root, pos.Filename)},
+					Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+				},
+			}},
+		})
+	}
+	doc := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "consensus-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ApplyFixes applies the first suggested fix of every diagnostic that
+// carries one and returns the rewritten content per file (keyed by the
+// file's path as recorded in the FileSet). It does not write anything —
+// the driver owns the filesystem. Overlapping or out-of-range edits are
+// an error, not a partial write.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, e := range d.SuggestedFixes[0].Edits {
+			start := fset.Position(e.Pos)
+			end := start
+			if e.End.IsValid() {
+				end = fset.Position(e.End)
+			}
+			if end.Filename != start.Filename {
+				return nil, fmt.Errorf("lint: fix edit spans files (%s..%s)", start.Filename, end.Filename)
+			}
+			perFile[start.Filename] = append(perFile[start.Filename], edit{start.Offset, end.Offset, e.NewText})
+		}
+	}
+	names := make([]string, 0, len(perFile))
+	for name := range perFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string][]byte, len(perFile))
+	for _, name := range names {
+		edits := perFile[name]
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		// Back-to-front so earlier offsets stay valid as we splice.
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i := 0; i+1 < len(edits); i++ {
+			if edits[i+1].end > edits[i].start {
+				return nil, fmt.Errorf("lint: overlapping fix edits in %s", name)
+			}
+		}
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				return nil, fmt.Errorf("lint: fix edit out of range in %s", name)
+			}
+			var buf []byte
+			buf = append(buf, src[:e.start]...)
+			buf = append(buf, e.text...)
+			buf = append(buf, src[e.end:]...)
+			src = buf
+		}
+		out[name] = src
+	}
+	return out, nil
+}

@@ -1,0 +1,421 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StreamFlowAnalyzer enforces single-ownership of derived RNG streams.
+// The bit-exactness contract (DESIGN.md §2–§3) rests on every
+// `*rng.RNG` (and `rng.Alias`) stream obtained from `Derive` having
+// exactly one owning goroutine and one lane: a stream shared between
+// lanes makes the draw sequence depend on scheduling, which is exactly
+// the nondeterminism the derivation tree exists to prevent.
+//
+// For each function, the analyzer builds a small value-flow record for
+// every local variable initialized from a Derive call and flags three
+// sharing shapes:
+//
+//  1. goroutine capture + enclosing use: the stream is captured by a
+//     function literal that is launched with `go` or handed to another
+//     call (worker-pool submit), and the enclosing function also uses
+//     the stream itself — two goroutines, one stream.
+//  2. multi-lane store: the stream is stored under two different
+//     constant indices, or under a loop-variable index of a loop that
+//     does not itself contain the Derive — one stream fanned out to
+//     every lane of a slice/map.
+//  3. two shard indices: the stream is passed to the same callee twice
+//     with two different constant integer shard arguments.
+//
+// A site that is dynamically confined (e.g. a stream handed to a pool
+// that guarantees exclusive ownership) carries a //lint:confined waiver
+// on the Derive line or on the flagged use.
+var StreamFlowAnalyzer = &Analyzer{
+	Name: "streamflow",
+	Doc:  "requires each Derive'd RNG stream to have a single owning goroutine and lane",
+	Run:  runStreamFlow,
+}
+
+func runStreamFlow(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkStreamFlow(p, fn)
+		}
+	}
+}
+
+// isRNGStream reports whether t is (a pointer to) one of internal/rng's
+// stream types.
+func isRNGStream(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if !pathHasSegmentPrefix(obj.Pkg().Path(), "internal/rng") {
+		return false
+	}
+	return obj.Name() == "RNG" || obj.Name() == "Alias"
+}
+
+// isDeriveCall reports whether call is a method call in the Derive
+// family (Derive, DeriveAlias, ...) whose result is an RNG stream.
+func isDeriveCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Derive") {
+		return false
+	}
+	tv, ok := info.Types[call]
+	return ok && isRNGStream(tv.Type)
+}
+
+// stream is the per-variable flow record.
+type stream struct {
+	obj       *types.Var
+	derivePos token.Pos // the Derive call site (waiver anchor)
+	deriveN   ast.Node  // the assignment statement holding the Derive
+
+	// lane evidence accumulated across uses:
+	constStores map[int64]bool            // constant store indices seen
+	shardArgs   map[string]map[int64]bool // callee key -> constant shard args seen
+	capturedPos token.Pos                 // first capture by a launched/submitted closure
+	enclosedPos token.Pos                 // first bare use in the enclosing function
+	reported    bool
+}
+
+type useContext struct {
+	// lit is the innermost enclosing function literal (nil at top level
+	// of the declared function).
+	lit *ast.FuncLit
+	// litLaunched is true when lit is the target of a go statement or an
+	// argument of a call expression (worker submit).
+	litLaunched bool
+}
+
+func checkStreamFlow(p *Pass, fn *ast.FuncDecl) {
+	info := p.Info
+	streams := make(map[*types.Var]*stream)
+
+	// Pass 1: find Derive-initialized locals.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+				return true
+			}
+			id, ok := x.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isDeriveCall(info, call) {
+				return true
+			}
+			var obj *types.Var
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				obj = v
+			} else if v, ok := info.Uses[id].(*types.Var); ok {
+				obj = v
+			}
+			if obj == nil {
+				return true
+			}
+			streams[obj] = &stream{
+				obj:         obj,
+				derivePos:   call.Pos(),
+				deriveN:     x,
+				constStores: make(map[int64]bool),
+				shardArgs:   make(map[string]map[int64]bool),
+			}
+		}
+		return true
+	})
+	if len(streams) == 0 {
+		return
+	}
+
+	// Pass 2: classify every use. A manual walk keeps the ancestor path
+	// so each identifier knows its enclosing closure and statement.
+	var path []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		path = append(path, n)
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				if s, tracked := streams[v]; tracked && !s.reported {
+					classifyStreamUse(p, fn, s, id, path)
+				}
+			}
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				walk(c)
+			}
+			return false
+		})
+		path = path[:len(path)-1]
+	}
+	walk(fn.Body)
+}
+
+// classifyStreamUse inspects one identifier use of a tracked stream,
+// updates the flow record and reports when a sharing shape completes.
+func classifyStreamUse(p *Pass, fn *ast.FuncDecl, s *stream, id *ast.Ident, path []ast.Node) {
+	info := p.Info
+
+	// Skip the defining assignment itself.
+	for _, n := range path {
+		if n == s.deriveN {
+			return
+		}
+	}
+
+	uc := classifyContext(path)
+
+	// Shape 1: capture by a launched closure + use in the enclosing body.
+	if uc.lit != nil && uc.litLaunched {
+		// The identifier must be captured, not a parameter of the literal.
+		if !declaredWithin(s.obj, uc.lit.Pos(), uc.lit.End()) {
+			if s.capturedPos == token.NoPos {
+				s.capturedPos = id.Pos()
+			}
+		}
+	} else if uc.lit == nil {
+		if s.enclosedPos == token.NoPos {
+			s.enclosedPos = id.Pos()
+		}
+	}
+	if s.capturedPos != token.NoPos && s.enclosedPos != token.NoPos {
+		pos := s.capturedPos
+		if !streamWaived(p, s, pos) {
+			p.Reportf(pos, "stream %s is captured by a goroutine closure and also used by the enclosing function; a Derive'd stream must have one owning goroutine (waive with //lint:confined)", s.obj.Name())
+		}
+		s.reported = true
+		return
+	}
+
+	// Shape 2: multi-lane store. The use is the RHS of `container[idx] = s`.
+	if assign, idx, ok := storeIndex(path, id); ok {
+		if cv, isConst := constInt(info, idx); isConst {
+			s.constStores[cv] = true
+			if len(s.constStores) > 1 {
+				if !streamWaived(p, s, id.Pos()) {
+					p.Reportf(id.Pos(), "stream %s is stored into more than one lane (distinct constant indices); each lane must own its own Derive'd stream (waive with //lint:confined)", s.obj.Name())
+				}
+				s.reported = true
+			}
+			return
+		}
+		if loopVarStore(info, fn, s, assign, idx) {
+			if !streamWaived(p, s, id.Pos()) {
+				p.Reportf(id.Pos(), "stream %s is stored under a loop-variable index but derived outside the loop; every lane receives the same stream (waive with //lint:confined)", s.obj.Name())
+			}
+			s.reported = true
+			return
+		}
+	}
+
+	// Shape 3: the same callee receives the stream with two different
+	// constant shard indices.
+	if call, ok := enclosingCallArg(path, id); ok {
+		callee := StaticCallee(info, call)
+		if callee != nil {
+			key := funcKey(callee)
+			for _, arg := range call.Args {
+				if cv, isConst := constInt(info, arg); isConst {
+					set := s.shardArgs[key]
+					if set == nil {
+						set = make(map[int64]bool)
+						s.shardArgs[key] = set
+					}
+					set[cv] = true
+					if len(set) > 1 {
+						if !streamWaived(p, s, id.Pos()) {
+							p.Reportf(id.Pos(), "stream %s is passed to %s for two different shard indices; each shard must own its own Derive'd stream (waive with //lint:confined)", s.obj.Name(), callee.Name())
+						}
+						s.reported = true
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// streamWaived checks //lint:confined at the flagged use or at the
+// Derive site.
+func streamWaived(p *Pass, s *stream, use token.Pos) bool {
+	return p.Waived(use, ConfinedDirective) || p.Waived(s.derivePos, ConfinedDirective)
+}
+
+// classifyContext finds the innermost function literal on the path and
+// whether it is launched (go statement) or submitted (call argument).
+func classifyContext(path []ast.Node) useContext {
+	var uc useContext
+	for i := len(path) - 1; i >= 0; i-- {
+		lit, ok := path[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		uc.lit = lit
+		// How is the literal used? Look one level up.
+		if i > 0 {
+			switch parent := path[i-1].(type) {
+			case *ast.GoStmt:
+				uc.litLaunched = true
+			case *ast.CallExpr:
+				if i > 1 {
+					if _, isGo := path[i-2].(*ast.GoStmt); isGo && parent.Fun == lit {
+						uc.litLaunched = true
+						break
+					}
+				}
+				// The literal is an argument (not the callee) — treat as
+				// a worker-pool submit.
+				if parent.Fun != lit {
+					uc.litLaunched = true
+				}
+			}
+		}
+		break
+	}
+	return uc
+}
+
+// storeIndex matches `container[idx] = ... id ...` with id on the RHS and
+// returns the assignment and index expression.
+func storeIndex(path []ast.Node, id *ast.Ident) (*ast.AssignStmt, ast.Expr, bool) {
+	for i := len(path) - 1; i >= 0; i-- {
+		assign, ok := path[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		// id must be within one of the RHS expressions.
+		onRHS := false
+		for _, rhs := range assign.Rhs {
+			if rhs.Pos() <= id.Pos() && id.End() <= rhs.End() {
+				onRHS = true
+			}
+		}
+		if !onRHS {
+			return nil, nil, false
+		}
+		for _, lhs := range assign.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				return assign, ix.Index, true
+			}
+		}
+		return nil, nil, false
+	}
+	return nil, nil, false
+}
+
+// constInt evaluates e as a compile-time integer constant.
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return v, exact
+}
+
+// loopVarStore reports whether idx is a variable bound by a for/range
+// loop that encloses the store but not the stream's Derive: the loop
+// fans one stream out to every lane.
+func loopVarStore(info *types.Info, fn *ast.FuncDecl, s *stream, store *ast.AssignStmt, idx ast.Expr) bool {
+	id, ok := ast.Unparen(idx).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		if d, ok := info.Defs[id]; ok {
+			obj = d
+		}
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var bodySpan ast.Node
+		var binds bool
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			bodySpan = x
+			if kid, ok := x.Key.(*ast.Ident); ok && info.Defs[kid] == v {
+				binds = true
+			}
+			if vid, ok := x.Value.(*ast.Ident); ok && info.Defs[vid] == v {
+				binds = true
+			}
+		case *ast.ForStmt:
+			bodySpan = x
+			if init, ok := x.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if lid, ok := lhs.(*ast.Ident); ok && info.Defs[lid] == v {
+						binds = true
+					}
+				}
+			}
+		default:
+			return true
+		}
+		if !binds {
+			return true
+		}
+		inLoop := bodySpan.Pos() <= store.Pos() && store.End() <= bodySpan.End()
+		deriveIn := bodySpan.Pos() <= s.derivePos && s.derivePos <= bodySpan.End()
+		if inLoop && !deriveIn {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingCallArg matches id appearing as (part of) an argument of a
+// call expression and returns that call.
+func enclosingCallArg(path []ast.Node, id *ast.Ident) (*ast.CallExpr, bool) {
+	for i := len(path) - 1; i >= 0; i-- {
+		call, ok := path[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		for _, arg := range call.Args {
+			if arg.Pos() <= id.Pos() && id.End() <= arg.End() {
+				return call, true
+			}
+		}
+		return nil, false
+	}
+	return nil, false
+}

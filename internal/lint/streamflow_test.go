@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestStreamFlow(t *testing.T) {
+	testAnalyzer(t, StreamFlowAnalyzer, "streamflow")
+}

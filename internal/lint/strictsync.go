@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StrictSyncAnalyzer keeps the declarative spec surface and its walkers
+// in lock-step. The scenario package's strict decoder rejects unknown
+// keys, but nothing used to stop the converse drift: adding an exported
+// field to a spec struct without wiring it into validation or
+// canonicalization silently produced specs that decode but are never
+// checked.
+//
+// Types annotated //consensus:schema are roots; the schema closure is
+// every struct reachable from a root through exported fields (through
+// pointers, slices, arrays and maps). Functions annotated
+// //consensus:strictwalk are the walkers (decode, validate, expand,
+// canonicalize, evaluate). Every exported field in the closure must be
+// referenced somewhere in the static call graph rooted at the walkers —
+// otherwise the field is schema drift and gets a diagnostic at its
+// declaration.
+var StrictSyncAnalyzer = &Analyzer{
+	Name: "strictsync",
+	Doc:  "requires every exported field of //consensus:schema structs to be reached from //consensus:strictwalk walkers",
+	Run:  runStrictSync,
+}
+
+type schemaField struct {
+	owner string // display name of the declaring struct
+	name  string
+	pos   token.Pos
+}
+
+func runStrictSync(p *Pass) {
+	// Roots: schema-annotated struct types declared in this package.
+	var roots []*types.Named
+	var firstRootPos token.Pos
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !HasDirective(ts.Doc, SchemaDirective) && !HasDirective(gd.Doc, SchemaDirective) {
+					continue
+				}
+				obj, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+					p.Reportf(ts.Name.Pos(), "//consensus:schema directive on non-struct type %s", ts.Name.Name)
+					continue
+				}
+				roots = append(roots, named)
+				if firstRootPos == token.NoPos {
+					firstRootPos = ts.Name.Pos()
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Walkers: strictwalk-annotated functions in this package.
+	var walkers []*ProgFunc
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !HasDirective(fn.Doc, StrictWalkDirective) {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+				if pf := p.Prog.DeclOf(obj); pf != nil {
+					walkers = append(walkers, pf)
+				}
+			}
+		}
+	}
+	if len(walkers) == 0 {
+		p.Reportf(firstRootPos, "package %s declares //consensus:schema types but no //consensus:strictwalk walkers", p.Pkg.Name())
+		return
+	}
+
+	fields := schemaClosure(p, roots)
+	if len(fields) == 0 {
+		return
+	}
+	used := walkerFieldUses(p.Prog, walkers)
+
+	for _, fld := range fields {
+		if used[fld.pos] {
+			continue
+		}
+		p.Reportf(fld.pos, "exported schema field %s.%s is not referenced by any //consensus:strictwalk walker; wire it into validation/canonicalization or drop it",
+			fld.owner, fld.name)
+	}
+}
+
+// schemaClosure collects every exported field of every struct reachable
+// from the roots through exported fields, restricted to structs declared
+// in the root's package (imported types are another package's contract).
+// Fields are returned in declaration order for deterministic reporting.
+func schemaClosure(p *Pass, roots []*types.Named) []schemaField {
+	var fields []schemaField
+	seen := make(map[*types.Named]bool)
+	var visit func(named *types.Named)
+	visit = func(named *types.Named) {
+		if seen[named] {
+			return
+		}
+		seen[named] = true
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Embedded() {
+				// Recurse into the embedded struct; its fields are part
+				// of the schema under their own declaration.
+				if em := namedStructOf(f.Type(), p.Pkg); em != nil {
+					visit(em)
+				}
+				continue
+			}
+			if !f.Exported() {
+				continue
+			}
+			fields = append(fields, schemaField{owner: named.Obj().Name(), name: f.Name(), pos: f.Pos()})
+			if child := namedStructOf(f.Type(), p.Pkg); child != nil {
+				visit(child)
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return fields
+}
+
+// namedStructOf unwraps pointers, slices, arrays and map values down to
+// a named struct declared in pkg, or nil.
+func namedStructOf(t types.Type, pkg *types.Package) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+			continue
+		case *types.Slice:
+			t = x.Elem()
+			continue
+		case *types.Array:
+			t = x.Elem()
+			continue
+		case *types.Map:
+			t = x.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkg.Path() {
+		return nil
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return nil
+	}
+	return named
+}
+
+// walkerFieldUses walks every function statically reachable from the
+// walkers — across packages — and records the declaration position of
+// every struct field referenced. Positions are load-stable because every
+// package of a Run shares one FileSet, so a field var seen through an
+// importing package's view carries the same Pos as the declaration.
+func walkerFieldUses(prog *Program, walkers []*ProgFunc) map[token.Pos]bool {
+	used := make(map[token.Pos]bool)
+	visited := make(map[*ProgFunc]bool)
+	var visit func(fn *ProgFunc)
+	visit = func(fn *ProgFunc) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		info := fn.Pkg.Info
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				// Covers selector uses and keyed composite literals.
+				if v, ok := info.Uses[x].(*types.Var); ok && v.IsField() {
+					used[v.Pos()] = true
+				}
+			case *ast.CallExpr:
+				if callee := StaticCallee(info, x); callee != nil {
+					if decl := prog.DeclOf(callee); decl != nil {
+						visit(decl)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, w := range walkers {
+		visit(w)
+	}
+	return used
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestStrictSync(t *testing.T) {
+	testAnalyzer(t, StrictSyncAnalyzer, "strictsync", "strictsync/nowalker")
+}

@@ -1,0 +1,137 @@
+// Package ctxpoll exercises the cancellation contract on longrun
+// functions: every statically-unbounded loop must poll its context.
+package ctxpoll
+
+import (
+	"context"
+
+	"internal/waitutil"
+)
+
+// planShaped pins the PR 9 hybrid fast-forward planner bug: the
+// certified stretch extends toward a variable bound without ever
+// observing cancellation, so a cancelled run kept planning for up to a
+// full MaxStretch.
+//
+//consensus:longrun
+func planShaped(ctx context.Context, maxStretch int) int {
+	m := 0
+	for m < maxStretch { // want `unbounded loop in longrun planShaped never polls its context`
+		m++
+	}
+	return m
+}
+
+// planFixed is the PR 9 fix shape: poll first, then extend. No
+// diagnostics.
+//
+//consensus:longrun
+func planFixed(ctx context.Context, maxStretch int) int {
+	m := 0
+	for m < maxStretch {
+		if ctx.Err() != nil {
+			break
+		}
+		m++
+	}
+	return m
+}
+
+// boundedScans never need a poll: constant, len() and accessor bounds
+// and non-channel ranges are statically finite.
+//
+//consensus:longrun
+func boundedScans(ctx context.Context, xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	for _, x := range xs {
+		t += x
+	}
+	for i := 0; i < 64; i++ {
+		t += i
+	}
+	return t
+}
+
+// drainChannel ranges over a channel — unbounded — without polling.
+//
+//consensus:longrun
+func drainChannel(ctx context.Context, ch chan int) int {
+	t := 0
+	for v := range ch { // want `unbounded loop in longrun drainChannel never polls its context`
+		t += v
+	}
+	return t
+}
+
+// selectPoll satisfies the contract with a Done() select case. No
+// diagnostics.
+//
+//consensus:longrun
+func selectPoll(ctx context.Context, ch chan int) int {
+	t := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return t
+		case v := <-ch:
+			t += v
+		}
+	}
+}
+
+func cancelled(ctx context.Context) bool { return ctx.Err() != nil }
+
+// pollThroughHelper polls via a same-package helper. No diagnostics.
+//
+//consensus:longrun
+func pollThroughHelper(ctx context.Context, maxStretch int) int {
+	m := 0
+	for m < maxStretch {
+		if cancelled(ctx) {
+			break
+		}
+		m++
+	}
+	return m
+}
+
+// pollCrossPackage polls via a helper in another package of the load:
+// the cross-package call graph resolves it. No diagnostics.
+//
+//consensus:longrun
+func pollCrossPackage(ctx context.Context, maxStretch int) int {
+	m := 0
+	for m < maxStretch {
+		if waitutil.Cancelled(ctx) {
+			break
+		}
+		m++
+	}
+	return m
+}
+
+// workerBody: loops inside nested function literals inherit the
+// enclosing annotation — they run on the goroutines the annotation is
+// about.
+//
+//consensus:longrun
+func workerBody(ctx context.Context, jobs chan int, launch func(func())) {
+	launch(func() {
+		for j := range jobs { // want `unbounded loop in longrun workerBody never polls its context`
+			_ = j
+		}
+	})
+}
+
+// unannotated has the bug shape but no directive: out of scope for
+// ctxpoll. No diagnostics.
+func unannotated(ctx context.Context, maxStretch int) int {
+	m := 0
+	for m < maxStretch {
+		m++
+	}
+	return m
+}

@@ -1,0 +1,20 @@
+// Package hotcall pins the cross-package reach of goroutinefree: before
+// the Program call graph, a hotpath calling a helper in a sibling
+// package that spawns was invisible to the same-package walk.
+package hotcall
+
+import "internal/spawner"
+
+// Step is hot and reaches a go statement two packages away.
+//
+//consensus:hotpath
+func Step(ch chan int, v int) { // want `hotpath Step reaches a go statement .*via spawner\.Notify`
+	spawner.Notify(ch, v)
+}
+
+// Observe is hot but only calls the synchronous helper. No diagnostics.
+//
+//consensus:hotpath
+func Observe(xs []int, v int) []int {
+	return spawner.Record(xs, v)
+}

@@ -1,5 +1,7 @@
-// Package rng is the rnghygiene fixture for the one facade package
-// allowed to own a math/rand/v2 generator: no diagnostics.
+// Package rng is the fixture mirror of the real internal/rng facade: the
+// one package allowed to own a math/rand/v2 generator (rnghygiene: no
+// diagnostics), and the source of the RNG/Alias stream types whose
+// Derive results the streamflow analyzer tracks.
 package rng
 
 import "math/rand/v2"
@@ -8,3 +10,29 @@ import "math/rand/v2"
 func New(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, seed))
 }
+
+// RNG is a deterministic stream in the derivation tree.
+type RNG struct{ state uint64 }
+
+// NewRNG roots a derivation tree at seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Derive splits a child stream keyed by key.
+func (r *RNG) Derive(key uint64) *RNG {
+	return &RNG{state: r.state ^ (key*0x9e3779b97f4a7c15 + 1)}
+}
+
+// Uint64 draws the next value.
+func (r *RNG) Uint64() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}
+
+// Alias is a weighted sampler bound to one stream.
+type Alias struct{ r *RNG }
+
+// DeriveAlias derives a sampler stream for the given weights table key.
+func (r *RNG) DeriveAlias(key uint64) Alias { return Alias{r: r.Derive(key)} }
+
+// Next draws one sample index.
+func (a Alias) Next() uint64 { return a.r.Uint64() }

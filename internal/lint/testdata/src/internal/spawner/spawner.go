@@ -1,0 +1,11 @@
+// Package spawner is the goroutinefree cross-package fixture helper: a
+// sibling internal package whose helper launches a goroutine.
+package spawner
+
+// Notify fans the value out asynchronously.
+func Notify(ch chan int, v int) {
+	go func() { ch <- v }()
+}
+
+// Record appends synchronously; calling it from a hotpath is fine.
+func Record(xs []int, v int) []int { return append(xs, v) }

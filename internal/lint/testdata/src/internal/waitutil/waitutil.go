@@ -1,0 +1,10 @@
+// Package waitutil is the cross-package poll helper fixture: longrun
+// loops in other fixture packages satisfy the ctxpoll contract through a
+// static call into this package.
+package waitutil
+
+import "context"
+
+// Cancelled reports whether ctx has been cancelled; callers use it as
+// their loop poll.
+func Cancelled(ctx context.Context) bool { return ctx.Err() != nil }

@@ -1,0 +1,15 @@
+// Package nowalker declares schema roots without any walker: strictsync
+// reports the missing walker set once, at the first root.
+package nowalker
+
+// Mode is not a struct, so the directive itself is an error.
+//
+//consensus:schema
+type Mode int // want `//consensus:schema directive on non-struct type Mode`
+
+// Spec has no walker to keep it in sync.
+//
+//consensus:schema
+type Spec struct { // want `package nowalker declares //consensus:schema types but no //consensus:strictwalk walkers`
+	Name string
+}

@@ -1,0 +1,83 @@
+// Package strictsync exercises schema/walker lock-step checking: every
+// exported field reachable from a //consensus:schema root must be
+// referenced by the //consensus:strictwalk walkers.
+package strictsync
+
+import "errors"
+
+// Defaults is embedded in Spec; its fields are schema surface under
+// their own declaration.
+type Defaults struct {
+	Seed int
+}
+
+// Spec is the schema root.
+//
+//consensus:schema
+type Spec struct {
+	Defaults
+	Name    string
+	Rounds  int
+	Nodes   *NodesSpec
+	Network NetworkSpec
+	Drifted string // want `exported schema field Spec.Drifted is not referenced by any //consensus:strictwalk walker`
+
+	cache int // unexported: not schema surface
+}
+
+// NodesSpec is reached through Spec.Nodes.
+type NodesSpec struct {
+	Count  int
+	Groups []GroupSpec
+}
+
+// GroupSpec is reached through NodesSpec.Groups.
+type GroupSpec struct {
+	ID   string
+	Frac float64
+}
+
+// NetworkSpec is reached through Spec.Network.
+type NetworkSpec struct {
+	Model string
+	Delay int // want `exported schema field NetworkSpec.Delay is not referenced by any //consensus:strictwalk walker`
+}
+
+// Validate is the walker: it reaches every field except the two drifted
+// ones, partly through helpers resolved on the static call graph.
+//
+//consensus:strictwalk
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return errors.New("name required")
+	}
+	if s.Rounds <= 0 || s.Seed < 0 {
+		return errors.New("rounds and seed must be positive")
+	}
+	s.cache = s.Rounds
+	if s.Nodes != nil {
+		if err := validateNodes(s.Nodes); err != nil {
+			return err
+		}
+	}
+	return validateNetwork(&s.Network)
+}
+
+func validateNodes(n *NodesSpec) error {
+	if n.Count <= 0 {
+		return errors.New("nodes.count must be positive")
+	}
+	for _, g := range n.Groups {
+		if g.ID == "" || g.Frac <= 0 {
+			return errors.New("bad group")
+		}
+	}
+	return nil
+}
+
+func validateNetwork(n *NetworkSpec) error {
+	if n.Model == "" {
+		return errors.New("network.model required")
+	}
+	return nil
+}

@@ -459,6 +459,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 // worker executes queued jobs until the queue closes (Drain).
+//
+//consensus:longrun
 func (s *Server) worker() {
 	defer func() { s.workersWG <- struct{}{} }()
 	for j := range s.queue {

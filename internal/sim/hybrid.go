@@ -253,6 +253,7 @@ func (f *ffController) step(round int) int {
 // plan.
 //
 //consensus:hotpath
+//consensus:longrun
 func (f *ffController) plan(round int) int {
 	c := f.c
 	k := c.Remaining()

@@ -142,6 +142,8 @@ func (rn *Runner) Run(ctx context.Context, start *config.Config) (*Result, error
 // stream derived deterministically from the configured source, so results
 // are reproducible regardless of scheduling; they are returned in replica
 // order. workers <= 0 means GOMAXPROCS.
+//
+//consensus:longrun
 func (rn *Runner) RunReplicas(ctx context.Context, start *config.Config, replicas, workers int) ([]*Result, error) {
 	if rn.factory == nil {
 		return nil, errors.New("sim: RunReplicas needs a fresh rule per replica; use NewFactoryRunner")

@@ -416,6 +416,8 @@ func runBatch(rule core.Rule, start *config.Config, r *rng.RNG, o options) (*Res
 // (nil, err); a context cancelled mid-run returns the partial Result for
 // the rounds completed so far together with the error, so callers keep
 // the work already done.
+//
+//consensus:longrun
 func runLoop(c *config.Config, r *rng.RNG, o options, step func(round int) int, current func() *config.Config, nodes func() []int) (*Result, error) {
 	if err := o.ctx.Err(); err != nil {
 		return nil, err

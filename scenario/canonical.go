@@ -20,6 +20,8 @@ import (
 // (internal/serve): a cache key derived from Hash survives cosmetic spec
 // edits but never aliases two different experiments. The scenario is
 // validated first, so only well-formed specs have a canonical form.
+//
+//consensus:strictwalk
 func Canonicalize(s *Scenario) ([]byte, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -16,6 +16,8 @@ import (
 // Decode reads one scenario from r. Decoding is strict: unknown fields are
 // rejected and the spec is fully validated, so errors point at the exact
 // field instead of surfacing later as a wrong run.
+//
+//consensus:strictwalk
 func Decode(r io.Reader) (*Scenario, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -64,6 +66,8 @@ type quantityField struct {
 // with an actionable, field-qualified error. Expressions are parsed here;
 // variable resolution happens at expansion (where the cell bindings
 // exist).
+//
+//consensus:strictwalk
 func (s *Scenario) Validate() error {
 	fail := func(path, format string, args ...any) error {
 		return fmt.Errorf("scenario %q: %s: %s", s.Name, path, fmt.Sprintf(format, args...))

@@ -78,6 +78,8 @@ type GroupResult struct {
 // results. This derive order is exactly the order the hand-coded
 // reproduction harness used, which is why a scenario file reproduces a
 // pre-scenario experiment bit-identically at a fixed seed.
+//
+//consensus:longrun
 func ExecuteSuite(ctx context.Context, s *Scenario, p Params) (*SuiteResult, error) {
 	if s.Kind == KindCustom {
 		return nil, fmt.Errorf("scenario %q: custom scenarios have no suite; call Run", s.Name)

@@ -158,6 +158,8 @@ type ResolvedAdversary struct {
 // Expand resolves the scenario into the ordered list of concrete runs for
 // the given parameters. Expansion is pure: identical (spec, Params) yield
 // identical RunSpecs.
+//
+//consensus:strictwalk
 func (s *Scenario) Expand(p Params) ([]RunSpec, error) {
 	if s.Kind == KindCustom {
 		return nil, fmt.Errorf("scenario %q: custom scenarios have no runs to expand; call Run", s.Name)

@@ -469,6 +469,8 @@ type expectEval struct {
 // (*ExpectReport).Err(). Evaluation is deterministic: expectations in spec
 // order, cells in expansion order, groups in spec order; a fixed seed
 // yields the identical report whatever the worker count.
+//
+//consensus:strictwalk
 func EvaluateExpectations(s *Scenario, suite *SuiteResult, tbl *Table, p Params) (*ExpectReport, error) {
 	ev := &expectEval{
 		s: s, suite: suite, tbl: tbl, p: p,

@@ -170,7 +170,12 @@ func adversaryByNameCheck(name string) (adversary.Adversary, error) {
 
 // summaryReduce is the default reducer: one row per cell × group with
 // round statistics and convergence counts — what a user-authored scenario
-// gets without writing any Go.
+// gets without writing any Go. It is also the walker of the spec's table
+// section (via NewTable), which is why it carries the strictwalk
+// directive: the title/claim/columns metadata is consumed here, not in
+// Validate.
+//
+//consensus:strictwalk
 func summaryReduce(suite *SuiteResult) (*Table, error) {
 	tbl := suite.Scenario.NewTable()
 	axes := make([]string, 0, len(suite.Scenario.Sweep))

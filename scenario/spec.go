@@ -34,6 +34,11 @@ const CurrentSchema = 1
 
 // Scenario describes a whole experiment as data: shared run settings, the
 // sweep lattice, replica counts, and how to aggregate the executed cells.
+// It is the strict-schema root: every struct reachable from it through
+// exported fields is part of the spec surface, and strictsync requires
+// each such field to be visited by the //consensus:strictwalk walkers.
+//
+//consensus:schema
 type Scenario struct {
 	// Schema is the spec schema version; must be CurrentSchema.
 	Schema int `json:"schema"`
